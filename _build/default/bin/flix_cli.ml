@@ -1,0 +1,310 @@
+(* flix — command-line front end.
+
+     flix generate --kind dblp --docs 500 --out /tmp/dblp
+     flix stats /tmp/dblp
+     flix index /tmp/dblp --config hybrid
+     flix query /tmp/dblp "//inproceedings//author" -k 10
+     flix descendants /tmp/dblp --start dblp_0499 --tag article -k 10
+     flix connect /tmp/dblp --from dblp_0499 --to dblp_0007 *)
+
+open Cmdliner
+
+module C = Fx_xml.Collection
+module Flix = Fx_flix.Flix
+module MB = Fx_flix.Meta_builder
+module RS = Fx_flix.Result_stream
+
+(* ---------------- shared loading ---------------- *)
+
+let load_collection dir =
+  let files = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  let xml_files = List.filter (fun f -> Filename.check_suffix f ".xml") files in
+  if xml_files = [] then Error (Printf.sprintf "no .xml files in %s" dir)
+  else begin
+    let docs = ref [] and errors = ref [] in
+    List.iter
+      (fun f ->
+        let path = Filename.concat dir f in
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let body = really_input_string ic len in
+        close_in ic;
+        let name = Filename.remove_extension f in
+        match Fx_xml.Xml_parser.parse ~name body with
+        | Ok d -> docs := d :: !docs
+        | Error e ->
+            errors := Printf.sprintf "%s: %s" f (Fx_xml.Xml_parser.error_to_string e) :: !errors)
+      xml_files;
+    List.iter (fun e -> Printf.eprintf "warning: skipped %s\n" e) (List.rev !errors);
+    match List.rev !docs with
+    | [] -> Error "no parseable documents"
+    | docs -> Ok (C.build docs)
+  end
+
+type config_choice = Fixed of MB.config | Auto
+
+let fixed_config_of_string = function
+  | "naive" -> Ok MB.Naive
+  | "maximal-ppo" -> Ok MB.Maximal_ppo
+  | "spanning-ppo" -> Ok MB.Spanning_ppo
+  | "hybrid" -> Ok MB.default_hybrid
+  | s -> begin
+      match String.split_on_char '-' s with
+      | [ "hopi"; n ] -> begin
+          match int_of_string_opt n with
+          | Some max_size when max_size > 0 -> Ok (MB.Unconnected_hopi { max_size })
+          | Some _ | None -> Error (`Msg "hopi-<N>: N must be a positive integer")
+        end
+      | [ "element"; n ] -> begin
+          match int_of_string_opt n with
+          | Some max_size when max_size > 0 -> Ok (MB.Element_level { max_size })
+          | Some _ | None -> Error (`Msg "element-<N>: N must be a positive integer")
+        end
+      | _ ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown config %S (naive|maximal-ppo|hybrid|hopi-<N>|element-<N>)" s))
+    end
+
+let config_of_string = function
+  | "auto" -> Ok Auto
+  | s -> Result.map (fun c -> Fixed c) (fixed_config_of_string s)
+
+let config_conv =
+  let parse s = Result.map_error (fun e -> e) (config_of_string s) in
+  let print ppf = function
+    | Fixed c -> Format.pp_print_string ppf (MB.config_to_string c)
+    | Auto -> Format.pp_print_string ppf "auto"
+  in
+  Arg.conv (parse, print)
+
+(* Resolve "auto" against the loaded collection, showing the analysis
+   that drove the decision. *)
+let resolve_config choice c =
+  match choice with
+  | Fixed config -> config
+  | Auto ->
+      let a = Fx_flix.Auto_config.analyse c in
+      let config = Fx_flix.Auto_config.choose a in
+      Printf.printf "collection analysis:\n%s\nauto-selected configuration: %s\n"
+        (Format.asprintf "%a" Fx_flix.Auto_config.pp_analysis a)
+        (MB.config_to_string config);
+      config
+
+let dir_arg =
+  Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Directory of .xml documents.")
+
+let config_arg =
+  Arg.(value & opt config_conv Auto
+       & info [ "config" ] ~docv:"CONFIG"
+           ~doc:
+             "auto (default: analyse the collection and pick) | naive | maximal-ppo | \
+              spanning-ppo | hybrid | hopi-<N> | element-<N>")
+
+let k_arg =
+  Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Number of results to print.")
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+(* Resolve "docname" or "docname#anchor" to a node. *)
+let resolve flix spec =
+  let doc, anchor =
+    match String.index_opt spec '#' with
+    | None -> (spec, None)
+    | Some i ->
+        ( String.sub spec 0 i,
+          Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  match Flix.node_of flix ~doc ~anchor with
+  | Some v -> v
+  | None ->
+      prerr_endline ("error: cannot resolve " ^ spec);
+      exit 1
+
+(* ---------------- generate ---------------- *)
+
+let generate kind docs seed out =
+  let documents =
+    match kind with
+    | "dblp" ->
+        Fx_workload.Dblp_gen.generate
+          { Fx_workload.Dblp_gen.default with n_docs = docs; seed }
+    | "web" ->
+        Fx_workload.Web_gen.generate
+          { Fx_workload.Web_gen.default with n_tree_docs = docs * 2 / 3; n_dense_docs = docs / 3;
+            seed }
+    | other ->
+        prerr_endline ("error: unknown kind " ^ other ^ " (dblp|web)");
+        exit 1
+  in
+  if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+  List.iter
+    (fun (d : Fx_xml.Xml_types.document) ->
+      let path = Filename.concat out (d.name ^ ".xml") in
+      let oc = open_out_bin path in
+      output_string oc (Fx_xml.Xml_print.pretty d);
+      close_out oc)
+    documents;
+  Printf.printf "wrote %d documents to %s\n" (List.length documents) out
+
+let generate_cmd =
+  let kind = Arg.(value & opt string "dblp" & info [ "kind" ] ~docv:"KIND" ~doc:"dblp | web") in
+  let docs = Arg.(value & opt int 500 & info [ "docs" ] ~docv:"N" ~doc:"Document count.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.") in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Write a synthetic XML collection to disk")
+    Term.(const generate $ kind $ docs $ seed $ out)
+
+(* ---------------- stats ---------------- *)
+
+let stats dir =
+  let c = or_die (load_collection dir) in
+  print_endline (C.stats c);
+  let dangling = C.dangling_refs c in
+  if dangling <> [] then begin
+    Printf.printf "%d dangling references, e.g.:\n" (List.length dangling);
+    List.iteri
+      (fun i (d : C.dangling) ->
+        if i < 5 then Printf.printf "  %s -> %s\n" d.src_doc d.reference)
+      dangling
+  end;
+  (* Structural overview through the DataGuide, when tractable. *)
+  let dg = { Fx_index.Path_index.graph = C.tree_graph c; tag = C.tag c } in
+  let roots = List.init (C.n_docs c) (C.root_of_doc c) in
+  match Fx_index.Dataguide.build dg ~roots with
+  | Some g ->
+      print_endline "label paths (tree structure):";
+      List.iter (fun p -> print_endline ("  " ^ p))
+        (Fx_index.Dataguide.paths g ~tag_name:(C.tag_name c) ~max:20)
+  | None -> ()
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Collection statistics") Term.(const stats $ dir_arg)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze dir =
+  let c = or_die (load_collection dir) in
+  print_endline (C.stats c);
+  let a = Fx_flix.Auto_config.analyse c in
+  print_endline (Format.asprintf "%a" Fx_flix.Auto_config.pp_analysis a);
+  Printf.printf "recommended configuration: %s\n"
+    (MB.config_to_string (Fx_flix.Auto_config.choose a));
+  let est =
+    Fx_graph.Tc_estimate.closure_pairs
+      (Fx_graph.Tc_estimate.compute ~rounds:16 ~seed:1 (C.graph c))
+  in
+  Printf.printf "estimated transitive closure: %.0f pairs\n" est
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Structural analysis and configuration recommendation")
+    Term.(const analyze $ dir_arg)
+
+(* ---------------- index ---------------- *)
+
+let index dir choice =
+  let c = or_die (load_collection dir) in
+  let flix = Flix.build ~config:(resolve_config choice c) c in
+  print_string (Flix.report flix);
+  let est =
+    Fx_graph.Tc_estimate.closure_pairs
+      (Fx_graph.Tc_estimate.compute ~rounds:16 ~seed:1 (C.graph c))
+  in
+  Printf.printf "estimated transitive closure: %.0f pairs (~%.2f MB materialised)\n" est
+    (est *. 8.0 /. 1048576.0)
+
+let index_cmd =
+  Cmd.v
+    (Cmd.info "index" ~doc:"Build the FliX index and report sizes/strategies")
+    Term.(const index $ dir_arg $ config_arg)
+
+(* ---------------- query ---------------- *)
+
+let query dir choice expr k =
+  let c = or_die (load_collection dir) in
+  let flix = Flix.build ~config:(resolve_config choice c) c in
+  match Fx_query.Query_eval.top_k ~k flix expr with
+  | Error e ->
+      prerr_endline ("query error " ^ e);
+      exit 1
+  | Ok results ->
+      Printf.printf "%d results:\n" (List.length results);
+      List.iter
+        (fun r -> print_endline ("  " ^ Fx_query.Query_eval.describe flix r))
+        results
+
+let query_cmd =
+  let expr =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH" ~doc:"XPath expression.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a (relaxed) XPath query, ranked")
+    Term.(const query $ dir_arg $ config_arg $ expr $ k_arg)
+
+(* ---------------- descendants ---------------- *)
+
+let descendants dir choice start tag k =
+  let c = or_die (load_collection dir) in
+  let flix = Flix.build ~config:(resolve_config choice c) c in
+  let start = resolve flix start in
+  let stream = Flix.descendants flix ~start ?tag in
+  List.iter
+    (fun item -> print_endline ("  " ^ Flix.describe flix item))
+    (RS.take k stream)
+
+let descendants_cmd =
+  let start =
+    Arg.(required & opt (some string) None
+         & info [ "start" ] ~docv:"DOC[#ID]" ~doc:"Start element.")
+  in
+  let tag =
+    Arg.(value & opt (some string) None & info [ "tag" ] ~docv:"TAG" ~doc:"Target tag filter.")
+  in
+  Cmd.v
+    (Cmd.info "descendants" ~doc:"Stream the closest descendants of an element")
+    Term.(const descendants $ dir_arg $ config_arg $ start $ tag $ k_arg)
+
+(* ---------------- connect ---------------- *)
+
+let connect dir choice from_ to_ max_dist =
+  let c = or_die (load_collection dir) in
+  let flix = Flix.build ~config:(resolve_config choice c) c in
+  let a = resolve flix from_ and b = resolve flix to_ in
+  match Flix.connected ~max_dist flix a b with
+  | Some d -> Printf.printf "connected at distance %d\n" d
+  | None ->
+      Printf.printf "not connected within %d hops (bidirectional check: %b)\n" max_dist
+        (Flix.connected_bidir ~max_dist flix a b)
+
+let connect_cmd =
+  let from_ =
+    Arg.(required & opt (some string) None & info [ "from" ] ~docv:"DOC[#ID]" ~doc:"Source.")
+  in
+  let to_ =
+    Arg.(required & opt (some string) None & info [ "to" ] ~docv:"DOC[#ID]" ~doc:"Target.")
+  in
+  let max_dist =
+    Arg.(value & opt int 64 & info [ "max-dist" ] ~docv:"D" ~doc:"Distance threshold.")
+  in
+  Cmd.v
+    (Cmd.info "connect" ~doc:"Connection test between two elements")
+    Term.(const connect $ dir_arg $ config_arg $ from_ $ to_ $ max_dist)
+
+let () =
+  let info =
+    Cmd.info "flix" ~version:"1.0.0"
+      ~doc:"FliX: flexible connection indexing for linked XML collections"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; stats_cmd; analyze_cmd; index_cmd; query_cmd; descendants_cmd;
+            connect_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_service.ml: Array Fx_flix Fx_workload Fx_xml List Logs Printf

@@ -1,0 +1,1 @@
+examples/connection_check.ml: Fx_flix Fx_index Fx_workload Fx_xml List Printf

@@ -1,0 +1,1 @@
+examples/connection_check.mli:

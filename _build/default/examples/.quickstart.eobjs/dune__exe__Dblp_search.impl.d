@@ -1,0 +1,1 @@
+examples/dblp_search.ml: Fx_flix Fx_query Fx_workload Fx_xml Lazy List Printf

@@ -1,0 +1,1 @@
+examples/persistent_index.ml: Array Filename Fx_index Fx_store Fx_workload Fx_xml List Printf String Sys Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fx_flix Fx_xml List Option Printf

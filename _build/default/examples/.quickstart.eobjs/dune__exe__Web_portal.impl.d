@@ -1,0 +1,1 @@
+examples/web_portal.ml: Fx_flix Fx_query Fx_workload Fx_xml List Option Printf

@@ -1,0 +1,76 @@
+(* A long-running search service: result caching, query-load monitoring,
+   self-tuning reconfiguration and incremental collection growth — the
+   operational features from the paper's future-work list (Section 7),
+   working together.
+
+     dune exec examples/adaptive_service.exe *)
+
+module Flix = Fx_flix.Flix
+module MB = Fx_flix.Meta_builder
+module RS = Fx_flix.Result_stream
+module C = Fx_xml.Collection
+module Dblp = Fx_workload.Dblp_gen
+
+let () =
+  (* Route framework logs to stderr so the build phases are visible. *)
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Info);
+
+  (* Day 0: a modest archive, naively indexed (one meta document per
+     publication — fine while nobody follows citations). *)
+  let flix = ref (Flix.build ~config:MB.Naive (Dblp.collection { Dblp.default with n_docs = 400 })) in
+  Printf.printf "service up:\n%s\n" (Flix.report !flix);
+
+  (* The query log: users keep asking citation-chasing questions about a
+     handful of hot publications. *)
+  let monitor = ref (Fx_flix.Self_tuning.create (Flix.pee !flix)) in
+  let cache = ref (Fx_flix.Query_cache.create (Flix.pee !flix)) in
+  let hot =
+    Fx_workload.Query_gen.descendant_queries (Flix.collection !flix) ~seed:5 ~count:6
+      ~min_results:10
+    |> List.map (fun (q : Fx_workload.Query_gen.query) -> q.start)
+  in
+  let article = C.tag_id (Flix.collection !flix) "article" in
+  let serve start =
+    (* The monitor sees every query; the cache answers repeats. *)
+    ignore (RS.to_list (Fx_flix.Self_tuning.descendants !monitor ?tag:article ~start));
+    ignore (RS.to_list (Fx_flix.Query_cache.descendants !cache ?tag:article ~start))
+  in
+  List.iter (fun _ -> List.iter serve hot) (List.init 5 (fun i -> i));
+  let cs = Fx_flix.Query_cache.stats !cache in
+  Printf.printf "after %d queries: cache hit rate %.0f%%\n" (cs.hits + cs.misses)
+    (100.0 *. cs.hit_rate);
+
+  (* The monitor notices the link chasing and recommends coarser meta
+     documents; we apply it with an incremental rebuild. *)
+  let s = Fx_flix.Self_tuning.summary !monitor in
+  Printf.printf "query load: %.1f link hops per query, link pressure %.2f\n"
+    s.mean_link_hops s.link_pressure;
+  (match Fx_flix.Self_tuning.recommend ~pressure_threshold:0.5 !monitor ~current:MB.Naive with
+  | Fx_flix.Self_tuning.Keep -> print_endline "self-tuning: configuration kept"
+  | Fx_flix.Self_tuning.Rebuild config ->
+      Printf.printf "self-tuning: rebuilding as %s\n" (MB.config_to_string config);
+      flix := Flix.rebuild ~config !flix;
+      monitor := Fx_flix.Self_tuning.create (Flix.pee !flix);
+      cache := Fx_flix.Query_cache.create (Flix.pee !flix);
+      Printf.printf "%s" (Flix.report !flix));
+
+  (* Night batch: 40 new publications arrive. The incremental extend
+     reuses every structurally unchanged meta-document index. *)
+  let new_docs =
+    Fx_workload.Dblp_gen.generate { Dblp.default with n_docs = 440; seed = 7 }
+    |> List.filteri (fun i _ -> i >= 400)
+  in
+  flix := Flix.extend !flix new_docs;
+  let b = Flix.built !flix in
+  Printf.printf "\nextended by %d documents: %d/%d indexes reused\n%s"
+    (List.length new_docs)
+    (Fx_flix.Index_builder.reused_count b)
+    (Array.length b.indexes) (Flix.report !flix);
+
+  (* And the service keeps answering, now over the grown collection. *)
+  let c = Flix.collection !flix in
+  let q = Fx_workload.Query_gen.hub_query c ~tag:"article" in
+  let results = RS.take 5 (Flix.descendants !flix ~start:q.start ~tag:"article") in
+  Printf.printf "\n%s — first %d results:\n" q.label (List.length results);
+  List.iter (fun r -> print_endline ("  " ^ Flix.describe !flix r)) results

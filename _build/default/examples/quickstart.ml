@@ -1,0 +1,63 @@
+(* Quickstart: parse a few linked XML documents, build a FliX index and
+   run descendant queries across document borders.
+
+     dune exec examples/quickstart.exe *)
+
+module Flix = Fx_flix.Flix
+module RS = Fx_flix.Result_stream
+
+let doc name body = Fx_xml.Xml_parser.parse_exn ~name body
+
+let () =
+  (* Three little documents: a catalogue that links to two movie pages,
+     one of which links onwards to its sequel's page. *)
+  let documents =
+    [
+      doc "catalogue"
+        {|<catalogue>
+            <entry xlink:href="matrix"><title>The Matrix</title></entry>
+            <entry xlink:href="speed"><title>Speed</title></entry>
+          </catalogue>|};
+      doc "matrix"
+        {|<movie id="m1">
+            <title>The Matrix</title>
+            <cast><actor>Reeves</actor><actor>Moss</actor></cast>
+            <sequel xlink:href="speed"/>
+          </movie>|};
+      doc "speed"
+        {|<movie id="m2">
+            <title>Speed</title>
+            <cast><actor>Reeves</actor><actor>Bullock</actor></cast>
+          </movie>|};
+    ]
+  in
+  let collection = Fx_xml.Collection.build documents in
+  print_endline ("collection: " ^ Fx_xml.Collection.stats collection);
+
+  (* Build phase: meta documents, strategy selection, indexes. *)
+  let flix = Flix.build collection in
+  print_string (Flix.report flix);
+
+  (* Query phase: all actor descendants of the catalogue root. The two
+     hops catalogue -> movie page -> cast -> actor cross document
+     borders through the XLinks. *)
+  let start = Option.get (Flix.node_of flix ~doc:"catalogue" ~anchor:None) in
+  print_endline "\ncatalogue//actor:";
+  Flix.descendants flix ~start ~tag:"actor"
+  |> RS.to_list
+  |> List.iter (fun item -> print_endline ("  " ^ Flix.describe flix item));
+
+  (* Streaming: take just the closest match and stop. *)
+  print_endline "\nfirst actor only (stream stops early):";
+  (match RS.next (Flix.descendants flix ~start ~tag:"actor") with
+  | Some item -> print_endline ("  " ^ Flix.describe flix item)
+  | None -> print_endline "  none");
+
+  (* Connection test with distance. *)
+  let matrix = Option.get (Flix.node_of flix ~doc:"matrix" ~anchor:(Some "m1")) in
+  let speed = Option.get (Flix.node_of flix ~doc:"speed" ~anchor:(Some "m2")) in
+  (match Flix.connected flix matrix speed with
+  | Some d -> Printf.printf "\nmatrix#m1 reaches speed#m2 at distance %d\n" d
+  | None -> print_endline "\nmatrix#m1 does not reach speed#m2");
+  Printf.printf "speed#m2 reaches matrix#m1: %b\n"
+    (Flix.connected flix speed matrix <> None)

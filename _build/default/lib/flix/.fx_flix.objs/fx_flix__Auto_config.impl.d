@@ -1,0 +1,1 @@
+lib/flix/auto_config.ml: Array Format Fun Fx_xml Hashtbl List Meta_builder Option

@@ -1,0 +1,1 @@
+lib/flix/auto_config.mli: Format Fx_xml Meta_builder

@@ -1,0 +1,1 @@
+lib/flix/flix.ml: Fx_graph Fx_xml Index_builder List Meta_builder Meta_document Option Pee Printf

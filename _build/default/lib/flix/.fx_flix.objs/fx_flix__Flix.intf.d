@@ -1,0 +1,1 @@
+lib/flix/flix.mli: Fx_xml Index_builder Meta_builder Meta_document Pee Result_stream Strategy_selector

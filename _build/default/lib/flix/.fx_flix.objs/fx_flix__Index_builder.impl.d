@@ -1,0 +1,1 @@
+lib/flix/index_builder.ml: Array Atomic Buffer Domain Filename Fx_graph Fx_index Fx_util Hashtbl Int64 List Log Meta_document Option Printf Strategy_selector Sys

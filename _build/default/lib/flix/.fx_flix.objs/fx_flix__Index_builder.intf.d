@@ -1,0 +1,1 @@
+lib/flix/index_builder.mli: Fx_index Meta_document Strategy_selector

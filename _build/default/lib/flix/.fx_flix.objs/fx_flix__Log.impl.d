@@ -1,0 +1,1 @@
+lib/flix/log.ml: Logs

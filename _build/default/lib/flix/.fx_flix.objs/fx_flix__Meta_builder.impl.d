@@ -1,0 +1,1 @@
+lib/flix/meta_builder.ml: Array Fx_graph Fx_xml Hashtbl List Log Meta_document Option Printf Queue

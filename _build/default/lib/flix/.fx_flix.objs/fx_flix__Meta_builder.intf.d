@@ -1,0 +1,1 @@
+lib/flix/meta_builder.mli: Fx_xml Hashtbl Meta_document

@@ -1,0 +1,1 @@
+lib/flix/meta_document.ml: Array Fx_graph Fx_index Fx_xml List

@@ -1,0 +1,1 @@
+lib/flix/meta_document.mli: Fx_graph Fx_index Fx_xml

@@ -1,0 +1,1 @@
+lib/flix/pee.ml: Array Fx_graph Fx_index Hashtbl Index_builder List Meta_document Option Queue Result_stream

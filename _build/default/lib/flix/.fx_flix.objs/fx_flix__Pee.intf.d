@@ -1,0 +1,1 @@
+lib/flix/pee.mli: Index_builder Result_stream

@@ -1,0 +1,1 @@
+lib/flix/query_cache.ml: Fx_util Lazy List Pee Result_stream

@@ -1,0 +1,1 @@
+lib/flix/query_cache.mli: Pee Result_stream

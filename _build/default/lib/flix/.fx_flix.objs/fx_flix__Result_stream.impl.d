@@ -1,0 +1,1 @@
+lib/flix/result_stream.ml: Fx_util List Option Seq

@@ -1,0 +1,1 @@
+lib/flix/result_stream.mli: Seq

@@ -1,0 +1,1 @@
+lib/flix/self_tuning.ml: List Meta_builder Pee Result_stream

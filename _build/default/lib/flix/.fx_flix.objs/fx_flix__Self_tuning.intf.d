@@ -1,0 +1,1 @@
+lib/flix/self_tuning.mli: Meta_builder Pee Result_stream

@@ -1,0 +1,1 @@
+lib/flix/stats.ml: Array List

@@ -1,0 +1,1 @@
+lib/flix/strategy_selector.ml: Fx_graph Meta_document Printf

@@ -1,0 +1,1 @@
+lib/flix/strategy_selector.mli: Meta_document

@@ -1,0 +1,89 @@
+module Collection = Fx_xml.Collection
+
+type analysis = {
+  n_docs : int;
+  n_elements : int;
+  mean_doc_size : float;
+  links_per_doc : float;
+  intra_link_share : float;
+  root_link_share : float;
+  tree_doc_share : float;
+  linked_doc_share : float;
+  mergeable_share : float;
+}
+
+let analyse c =
+  let n_docs = Collection.n_docs c in
+  let n_elements = Collection.n_nodes c in
+  let links = Collection.links c in
+  let n_links = List.length links in
+  let n_intra = Collection.n_intra_links c in
+  let root_links = ref 0 in
+  let linked = Array.make (max 1 n_docs) false in
+  List.iter
+    (fun (l : Collection.link) ->
+      if l.inter then begin
+        linked.(Collection.doc_of_node c l.src) <- true;
+        linked.(Collection.doc_of_node c l.dst) <- true;
+        if l.dst = Collection.root_of_doc c (Collection.doc_of_node c l.dst) then
+          incr root_links
+      end)
+    links;
+  let tree_docs = Meta_builder.doc_is_tree c in
+  let count p arr = Array.fold_left (fun a x -> if p x then a + 1 else a) 0 arr in
+  (* Dry-run the greedy merge to see how much of the collection Maximal
+     PPO would actually glue together. *)
+  let doc_part, _ = Meta_builder.maximal_ppo_plan c in
+  let class_size = Hashtbl.create 64 in
+  Array.iter
+    (fun p -> Hashtbl.replace class_size p (1 + Option.value ~default:0 (Hashtbl.find_opt class_size p)))
+    doc_part;
+  let merged =
+    Array.fold_left
+      (fun a p -> if Hashtbl.find class_size p > 1 then a + 1 else a)
+      0 doc_part
+  in
+  let fdocs = float_of_int (max 1 n_docs) in
+  let n_inter = n_links - n_intra in
+  {
+    n_docs;
+    n_elements;
+    mean_doc_size = float_of_int n_elements /. fdocs;
+    links_per_doc = float_of_int n_links /. fdocs;
+    intra_link_share =
+      (if n_links = 0 then 0.0 else float_of_int n_intra /. float_of_int n_links);
+    root_link_share =
+      (if n_inter = 0 then 0.0 else float_of_int !root_links /. float_of_int n_inter);
+    tree_doc_share = float_of_int (count Fun.id tree_docs) /. fdocs;
+    linked_doc_share = float_of_int (count Fun.id linked) /. fdocs;
+    mergeable_share = float_of_int merged /. fdocs;
+  }
+
+let pp_analysis ppf a =
+  Format.fprintf ppf
+    "@[<v>%d documents, %d elements (%.1f per document)@,\
+     %.2f links per document (%.0f%% intra-document)@,\
+     %.0f%% of inter-document links point at roots@,\
+     %.0f%% link-free documents, %.0f%% touched by inter-document links@,\
+     Maximal-PPO merge would absorb %.0f%% of the documents@]"
+    a.n_docs a.n_elements a.mean_doc_size a.links_per_doc
+    (100. *. a.intra_link_share) (100. *. a.root_link_share)
+    (100. *. a.tree_doc_share) (100. *. a.linked_doc_share)
+    (100. *. a.mergeable_share)
+
+(* Decision table, in priority order (thresholds are conventional, not
+   tuned to any particular benchmark):
+   1. almost no inter-document links — intra links do not matter, the
+      per-document indexes keep them                 -> Naive
+   2. the greedy merge absorbs most of the collection
+      (tree documents, root-targeted links)          -> Maximal PPO
+   3. link-dense with no usable tree region          -> Unconnected HOPI
+   4. part tree-like, part dense                     -> Hybrid          *)
+let choose ?(max_size = 5000) a =
+  if a.linked_doc_share < 0.1 then Meta_builder.Naive
+  else if a.mergeable_share > 0.6 && a.tree_doc_share > 0.9 then Meta_builder.Maximal_ppo
+  else if a.mergeable_share < 0.3 && a.linked_doc_share > 0.6 then
+    Meta_builder.Unconnected_hopi { max_size }
+  else Meta_builder.Hybrid { max_size; min_tree_size = 50 }
+
+let configure ?max_size c = choose ?max_size (analyse c)

@@ -1,0 +1,45 @@
+(** Automatic framework configuration — the paper's stated goal: "The
+    ultimate goal is that FliX can itself determine the optimal
+    configuration for the actual application or, if the collection is
+    too heterogeneous, automatically build homogeneous partitions of
+    the collection. However, … in our current implementation, an
+    administrator must decide which configuration to use" (Section 4.1).
+
+    This module is that missing administrator: it analyses exactly the
+    structural parameters the paper lists — "the number of documents,
+    the distribution of the document sizes, link structure, and the
+    average number of links per document" — and picks a configuration
+    by the paper's own rules of thumb from Section 4.3:
+
+    - hardly any links, big documents → {b Naive} (the INEX shape);
+    - few links, mostly pointing at roots of link-free documents →
+      {b Maximal PPO} (the DBLP shape);
+    - link-dense everywhere → {b Unconnected HOPI};
+    - a mix of tree-like and dense regions → {b Hybrid}. *)
+
+type analysis = {
+  n_docs : int;
+  n_elements : int;
+  mean_doc_size : float;
+  links_per_doc : float;
+  intra_link_share : float;   (** intra-document links / all links *)
+  root_link_share : float;    (** inter-document links pointing at roots *)
+  tree_doc_share : float;     (** documents without intra-document links *)
+  linked_doc_share : float;   (** documents with at least one incident
+                                  inter-document link *)
+  mergeable_share : float;    (** documents the Maximal-PPO greedy merge
+                                  would absorb into a multi-document tree *)
+}
+
+val analyse : Fx_xml.Collection.t -> analysis
+(** One pass over the collection plus the (cheap) Maximal-PPO dry run. *)
+
+val pp_analysis : Format.formatter -> analysis -> unit
+
+val choose : ?max_size:int -> analysis -> Meta_builder.config
+(** The decision procedure; [max_size] (default 5000) parameterises the
+    partitioned configurations. Deterministic, documented thresholds —
+    see the implementation for the decision table. *)
+
+val configure : ?max_size:int -> Fx_xml.Collection.t -> Meta_builder.config
+(** [choose (analyse c)]. *)

@@ -1,0 +1,161 @@
+module Path_index = Fx_index.Path_index
+
+type built = {
+  meta : Meta_document.t;
+  strategy : Strategy_selector.strategy;
+  index : Path_index.instance;
+  fallback : bool;
+}
+
+type t = {
+  registry : Meta_document.registry;
+  indexes : built array;
+  build_ns : int64;
+  reused : int;
+}
+
+(* Structural digest of a meta document: equal digests mean the local
+   index answers identically, so an old instance can be reused. The
+   out/in link arrays are NOT part of the digest — they live on the meta
+   document, not in the index — but the node set pins the global ids so
+   the link sets L_i are recomputed by the registry anyway. *)
+let digest (m : Meta_document.t) =
+  Hashtbl.hash
+    ( Array.length m.Meta_document.nodes,
+      m.Meta_document.nodes,
+      Fx_graph.Digraph.edges m.Meta_document.graph,
+      m.Meta_document.tag )
+
+let equal_structure (a : Meta_document.t) (b : Meta_document.t) =
+  a.Meta_document.nodes = b.Meta_document.nodes
+  && a.Meta_document.tag = b.Meta_document.tag
+  && Fx_graph.Digraph.edges a.Meta_document.graph = Fx_graph.Digraph.edges b.Meta_document.graph
+
+let instantiate strategy (m : Meta_document.t) dg =
+  match (strategy : Strategy_selector.strategy) with
+  | PPO -> Fx_index.Ppo.instance dg
+  | HOPI { partition_size } -> Fx_index.Hopi.instance ~partition_size dg
+  | HOPI_disk { dir } ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (Printf.sprintf "meta_%04d" m.Meta_document.id) in
+      Fx_index.Disk_hopi.instance ~path dg (Fx_index.Hopi.build dg)
+  | APEX -> Fx_index.Apex.instance dg
+  | TC -> Fx_index.Tc_index.instance dg
+
+let build_one policy (m : Meta_document.t) =
+  let dg = Meta_document.data_graph m in
+  let requested = Strategy_selector.select policy m in
+  match instantiate requested m dg with
+  | index -> { meta = m; strategy = requested; index; fallback = false }
+  | exception Fx_index.Ppo.Not_a_forest ->
+      let strategy = Strategy_selector.HOPI { partition_size = 5000 } in
+      { meta = m; strategy; index = instantiate strategy m dg; fallback = true }
+
+let build ?(policy = Strategy_selector.default_auto) ?reuse ?(jobs = 1)
+    (registry : Meta_document.registry) =
+  let watch = Fx_util.Stopwatch.start () in
+  (* The reuse pool is fully populated before any worker reads it. *)
+  let pool : (int, built list) Hashtbl.t = Hashtbl.create 64 in
+  (match reuse with
+  | None -> ()
+  | Some old ->
+      Array.iter
+        (fun (b : built) ->
+          let d = digest b.meta in
+          Hashtbl.replace pool d (b :: Option.value ~default:[] (Hashtbl.find_opt pool d)))
+        old.indexes);
+  let reused = Atomic.make 0 in
+  let build_or_reuse (m : Meta_document.t) =
+    let candidates = Option.value ~default:[] (Hashtbl.find_opt pool (digest m)) in
+    match List.find_opt (fun (b : built) -> equal_structure b.meta m) candidates with
+    | Some b ->
+        Atomic.incr reused;
+        (* The structure matches but the link sets and the id may have
+           changed; rebind the instance to the new meta document. *)
+        { b with meta = m }
+    | None -> build_one policy m
+  in
+  (* Meta documents are independent, so building them is embarrassingly
+     parallel; with [jobs > 1] a work-stealing counter hands them to
+     OCaml 5 domains. Every slot is written by exactly one worker. *)
+  let n = Array.length registry.metas in
+  let results : built option array = Array.make n None in
+  let cursor = Atomic.make 0 in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i >= n then continue := false
+      else results.(i) <- Some (build_or_reuse registry.metas.(i))
+    done
+  in
+  if jobs <= 1 then worker ()
+  else begin
+    let helpers = List.init (min (jobs - 1) 15) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers
+  end;
+  let indexes =
+    Array.map (function Some b -> b | None -> assert false) results
+  in
+  let t =
+    {
+      registry;
+      indexes;
+      build_ns = Fx_util.Stopwatch.elapsed_ns watch;
+      reused = Atomic.get reused;
+    }
+  in
+  Log.info (fun m ->
+      m "built %d meta-document indexes (%d reused) in %.1f ms"
+        (Array.length indexes) t.reused
+        (Int64.to_float t.build_ns /. 1e6));
+  Array.iter
+    (fun (b : built) ->
+      if b.fallback then
+        Log.warn (fun m ->
+            m "meta document %d: requested strategy unusable, fell back to %s"
+              b.meta.Meta_document.id
+              (Strategy_selector.strategy_to_string b.strategy))
+      else
+        Log.debug (fun m ->
+            m "meta document %d: %s over %d nodes (%d bytes)" b.meta.Meta_document.id
+              (Strategy_selector.strategy_to_string b.strategy)
+              (Meta_document.n_nodes b.meta)
+              b.index.Path_index.stats.size_bytes))
+    indexes;
+  t
+
+let reused_count t = t.reused
+
+let total_size_bytes t =
+  Array.fold_left (fun acc b -> acc + b.index.Path_index.stats.size_bytes) 0 t.indexes
+
+let total_entries t =
+  Array.fold_left (fun acc b -> acc + b.index.Path_index.stats.entries) 0 t.indexes
+
+let strategy_histogram t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun b ->
+      let key = Strategy_selector.strategy_to_string b.strategy in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    t.indexes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let report t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d meta documents, %d run-time links, %.2f MB of indexes (built in %.1f ms)\n"
+       (Array.length t.indexes)
+       (Meta_document.total_out_links t.registry)
+       (float_of_int (total_size_bytes t) /. 1048576.0)
+       (Int64.to_float t.build_ns /. 1e6));
+  List.iter
+    (fun (s, n) -> Buffer.add_string buf (Printf.sprintf "  %-10s %d meta documents\n" s n))
+    (strategy_histogram t);
+  let fallbacks = Array.fold_left (fun a b -> if b.fallback then a + 1 else a) 0 t.indexes in
+  if fallbacks > 0 then
+    Buffer.add_string buf (Printf.sprintf "  (%d strategy fallbacks to HOPI)\n" fallbacks);
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** The Index Builder (IB): builds one path index per meta document with
+    the strategy chosen by the ISS, and keeps the per-meta-document link
+    sets [L_i] (paper, Section 4.2).
+
+    A PPO selection can fail if the selector was forced onto a non-forest
+    meta document; the builder then falls back to HOPI and records the
+    fallback, mirroring the paper's constraint that "certain algorithms
+    to build meta documents may rule out the usage of some index
+    strategies". *)
+
+type built = {
+  meta : Meta_document.t;
+  strategy : Strategy_selector.strategy;  (** what was actually built *)
+  index : Fx_index.Path_index.instance;
+  fallback : bool;  (** true when the requested strategy was unusable *)
+}
+
+type t = {
+  registry : Meta_document.registry;
+  indexes : built array;  (** indexed by meta-document id *)
+  build_ns : int64;       (** accumulated wall-clock build time *)
+  reused : int;           (** indexes taken over from a previous build *)
+}
+
+val build :
+  ?policy:Strategy_selector.policy -> ?reuse:t -> ?jobs:int -> Meta_document.registry -> t
+(** [reuse] enables incremental rebuilds: a meta document of the new
+    registry whose node set, internal edges and tags are identical to
+    one in the previous build keeps that build's index instead of
+    reindexing. With document-granular configurations, adding documents
+    to a collection leaves the untouched meta documents' digests stable,
+    so only new or newly-linked-into partitions pay the build cost (see
+    {!Flix.extend}). Matching is by structural digest, so it is safe
+    under partition renumbering.
+
+    [jobs] (default 1) builds that many meta-document indexes in
+    parallel on OCaml 5 domains — meta documents are independent, so
+    the speed-up is near-linear until memory bandwidth wins. *)
+
+val reused_count : t -> int
+(** How many meta-document indexes were taken over from [reuse]. *)
+
+val total_size_bytes : t -> int
+val total_entries : t -> int
+val strategy_histogram : t -> (string * int) list
+(** How many meta documents each strategy indexes, descending count. *)
+
+val report : t -> string
+(** Multi-line build report: strategies, sizes, link counts. *)

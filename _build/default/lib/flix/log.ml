@@ -1,0 +1,6 @@
+(* Logging source for the framework; silent unless the application
+   configures a Logs reporter. *)
+
+let src = Logs.Src.create "flix" ~doc:"FliX indexing framework"
+
+include (val Logs.src_log src : Logs.LOG)

@@ -1,0 +1,226 @@
+module Collection = Fx_xml.Collection
+module Partition = Fx_graph.Partition
+module Union_find = Fx_graph.Union_find
+module Digraph = Fx_graph.Digraph
+
+type config =
+  | Naive
+  | Maximal_ppo
+  | Unconnected_hopi of { max_size : int }
+  | Hybrid of { max_size : int; min_tree_size : int }
+  | Element_level of { max_size : int }
+  | Spanning_ppo
+
+let config_to_string = function
+  | Naive -> "naive"
+  | Maximal_ppo -> "maximal-ppo"
+  | Unconnected_hopi { max_size } -> Printf.sprintf "unconnected-hopi-%d" max_size
+  | Hybrid { max_size; min_tree_size } -> Printf.sprintf "hybrid-%d-%d" max_size min_tree_size
+  | Element_level { max_size } -> Printf.sprintf "element-level-%d" max_size
+  | Spanning_ppo -> "spanning-ppo"
+
+let default_hybrid = Hybrid { max_size = 5000; min_tree_size = 50 }
+
+let doc_sizes c =
+  let sizes = Array.make (Collection.n_docs c) 0 in
+  for v = 0 to Collection.n_nodes c - 1 do
+    let d = Collection.doc_of_node c v in
+    sizes.(d) <- sizes.(d) + 1
+  done;
+  sizes
+
+let doc_is_tree c =
+  let tree = Array.make (Collection.n_docs c) true in
+  List.iter
+    (fun (l : Collection.link) ->
+      if not l.inter then tree.(Collection.doc_of_node c l.src) <- false)
+    (Collection.links c);
+  tree
+
+let node_part_of_doc_part c doc_part =
+  Array.init (Collection.n_nodes c) (fun v -> doc_part.(Collection.doc_of_node c v))
+
+let normalise_part part =
+  let mapping = Hashtbl.create 64 in
+  let next = ref 0 in
+  let out =
+    Array.map
+      (fun p ->
+        match Hashtbl.find_opt mapping p with
+        | Some q -> q
+        | None ->
+            let q = !next in
+            incr next;
+            Hashtbl.add mapping p q;
+            q)
+      part
+  in
+  (out, !next)
+
+(* Greedy Maximal-PPO merge at document granularity. A link is accepted —
+   its target document joins the source's tree — when both documents are
+   internally link-free, the link points at the target's root, the root
+   has no accepted parent yet, and no document-level cycle arises. *)
+let maximal_ppo_plan c =
+  let n_docs = Collection.n_docs c in
+  let tree = doc_is_tree c in
+  let uf = Union_find.create n_docs in
+  let has_parent = Array.make n_docs false in
+  let accepted : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (l : Collection.link) ->
+      if l.inter then begin
+        let a = Collection.doc_of_node c l.src and b = Collection.doc_of_node c l.dst in
+        if
+          tree.(a) && tree.(b)
+          && l.dst = Collection.root_of_doc c b
+          && (not has_parent.(b))
+          && not (Union_find.same uf a b)
+        then begin
+          ignore (Union_find.union uf a b);
+          has_parent.(b) <- true;
+          Hashtbl.replace accepted (l.src, l.dst) ()
+        end
+      end)
+    (Collection.links c);
+  let doc_part = Array.init n_docs (fun d -> Union_find.find uf d) in
+  (doc_part, accepted)
+
+let include_all (_ : Collection.link) = true
+
+let build_naive c =
+  let n_docs = Collection.n_docs c in
+  let part = Array.init (Collection.n_nodes c) (fun v -> Collection.doc_of_node c v) in
+  Meta_document.build_registry c ~part ~n_parts:n_docs ~include_link:include_all
+
+let build_maximal_ppo c =
+  let doc_part, accepted = maximal_ppo_plan c in
+  let doc_part, n_parts = normalise_part doc_part in
+  let part = node_part_of_doc_part c doc_part in
+  let include_link (l : Collection.link) = Hashtbl.mem accepted (l.src, l.dst) in
+  Meta_document.build_registry c ~part ~n_parts ~include_link
+
+let build_unconnected_hopi c ~max_size =
+  let units = Array.init (Collection.n_nodes c) (fun v -> Collection.doc_of_node c v) in
+  let assignment =
+    Partition.by_units ~units ~unit_weight:(doc_sizes c) ~max_size (Collection.graph c)
+  in
+  Meta_document.build_registry c ~part:assignment.Partition.part
+    ~n_parts:assignment.Partition.n_parts ~include_link:include_all
+
+(* Hybrid: keep the Maximal-PPO classes that grew into respectable trees,
+   re-partition the remaining documents with the bounded scheme. *)
+let build_hybrid c ~max_size ~min_tree_size =
+  let n_docs = Collection.n_docs c in
+  let doc_part, accepted = maximal_ppo_plan c in
+  let sizes = doc_sizes c in
+  let class_weight = Hashtbl.create 64 in
+  Array.iteri
+    (fun d p ->
+      Hashtbl.replace class_weight p (sizes.(d) + Option.value ~default:0 (Hashtbl.find_opt class_weight p)))
+    doc_part;
+  (* A class qualifies as a PPO meta document when it is big enough and
+     genuinely a forest: merged classes contain only link-free documents
+     by construction, but a singleton class may be a document with
+     internal links — those go to the HOPI pool regardless of size. *)
+  let tree = doc_is_tree c in
+  let kept = Hashtbl.create 64 in
+  let n_parts = ref 0 in
+  Array.iteri
+    (fun d p ->
+      if
+        (not (Hashtbl.mem kept p))
+        && tree.(d)
+        && Hashtbl.find class_weight p >= min_tree_size
+      then begin
+        Hashtbl.add kept p !n_parts;
+        incr n_parts
+      end)
+    doc_part;
+  let doc_assignment = Array.make n_docs (-1) in
+  let rest = ref [] in
+  Array.iteri
+    (fun d p ->
+      match Hashtbl.find_opt kept p with
+      | Some q -> doc_assignment.(d) <- q
+      | None -> rest := d :: !rest)
+    doc_part;
+  let ppo_parts = !n_parts in
+  (* Bounded BFS growth over the document quotient graph, restricted to
+     the rest pool. *)
+  let doc_adj =
+    let edges = ref [] in
+    List.iter
+      (fun (l : Collection.link) ->
+        if l.inter then
+          edges :=
+            (Collection.doc_of_node c l.src, Collection.doc_of_node c l.dst) :: !edges)
+      (Collection.links c);
+    Digraph.of_edges ~n:n_docs !edges
+  in
+  let queue = Queue.create () in
+  List.iter
+    (fun seed ->
+      if doc_assignment.(seed) = -1 then begin
+        let p = !n_parts in
+        incr n_parts;
+        let weight = ref 0 in
+        Queue.clear queue;
+        Queue.add seed queue;
+        doc_assignment.(seed) <- p;
+        weight := sizes.(seed);
+        while (not (Queue.is_empty queue)) && !weight < max_size do
+          let u = Queue.pop queue in
+          let try_take v =
+            if doc_assignment.(v) = -1 && !weight + sizes.(v) <= max_size then begin
+              doc_assignment.(v) <- p;
+              weight := !weight + sizes.(v);
+              Queue.add v queue
+            end
+          in
+          Digraph.iter_succ doc_adj u try_take;
+          Digraph.iter_pred doc_adj u try_take
+        done
+      end)
+    (List.rev !rest);
+  let part = node_part_of_doc_part c doc_assignment in
+  (* PPO partitions include only accepted links (to stay forests); HOPI
+     partitions include everything internal. *)
+  let include_link (l : Collection.link) =
+    let p = part.(l.src) in
+    if p < ppo_parts then Hashtbl.mem accepted (l.src, l.dst) else true
+  in
+  Meta_document.build_registry c ~part ~n_parts:!n_parts ~include_link
+
+(* Maximal PPO, variant (1) of the paper: "remove edges until the
+   remaining graph forms a single tree and index it with PPO". One meta
+   document holds the whole collection; the accepted links of the greedy
+   merge become tree edges, every other link is removed from the index
+   and followed at run time. *)
+let build_spanning_ppo c =
+  let _, accepted = maximal_ppo_plan c in
+  let part = Array.make (Collection.n_nodes c) 0 in
+  let include_link (l : Collection.link) = Hashtbl.mem accepted (l.src, l.dst) in
+  Meta_document.build_registry c ~part ~n_parts:1 ~include_link
+
+(* Element-level meta documents (paper, Section 7: "ignore the
+   artificial boundary of documents and combine semantically related,
+   connected elements into a single meta document"): partition the
+   element graph directly; parent-child edges crossing a partition
+   border are chased at run time like links. *)
+let build_element_level c ~max_size =
+  let assignment = Partition.bounded_bfs ~max_size (Collection.graph c) in
+  Meta_document.build_registry c ~part:assignment.Partition.part
+    ~n_parts:assignment.Partition.n_parts ~include_link:include_all
+
+let build config c =
+  Log.debug (fun m ->
+      m "meta document builder: %s over %d documents / %d elements" (config_to_string config)
+        (Collection.n_docs c) (Collection.n_nodes c));
+  match config with
+  | Naive -> build_naive c
+  | Maximal_ppo -> build_maximal_ppo c
+  | Unconnected_hopi { max_size } -> build_unconnected_hopi c ~max_size
+  | Hybrid { max_size; min_tree_size } -> build_hybrid c ~max_size ~min_tree_size
+  | Element_level { max_size } -> build_element_level c ~max_size
+  | Spanning_ppo -> build_spanning_ppo c

@@ -1,0 +1,59 @@
+(** The Meta Document Builder (MDB): turns a collection into a set of
+    meta documents according to a framework configuration.
+
+    The four predefined configurations follow the paper (Section 4.3):
+
+    - {b Naive}: every document is its own meta document. "Useful if
+      documents are relatively large, the number of inter-document links
+      is small, and queries usually do not cross document boundaries"
+      (e.g. the INEX collection).
+    - {b Maximal PPO}: greedily merge documents along inter-document
+      links so that every meta document stays a {e tree} — possible when
+      links point to root elements and no document gets two incoming
+      accepted links and no cycle arises. The remaining links are
+      followed at run time. "Useful if there are relatively few links in
+      the collection, like currently in the DBLP collection."
+    - {b Unconnected HOPI}: the first two steps of HOPI's
+      divide-and-conquer build — partition the collection into bounded
+      parts with few crossing edges and index the parts, skipping the
+      final join. "Useful when most documents contain links."
+    - {b Hybrid}: Maximal-PPO trees where they grow large enough, the
+      rest partitioned as in Unconnected HOPI. "Suited best for mixed
+      settings" like the paper's Figure 1.
+
+    The four predefined builders work at document granularity (documents
+    are never split); [Element_level] implements the future-work variant
+    that partitions elements directly. *)
+
+type config =
+  | Naive
+  | Maximal_ppo
+  | Unconnected_hopi of { max_size : int }  (** bound in elements *)
+  | Hybrid of { max_size : int; min_tree_size : int }
+  | Element_level of { max_size : int }
+      (** Section 7's future-work builder: partition the element graph
+          directly, ignoring document boundaries. Parent-child edges
+          that end up crossing partitions are followed at run time. *)
+  | Spanning_ppo
+      (** The paper's Maximal-PPO variant (1): "remove edges until the
+          remaining graph forms a single tree and index it with PPO" —
+          one collection-wide PPO meta document over a spanning forest,
+          all removed links chased at run time. *)
+
+val config_to_string : config -> string
+val default_hybrid : config
+(** [Hybrid { max_size = 5000; min_tree_size = 50 }]. *)
+
+val build : config -> Fx_xml.Collection.t -> Meta_document.registry
+
+(** {1 Introspection for tests and benches} *)
+
+val doc_is_tree : Fx_xml.Collection.t -> bool array
+(** Per document: has it no intra-document links (so its element graph
+    is the element tree)? *)
+
+val maximal_ppo_plan :
+  Fx_xml.Collection.t -> int array * (int * int, unit) Hashtbl.t
+(** The document-level partition of the Maximal-PPO greedy merge and the
+    set of accepted (merged) links, keyed by (src, dst) global node
+    pair. Exposed so property tests can check the forest invariant. *)

@@ -1,0 +1,78 @@
+type 'a t = { mutable pull : unit -> 'a option; mutable buffered : 'a option }
+
+let exhausted () = None
+
+let of_fn f =
+  let s = { pull = f; buffered = None } in
+  s
+
+let next s =
+  match s.buffered with
+  | Some _ as r ->
+      s.buffered <- None;
+      r
+  | None -> begin
+      match s.pull () with
+      | Some _ as r -> r
+      | None ->
+          s.pull <- exhausted;
+          None
+    end
+
+let peek s =
+  match s.buffered with
+  | Some _ as r -> r
+  | None ->
+      let r = next s in
+      s.buffered <- r;
+      r
+
+let take k s =
+  let rec go k acc =
+    if k <= 0 then List.rev acc
+    else
+      match next s with
+      | None -> List.rev acc
+      | Some x -> go (k - 1) (x :: acc)
+  in
+  go k []
+
+let take_while p s =
+  let rec go acc =
+    match peek s with
+    | Some x when p x ->
+        ignore (next s);
+        go (x :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []
+
+let to_list s =
+  let rec go acc = match next s with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []
+
+let to_seq s =
+  let rec seq () = match next s with None -> Seq.Nil | Some x -> Seq.Cons (x, seq) in
+  seq
+
+let map f s = of_fn (fun () -> Option.map f (next s))
+
+let filter p s =
+  let rec pull () =
+    match next s with
+    | None -> None
+    | Some x when p x -> Some x
+    | Some _ -> pull ()
+  in
+  of_fn pull
+
+let take_timed k s =
+  let watch = Fx_util.Stopwatch.start () in
+  let rec go k acc =
+    if k <= 0 then List.rev acc
+    else
+      match next s with
+      | None -> List.rev acc
+      | Some x -> go (k - 1) ((x, Fx_util.Stopwatch.elapsed_ms watch) :: acc)
+  in
+  go k []

@@ -1,0 +1,35 @@
+(** Pull-based result streams.
+
+    The paper decouples FliX from the client with a multithreaded
+    producer/consumer list so that "as soon as a new result is found, it
+    is returned to the client" (Section 3.1). We model the same
+    observable behaviour with a demand-driven stream: each [next] call
+    advances the evaluator just far enough to surface one more result,
+    so early results are available long before the query finishes, and a
+    client that stops pulling stops the query — the paper's top-k early
+    termination for free. *)
+
+type 'a t
+
+val of_fn : (unit -> 'a option) -> 'a t
+(** [of_fn f] pulls from [f] until it yields [None]; after that the
+    stream stays exhausted (f is not called again). *)
+
+val next : 'a t -> 'a option
+val peek : 'a t -> 'a option
+(** Look at the next element without consuming it. *)
+
+val take : int -> 'a t -> 'a list
+val take_while : ('a -> bool) -> 'a t -> 'a list
+val to_list : 'a t -> 'a list
+val to_seq : 'a t -> 'a Seq.t
+(** The remaining elements as a standard sequence (consumes the stream). *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+val take_timed : int -> 'a t -> ('a * float) list
+(** [take_timed k s] pulls up to [k] elements recording, for each, the
+    elapsed wall-clock milliseconds since the call started — the
+    "time to return the first k results" measurement of the paper's
+    Figure 5. *)

@@ -1,0 +1,62 @@
+let error_rate ~true_dist nodes =
+  match nodes with
+  | [] -> 0.0
+  | _ ->
+      let dists = List.map true_dist nodes in
+      (* A result is out of order when a strictly smaller true distance
+         appears after it. Scan from the right with a running minimum. *)
+      let arr = Array.of_list dists in
+      let n = Array.length arr in
+      let min_after = Array.make n max_int in
+      for i = n - 2 downto 0 do
+        min_after.(i) <- min min_after.(i + 1) arr.(i + 1)
+      done;
+      let wrong = ref 0 in
+      for i = 0 to n - 1 do
+        if min_after.(i) < arr.(i) then incr wrong
+      done;
+      float_of_int !wrong /. float_of_int n
+
+let inversions ~true_dist nodes =
+  let arr = Array.of_list (List.map true_dist nodes) in
+  let n = Array.length arr in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if arr.(j) < arr.(i) then incr count
+    done
+  done;
+  !count
+
+let inversion_rate ~true_dist nodes =
+  let n = List.length nodes in
+  if n < 2 then 0.0
+  else
+    float_of_int (inversions ~true_dist nodes) /. float_of_int (n * (n - 1) / 2)
+
+let is_sorted_by_dist results =
+  let rec go = function
+    | (_, d1) :: ((_, d2) :: _ as rest) -> d1 <= d2 && go rest
+    | [ _ ] | [] -> true
+  in
+  go results
+
+let time_series trace ~ks =
+  let arr = Array.of_list trace in
+  List.filter_map
+    (fun k -> if k >= 1 && k <= Array.length arr then Some (k, snd arr.(k - 1)) else None)
+    ks
+
+let mb bytes = float_of_int bytes /. 1048576.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      List.nth sorted (max 0 (min (n - 1) (rank - 1)))

@@ -1,0 +1,34 @@
+(** Measurement utilities for the evaluation (paper, Section 6): result-
+    order error rates, time-to-k-th-result series, and size accounting. *)
+
+val error_rate : true_dist:(int -> int) -> int list -> float
+(** [error_rate ~true_dist nodes] — the paper's metric: "the fraction of
+    all results that were returned in wrong order". A result is counted
+    as out of order when some {e later} result has a strictly smaller
+    true distance, i.e. it was returned too early. Empty input: 0. *)
+
+val inversions : true_dist:(int -> int) -> int list -> int
+(** Number of pairwise order inversions, a finer-grained variant. *)
+
+val inversion_rate : true_dist:(int -> int) -> int list -> float
+(** {!inversions} normalised by the number of pairs (Kendall-tau
+    distance to the distance-sorted order). This is the reading of the
+    paper's "fraction of all results that were returned in wrong order"
+    that the benches report: under the block-wise streaming of the PEE,
+    the per-result reading would charge an entire block for one
+    straggler, which cannot reproduce single-digit percentages. *)
+
+val is_sorted_by_dist : (int * int) list -> bool
+(** Are the [(node, dist)] results in non-decreasing distance order? *)
+
+val time_series : ('a * float) list -> ks:int list -> (int * float) list
+(** Down-samples a [take_timed] trace to the requested ranks: for each
+    [k] in [ks] (that was reached), the elapsed milliseconds when the
+    k-th result arrived. *)
+
+val mb : int -> float
+(** Bytes to (binary) megabytes. *)
+
+val mean : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100]; nearest-rank. Raises on []. *)

@@ -1,0 +1,1 @@
+lib/graph/partition.ml: Array Digraph Hashtbl List Option Queue

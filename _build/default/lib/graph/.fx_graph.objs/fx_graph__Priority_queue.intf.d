@@ -1,0 +1,1 @@
+lib/graph/priority_queue.mli:

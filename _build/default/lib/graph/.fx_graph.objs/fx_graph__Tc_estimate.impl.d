@@ -1,0 +1,1 @@
+lib/graph/tc_estimate.ml: Array Digraph Fx_util Scc

@@ -1,0 +1,1 @@
+lib/graph/tc_estimate.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/transitive_closure.ml: Array Digraph List Traversal

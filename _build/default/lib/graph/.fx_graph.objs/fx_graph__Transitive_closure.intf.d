@@ -1,0 +1,1 @@
+lib/graph/transitive_closure.mli: Digraph

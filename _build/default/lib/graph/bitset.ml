@@ -1,0 +1,80 @@
+type t = { n : int; buf : Bytes.t }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; buf = Bytes.make ((n + 7) / 8) '\000' }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.buf (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.buf (i lsr 3)) in
+  Bytes.set t.buf (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.buf (i lsr 3)) in
+  Bytes.set t.buf (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun c -> tbl.(Char.code c)
+
+let cardinal t =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) t.buf;
+  !acc
+
+let is_empty t =
+  let rec go i = i >= Bytes.length t.buf || (Bytes.get t.buf i = '\000' && go (i + 1)) in
+  go 0
+
+let clear t = Bytes.fill t.buf 0 (Bytes.length t.buf) '\000'
+let copy t = { n = t.n; buf = Bytes.copy t.buf }
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    if Char.code (Bytes.get t.buf (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let inter_into a b =
+  check_same a b;
+  for i = 0 to Bytes.length a.buf - 1 do
+    Bytes.set a.buf i
+      (Char.chr (Char.code (Bytes.get a.buf i) land Char.code (Bytes.get b.buf i)))
+  done
+
+let union_into a b =
+  check_same a b;
+  for i = 0 to Bytes.length a.buf - 1 do
+    Bytes.set a.buf i
+      (Char.chr (Char.code (Bytes.get a.buf i) lor Char.code (Bytes.get b.buf i)))
+  done
+
+let equal a b = a.n = b.n && Bytes.equal a.buf b.buf
+let size_bytes t = Bytes.length t.buf

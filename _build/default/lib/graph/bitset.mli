@@ -1,0 +1,29 @@
+(** Fixed-capacity bit sets over integers [0 .. n-1], backed by a [bytes]
+    buffer. Used for dense membership tests during traversals and for the
+    per-meta-document link-node sets of FliX. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+val is_empty : t -> bool
+val clear : t -> unit
+val copy : t -> t
+val iter : t -> (int -> unit) -> unit
+val to_list : t -> int list
+val of_list : int -> int list -> t
+
+val inter_into : t -> t -> unit
+(** [inter_into a b] replaces [a] with [a ∩ b]. Capacities must match. *)
+
+val union_into : t -> t -> unit
+(** [union_into a b] replaces [a] with [a ∪ b]. Capacities must match. *)
+
+val equal : t -> t -> bool
+val size_bytes : t -> int

@@ -1,0 +1,199 @@
+type t = {
+  n : int;
+  m : int;
+  succ_off : int array; (* length n+1 *)
+  succ_dst : int array; (* length m, sorted within each row *)
+  pred_off : int array;
+  pred_src : int array;
+}
+
+let n_nodes g = g.n
+let n_edges g = g.m
+
+let check_endpoint n u =
+  if u < 0 || u >= n then
+    invalid_arg (Printf.sprintf "Digraph: node %d out of range [0,%d)" u n)
+
+(* Build one CSR direction by counting sort on the key extracted by [key],
+   storing the value extracted by [value]. *)
+let csr_of ~n ~key ~value edges =
+  let off = Array.make (n + 1) 0 in
+  Array.iter (fun e -> off.(key e + 1) <- off.(key e + 1) + 1) edges;
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i + 1) + off.(i)
+  done;
+  let dst = Array.make (Array.length edges) 0 in
+  let cursor = Array.copy off in
+  Array.iter
+    (fun e ->
+      let k = key e in
+      dst.(cursor.(k)) <- value e;
+      cursor.(k) <- cursor.(k) + 1)
+    edges;
+  (* Sort each row so that membership tests can binary-search. *)
+  for i = 0 to n - 1 do
+    let lo = off.(i) and hi = off.(i + 1) in
+    if hi - lo > 1 then begin
+      let row = Array.sub dst lo (hi - lo) in
+      Array.sort compare row;
+      Array.blit row 0 dst lo (hi - lo)
+    end
+  done;
+  (off, dst)
+
+let dedup_sorted_edges edges =
+  let m = Array.length edges in
+  if m = 0 then edges
+  else begin
+    Array.sort compare edges;
+    let count = ref 1 in
+    for i = 1 to m - 1 do
+      if edges.(i) <> edges.(i - 1) then incr count
+    done;
+    if !count = m then edges
+    else begin
+      let out = Array.make !count edges.(0) in
+      let j = ref 0 in
+      for i = 1 to m - 1 do
+        if edges.(i) <> edges.(i - 1) then begin
+          incr j;
+          out.(!j) <- edges.(i)
+        end
+      done;
+      out
+    end
+  end
+
+let of_edges_array ~n edges =
+  Array.iter
+    (fun (u, v) ->
+      check_endpoint n u;
+      check_endpoint n v)
+    edges;
+  let edges = dedup_sorted_edges (Array.copy edges) in
+  let succ_off, succ_dst = csr_of ~n ~key:fst ~value:snd edges in
+  let pred_off, pred_src = csr_of ~n ~key:snd ~value:fst edges in
+  { n; m = Array.length edges; succ_off; succ_dst; pred_off; pred_src }
+
+let of_edges ~n edges = of_edges_array ~n (Array.of_list edges)
+let empty n = of_edges_array ~n [||]
+
+let out_degree g u =
+  check_endpoint g.n u;
+  g.succ_off.(u + 1) - g.succ_off.(u)
+
+let in_degree g u =
+  check_endpoint g.n u;
+  g.pred_off.(u + 1) - g.pred_off.(u)
+
+let succ g u =
+  check_endpoint g.n u;
+  Array.sub g.succ_dst g.succ_off.(u) (g.succ_off.(u + 1) - g.succ_off.(u))
+
+let pred g u =
+  check_endpoint g.n u;
+  Array.sub g.pred_src g.pred_off.(u) (g.pred_off.(u + 1) - g.pred_off.(u))
+
+let iter_succ g u f =
+  check_endpoint g.n u;
+  for i = g.succ_off.(u) to g.succ_off.(u + 1) - 1 do
+    f g.succ_dst.(i)
+  done
+
+let iter_pred g u f =
+  check_endpoint g.n u;
+  for i = g.pred_off.(u) to g.pred_off.(u + 1) - 1 do
+    f g.pred_src.(i)
+  done
+
+let fold_succ g u f init =
+  check_endpoint g.n u;
+  let acc = ref init in
+  for i = g.succ_off.(u) to g.succ_off.(u + 1) - 1 do
+    acc := f !acc g.succ_dst.(i)
+  done;
+  !acc
+
+let fold_pred g u f init =
+  check_endpoint g.n u;
+  let acc = ref init in
+  for i = g.pred_off.(u) to g.pred_off.(u + 1) - 1 do
+    acc := f !acc g.pred_src.(i)
+  done;
+  !acc
+
+let mem_edge g u v =
+  check_endpoint g.n u;
+  check_endpoint g.n v;
+  let lo = ref g.succ_off.(u) and hi = ref (g.succ_off.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.succ_dst.(mid) in
+    if w = v then found := true
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    iter_succ g u (fun v -> f u v)
+  done
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    for i = g.succ_off.(u + 1) - 1 downto g.succ_off.(u) do
+      acc := (u, g.succ_dst.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let reverse g =
+  {
+    n = g.n;
+    m = g.m;
+    succ_off = g.pred_off;
+    succ_dst = g.pred_src;
+    pred_off = g.succ_off;
+    pred_src = g.succ_dst;
+  }
+
+let induced g nodes =
+  let nodes = Array.copy nodes in
+  Array.sort compare nodes;
+  Array.iteri
+    (fun i u ->
+      check_endpoint g.n u;
+      if i > 0 && nodes.(i - 1) = u then
+        invalid_arg "Digraph.induced: duplicate node")
+    nodes;
+  let k = Array.length nodes in
+  (* local id of a global node, or -1 *)
+  let local = Hashtbl.create (2 * k) in
+  Array.iteri (fun i u -> Hashtbl.replace local u i) nodes;
+  let acc = ref [] in
+  Array.iteri
+    (fun lu u ->
+      iter_succ g u (fun v ->
+          match Hashtbl.find_opt local v with
+          | Some lv -> acc := (lu, lv) :: !acc
+          | None -> ()))
+    nodes;
+  (of_edges ~n:k !acc, nodes)
+
+let map_nodes g ~f ~n =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (f u, f v) :: !acc);
+  of_edges ~n !acc
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph (%d nodes, %d edges)" g.n g.m;
+  for u = 0 to g.n - 1 do
+    if out_degree g u > 0 then begin
+      Format.fprintf ppf "@,%d ->" u;
+      iter_succ g u (fun v -> Format.fprintf ppf " %d" v)
+    end
+  done;
+  Format.fprintf ppf "@]"

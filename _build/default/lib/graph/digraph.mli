@@ -1,0 +1,67 @@
+(** Compact immutable directed graphs in CSR (compressed sparse row) form.
+
+    Nodes are dense integers [0 .. n-1]. Both forward (successor) and
+    backward (predecessor) adjacency are materialised so that indexes can
+    traverse either direction in O(degree). Parallel edges are collapsed;
+    self-loops are kept (they occur in linked XML collections when an
+    element references itself). *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the graph with [n] nodes and the given
+    directed edges. Duplicate edges are collapsed. Raises
+    [Invalid_argument] if an endpoint is outside [0 .. n-1]. *)
+
+val of_edges_array : n:int -> (int * int) array -> t
+(** Array variant of {!of_edges}; does not mutate its argument. *)
+
+val empty : int -> t
+(** [empty n] is the graph with [n] nodes and no edges. *)
+
+(** {1 Accessors} *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val succ : t -> int -> int array
+(** [succ g u] is a fresh array of the successors of [u]. *)
+
+val pred : t -> int -> int array
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+(** [iter_succ g u f] applies [f] to every successor of [u] without
+    allocating. *)
+
+val iter_pred : t -> int -> (int -> unit) -> unit
+
+val fold_succ : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val fold_pred : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] is true iff the edge [u -> v] exists. O(log deg u). *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+val edges : t -> (int * int) list
+
+(** {1 Derived graphs} *)
+
+val reverse : t -> t
+(** [reverse g] has an edge [v -> u] for every edge [u -> v] of [g]. *)
+
+val induced : t -> int array -> t * int array
+(** [induced g nodes] is the subgraph induced by the (distinct) global
+    nodes [nodes], together with the mapping from local id to global id
+    (which is [nodes] sorted). Edges with an endpoint outside [nodes] are
+    dropped. *)
+
+val map_nodes : t -> f:(int -> int) -> n:int -> t
+(** [map_nodes g ~f ~n] renames every node [u] to [f u] in a graph with
+    [n] nodes. [f] must be injective on the nodes of [g]. *)
+
+val pp : Format.formatter -> t -> unit

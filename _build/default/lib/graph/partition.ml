@@ -1,0 +1,132 @@
+type assignment = { part : int array; n_parts : int; sizes : int array }
+
+let cut_size g part =
+  let cut = ref 0 in
+  Digraph.iter_edges g (fun u v -> if part.(u) <> part.(v) then incr cut);
+  !cut
+
+let cross_edges g part =
+  let acc = ref [] in
+  Digraph.iter_edges g (fun u v -> if part.(u) <> part.(v) then acc := (u, v) :: !acc);
+  List.rev !acc
+
+let sizes_of part n_parts =
+  let sizes = Array.make n_parts 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) part;
+  sizes
+
+(* One sweep of boundary refinement: move a node to the partition that
+   hosts the majority of its (undirected) neighbours when this strictly
+   reduces the number of cut edges incident to the node and the target
+   partition has room. *)
+let refine_pass g part sizes max_size =
+  let n = Digraph.n_nodes g in
+  let moved = ref 0 in
+  let gain_tbl = Hashtbl.create 8 in
+  for v = 0 to n - 1 do
+    Hashtbl.reset gain_tbl;
+    let count p =
+      Hashtbl.replace gain_tbl p (1 + Option.value ~default:0 (Hashtbl.find_opt gain_tbl p))
+    in
+    Digraph.iter_succ g v (fun w -> if w <> v then count part.(w));
+    Digraph.iter_pred g v (fun w -> if w <> v then count part.(w));
+    let home = part.(v) in
+    let home_links = Option.value ~default:0 (Hashtbl.find_opt gain_tbl home) in
+    let best = ref home and best_links = ref home_links in
+    Hashtbl.iter
+      (fun p links ->
+        if p <> home && links > !best_links && sizes.(p) < max_size then begin
+          best := p;
+          best_links := links
+        end)
+      gain_tbl;
+    if !best <> home then begin
+      part.(v) <- !best;
+      sizes.(home) <- sizes.(home) - 1;
+      sizes.(!best) <- sizes.(!best) + 1;
+      incr moved
+    end
+  done;
+  !moved
+
+let bounded_bfs ?(refine_passes = 2) ~max_size g =
+  if max_size < 1 then invalid_arg "Partition.bounded_bfs: max_size < 1";
+  let n = Digraph.n_nodes g in
+  let part = Array.make n (-1) in
+  let n_parts = ref 0 in
+  let queue = Queue.create () in
+  for seed = 0 to n - 1 do
+    if part.(seed) = -1 then begin
+      let p = !n_parts in
+      incr n_parts;
+      let size = ref 0 in
+      Queue.clear queue;
+      Queue.add seed queue;
+      part.(seed) <- p;
+      incr size;
+      while (not (Queue.is_empty queue)) && !size < max_size do
+        let u = Queue.pop queue in
+        let try_take v =
+          if part.(v) = -1 && !size < max_size then begin
+            part.(v) <- p;
+            incr size;
+            Queue.add v queue
+          end
+        in
+        Digraph.iter_succ g u try_take;
+        Digraph.iter_pred g u try_take
+      done
+    end
+  done;
+  let sizes = sizes_of part !n_parts in
+  let pass = ref 0 in
+  let continue = ref true in
+  while !continue && !pass < refine_passes do
+    incr pass;
+    if refine_pass g part sizes max_size = 0 then continue := false
+  done;
+  { part; n_parts = !n_parts; sizes }
+
+let by_units ~units ~unit_weight ~max_size g =
+  if max_size < 1 then invalid_arg "Partition.by_units: max_size < 1";
+  let n = Digraph.n_nodes g in
+  if Array.length units <> n then invalid_arg "Partition.by_units: units length";
+  let n_units = Array.length unit_weight in
+  (* Quotient graph over units. *)
+  let quotient_edges = ref [] in
+  Digraph.iter_edges g (fun u v ->
+      if units.(u) <> units.(v) then quotient_edges := (units.(u), units.(v)) :: !quotient_edges);
+  let qg = Digraph.of_edges ~n:n_units !quotient_edges in
+  let unit_part = Array.make n_units (-1) in
+  let n_parts = ref 0 in
+  let queue = Queue.create () in
+  for seed = 0 to n_units - 1 do
+    if unit_part.(seed) = -1 then begin
+      let p = !n_parts in
+      incr n_parts;
+      let weight = ref 0 in
+      Queue.clear queue;
+      Queue.add seed queue;
+      unit_part.(seed) <- p;
+      weight := unit_weight.(seed);
+      while (not (Queue.is_empty queue)) && !weight < max_size do
+        let u = Queue.pop queue in
+        let try_take v =
+          if unit_part.(v) = -1 && !weight + unit_weight.(v) <= max_size then begin
+            unit_part.(v) <- p;
+            weight := !weight + unit_weight.(v);
+            Queue.add v queue
+          end
+        in
+        Digraph.iter_succ qg u try_take;
+        Digraph.iter_pred qg u try_take
+      done
+    end
+  done;
+  let part = Array.init n (fun v -> unit_part.(units.(v))) in
+  { part; n_parts = !n_parts; sizes = sizes_of part !n_parts }
+
+let check_cover ~n a =
+  Array.length a.part = n
+  && Array.for_all (fun p -> p >= 0 && p < a.n_parts) a.part
+  && a.sizes = sizes_of a.part a.n_parts

@@ -1,0 +1,41 @@
+(** Graph partitioning with size bounds and small edge cuts.
+
+    The HOPI divide-and-conquer index builder and FliX's Unconnected-HOPI
+    meta-document configuration both need partitions that (a) respect a
+    size bound and (b) cut few edges (paper, Sections 2.2 and 4.3). We use
+    the standard greedy scheme: grow partitions by BFS over the
+    undirected version of the graph up to the bound, then run a local
+    refinement pass that moves boundary nodes to the neighbouring
+    partition when that strictly reduces the cut without violating the
+    bound. *)
+
+type assignment = {
+  part : int array;    (** partition id per node *)
+  n_parts : int;
+  sizes : int array;   (** node count per partition *)
+}
+
+val bounded_bfs : ?refine_passes:int -> max_size:int -> Digraph.t -> assignment
+(** [bounded_bfs ~max_size g] partitions all nodes of [g] into parts of at
+    most [max_size] nodes. [refine_passes] (default 2) boundary-refinement
+    sweeps are applied afterwards. Raises [Invalid_argument] when
+    [max_size < 1]. *)
+
+val by_units :
+  units:int array -> unit_weight:int array -> max_size:int -> Digraph.t -> assignment
+(** [by_units ~units ~unit_weight ~max_size g] partitions at a coarser
+    granularity: [units.(v)] assigns every node to a unit (e.g. its XML
+    document) that must not be split. Units are grown greedily by BFS
+    over the unit-level quotient graph until the accumulated
+    [unit_weight] reaches [max_size]. Units heavier than [max_size] get a
+    partition of their own. The returned assignment is per node. *)
+
+val cut_size : Digraph.t -> int array -> int
+(** Number of directed edges whose endpoints lie in different parts. *)
+
+val cross_edges : Digraph.t -> int array -> (int * int) list
+(** The edges counted by {!cut_size}. *)
+
+val check_cover : n:int -> assignment -> bool
+(** True when every node of a universe of size [n] has a valid partition
+    id and the recorded sizes match. Used by tests. *)

@@ -1,0 +1,78 @@
+type 'a t = {
+  mutable prio : int array;
+  mutable data : 'a option array;
+  mutable size : int;
+}
+
+let create () = { prio = Array.make 16 0; data = Array.make 16 None; size = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let grow q =
+  let cap = Array.length q.prio in
+  let prio = Array.make (2 * cap) 0 in
+  let data = Array.make (2 * cap) None in
+  Array.blit q.prio 0 prio 0 q.size;
+  Array.blit q.data 0 data 0 q.size;
+  q.prio <- prio;
+  q.data <- data
+
+let swap q i j =
+  let p = q.prio.(i) in
+  q.prio.(i) <- q.prio.(j);
+  q.prio.(j) <- p;
+  let d = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- d
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.prio.(parent) > q.prio.(i) then begin
+      swap q parent i;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.prio.(l) < q.prio.(!smallest) then smallest := l;
+  if r < q.size && q.prio.(r) < q.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let insert q prio v =
+  if q.size = Array.length q.prio then grow q;
+  q.prio.(q.size) <- prio;
+  q.data.(q.size) <- Some v;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let extract_min q =
+  if q.size = 0 then None
+  else begin
+    let p = q.prio.(0) in
+    let v =
+      match q.data.(0) with Some v -> v | None -> assert false
+    in
+    q.size <- q.size - 1;
+    q.prio.(0) <- q.prio.(q.size);
+    q.data.(0) <- q.data.(q.size);
+    q.data.(q.size) <- None;
+    if q.size > 0 then sift_down q 0;
+    Some (p, v)
+  end
+
+let peek_min q =
+  if q.size = 0 then None
+  else
+    match q.data.(0) with
+    | Some v -> Some (q.prio.(0), v)
+    | None -> assert false
+
+let clear q =
+  Array.fill q.data 0 q.size None;
+  q.size <- 0

@@ -1,0 +1,21 @@
+(** Binary min-heaps keyed by integer priorities.
+
+    The FliX Path Expression Evaluator keeps intermediate elements ordered
+    by ascending distance to the query's start node in exactly such a
+    queue (paper, Section 5.1, Fig. 4). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val insert : 'a t -> int -> 'a -> unit
+(** [insert q prio v] adds [v] with priority [prio]. *)
+
+val extract_min : 'a t -> (int * 'a) option
+(** Removes and returns the entry with the smallest priority. Ties are
+    broken arbitrarily but deterministically. *)
+
+val peek_min : 'a t -> (int * 'a) option
+val clear : 'a t -> unit

@@ -1,0 +1,73 @@
+type t = { n_components : int; component : int array }
+
+(* Iterative Tarjan. Lowlink bookkeeping follows the classic formulation;
+   the traversal stack stores (node, next-successor cursor). *)
+let compute g =
+  let n = Digraph.n_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = Stack.create () in
+  let counter = ref 0 in
+  let n_components = ref 0 in
+  let visit v0 =
+    let call = Stack.create () in
+    let push_node v =
+      index.(v) <- !counter;
+      lowlink.(v) <- !counter;
+      incr counter;
+      Stack.push v stack;
+      on_stack.(v) <- true;
+      Stack.push (v, ref 0, Digraph.succ g v) call
+    in
+    push_node v0;
+    while not (Stack.is_empty call) do
+      let v, next, adj = Stack.top call in
+      if !next < Array.length adj then begin
+        let w = adj.(!next) in
+        incr next;
+        if index.(w) = -1 then push_node w
+        else if on_stack.(w) then
+          lowlink.(v) <- min lowlink.(v) index.(w)
+      end
+      else begin
+        ignore (Stack.pop call);
+        if lowlink.(v) = index.(v) then begin
+          let c = !n_components in
+          incr n_components;
+          let continue = ref true in
+          while !continue do
+            let w = Stack.pop stack in
+            on_stack.(w) <- false;
+            component.(w) <- c;
+            if w = v then continue := false
+          done
+        end;
+        if not (Stack.is_empty call) then begin
+          let parent, _, _ = Stack.top call in
+          lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+        end
+      end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  { n_components = !n_components; component }
+
+let condensation g =
+  let scc = compute g in
+  let acc = ref [] in
+  Digraph.iter_edges g (fun u v ->
+      let cu = scc.component.(u) and cv = scc.component.(v) in
+      if cu <> cv then acc := (cu, cv) :: !acc);
+  (scc, Digraph.of_edges ~n:scc.n_components !acc)
+
+let members scc =
+  let out = Array.make scc.n_components [] in
+  for v = Array.length scc.component - 1 downto 0 do
+    let c = scc.component.(v) in
+    out.(c) <- v :: out.(c)
+  done;
+  out

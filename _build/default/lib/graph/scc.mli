@@ -1,0 +1,22 @@
+(** Strongly connected components (Tarjan, iterative) and graph
+    condensation.
+
+    Linked XML collections are general digraphs — citation and XLink
+    cycles are common — so several algorithms (Cohen's transitive-closure
+    size estimator, DAG-only indexes) first condense the graph. *)
+
+type t = {
+  n_components : int;
+  component : int array;  (** component id per node, ids are reverse
+                              topological: an edge of the condensation
+                              goes from a higher id to a lower id *)
+}
+
+val compute : Digraph.t -> t
+
+val condensation : Digraph.t -> t * Digraph.t
+(** The component structure together with the condensed DAG whose nodes
+    are component ids. *)
+
+val members : t -> int list array
+(** [members scc] lists the nodes of each component. *)

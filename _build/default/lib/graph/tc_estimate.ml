@@ -1,0 +1,39 @@
+type t = {
+  rounds : int;
+  min_sum : float array; (* per node: sum over rounds of the minimum rank in its reach set *)
+}
+
+let compute ?(rounds = 32) ~seed g =
+  if rounds < 2 then invalid_arg "Tc_estimate.compute: rounds < 2";
+  let n = Digraph.n_nodes g in
+  let scc, dag = Scc.condensation g in
+  let comp = scc.Scc.component in
+  (* Nodes of one component share their reach set, so ranks and minima are
+     propagated on the condensation. Component ids from Tarjan are in
+     reverse topological order: successors of c have smaller ids, so a
+     simple ascending sweep sees successors before their predecessors. *)
+  let rng = Fx_util.Rng.create seed in
+  let min_sum = Array.make n 0.0 in
+  let comp_rank = Array.make scc.Scc.n_components infinity in
+  for _round = 1 to rounds do
+    (* Rank of a component = min Exp(1) rank of its member nodes. *)
+    Array.fill comp_rank 0 (Array.length comp_rank) infinity;
+    for v = 0 to n - 1 do
+      let r = Fx_util.Rng.exponential rng in
+      let c = comp.(v) in
+      if r < comp_rank.(c) then comp_rank.(c) <- r
+    done;
+    for c = 0 to scc.Scc.n_components - 1 do
+      Digraph.iter_succ dag c (fun c' ->
+          if comp_rank.(c') < comp_rank.(c) then comp_rank.(c) <- comp_rank.(c'))
+    done;
+    for v = 0 to n - 1 do
+      min_sum.(v) <- min_sum.(v) +. comp_rank.(comp.(v))
+    done
+  done;
+  { rounds; min_sum }
+
+let reach_size t v = float_of_int (t.rounds - 1) /. t.min_sum.(v)
+
+let closure_pairs t =
+  Array.fold_left (fun acc s -> acc +. (float_of_int (t.rounds - 1) /. s) -. 1.0) 0.0 t.min_sum

@@ -1,0 +1,58 @@
+type t = {
+  (* For each source, targets sorted by node id with parallel distances.
+     Self-pairs are not stored. *)
+  targets : int array array;
+  dists : int array array;
+}
+
+let compute g =
+  let n = Digraph.n_nodes g in
+  let targets = Array.make n [||] and dists = Array.make n [||] in
+  for u = 0 to n - 1 do
+    let d = Traversal.bfs_distances g u in
+    let count = ref 0 in
+    for v = 0 to n - 1 do
+      if v <> u && d.(v) >= 0 then incr count
+    done;
+    let ts = Array.make !count 0 and ds = Array.make !count 0 in
+    let k = ref 0 in
+    for v = 0 to n - 1 do
+      if v <> u && d.(v) >= 0 then begin
+        ts.(!k) <- v;
+        ds.(!k) <- d.(v);
+        incr k
+      end
+    done;
+    targets.(u) <- ts;
+    dists.(u) <- ds
+  done;
+  { targets; dists }
+
+let find t u v =
+  let ts = t.targets.(u) in
+  let lo = ref 0 and hi = ref (Array.length ts - 1) in
+  let res = ref (-1) in
+  while !res < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ts.(mid) = v then res := mid
+    else if ts.(mid) < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let reachable t u v = u = v || find t u v >= 0
+
+let distance t u v =
+  if u = v then Some 0
+  else
+    let i = find t u v in
+    if i < 0 then None else Some t.dists.(u).(i)
+
+let n_pairs t = Array.fold_left (fun acc ts -> acc + Array.length ts) 0 t.targets
+
+let reach_set t u =
+  let ts = t.targets.(u) and ds = t.dists.(u) in
+  let pairs = Array.to_list (Array.mapi (fun i v -> (v, ds.(i))) ts) in
+  List.stable_sort (fun (_, d1) (_, d2) -> compare d1 d2) pairs
+
+let size_bytes t = 8 * n_pairs t

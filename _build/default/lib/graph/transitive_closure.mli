@@ -1,0 +1,26 @@
+(** Materialised transitive closure with distances.
+
+    This is the naive connection index the paper uses as the size
+    yard-stick for HOPI ("more than an order of magnitude smaller than
+    storing the complete transitive closure", Section 6). It doubles as
+    the ground truth oracle in tests. Quadratic in the worst case — use
+    {!Tc_estimate} for large graphs. *)
+
+type t
+
+val compute : Digraph.t -> t
+(** BFS from every node. O(n·(n+m)) time. *)
+
+val reachable : t -> int -> int -> bool
+val distance : t -> int -> int -> int option
+
+val n_pairs : t -> int
+(** Number of reachable pairs [(u, v)] with [u <> v]. *)
+
+val reach_set : t -> int -> (int * int) list
+(** [(v, dist)] pairs reachable from [u], ascending distance, excluding
+    [u] itself. *)
+
+val size_bytes : t -> int
+(** Storage footprint under the same accounting used for every index:
+    8 bytes per stored (target, distance) entry. *)

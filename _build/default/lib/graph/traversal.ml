@@ -1,0 +1,186 @@
+let bfs_distances_from_set g sources =
+  let n = Digraph.n_nodes g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) = -1 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Digraph.iter_succ g u (fun v ->
+        if dist.(v) = -1 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let bfs_distances g s = bfs_distances_from_set g [ s ]
+
+let distance g u v =
+  (* Early-exit BFS. *)
+  if u = v then Some 0
+  else begin
+    let n = Digraph.n_nodes g in
+    let dist = Array.make n (-1) in
+    let queue = Queue.create () in
+    dist.(u) <- 0;
+    Queue.add u queue;
+    let found = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         let x = Queue.pop queue in
+         Digraph.iter_succ g x (fun y ->
+             if dist.(y) = -1 then begin
+               dist.(y) <- dist.(x) + 1;
+               if y = v then begin
+                 found := Some dist.(y);
+                 raise Exit
+               end;
+               Queue.add y queue
+             end)
+       done
+     with Exit -> ());
+    !found
+  end
+
+let reachable g u v = distance g u v <> None
+
+let shortest_path g u v =
+  if u = v then Some [ u ]
+  else begin
+    let n = Digraph.n_nodes g in
+    let parent = Array.make n (-1) in
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(u) <- true;
+    Queue.add u queue;
+    let found = ref false in
+    (try
+       while not (Queue.is_empty queue) do
+         let x = Queue.pop queue in
+         Digraph.iter_succ g x (fun y ->
+             if not seen.(y) then begin
+               seen.(y) <- true;
+               parent.(y) <- x;
+               if y = v then begin
+                 found := true;
+                 raise Exit
+               end;
+               Queue.add y queue
+             end)
+       done
+     with Exit -> ());
+    if not !found then None
+    else begin
+      let rec walk acc x = if x = u then u :: acc else walk (x :: acc) parent.(x) in
+      Some (walk [] v)
+    end
+  end
+
+let descendants g u =
+  let dist = bfs_distances g u in
+  let acc = ref [] in
+  for v = Digraph.n_nodes g - 1 downto 0 do
+    if dist.(v) >= 0 then acc := (v, dist.(v)) :: !acc
+  done;
+  List.stable_sort (fun (_, d1) (_, d2) -> compare d1 d2) !acc
+
+let descendants_by_tag g ~tag u t =
+  let all = descendants g u in
+  match t with
+  | None -> all
+  | Some t -> List.filter (fun (v, _) -> tag.(v) = t) all
+
+type dfs_numbering = {
+  pre : int array;
+  post : int array;
+  depth : int array;
+  parent : int array;
+  order : int array;
+}
+
+let dfs_forest ?roots g =
+  let n = Digraph.n_nodes g in
+  let pre = Array.make n (-1) in
+  let post = Array.make n (-1) in
+  let depth = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let order = Array.make n (-1) in
+  let pre_counter = ref 0 and post_counter = ref 0 in
+  (* Explicit stack to survive deep documents. An entry is (node, next
+     successor index to visit); we fetch successors once per node. *)
+  let visit root =
+    if pre.(root) = -1 then begin
+      let stack = Stack.create () in
+      pre.(root) <- !pre_counter;
+      order.(!pre_counter) <- root;
+      incr pre_counter;
+      depth.(root) <- 0;
+      Stack.push (root, ref 0, Digraph.succ g root) stack;
+      while not (Stack.is_empty stack) do
+        let u, next, adj = Stack.top stack in
+        if !next >= Array.length adj then begin
+          ignore (Stack.pop stack);
+          post.(u) <- !post_counter;
+          incr post_counter
+        end
+        else begin
+          let v = adj.(!next) in
+          incr next;
+          if pre.(v) = -1 then begin
+            pre.(v) <- !pre_counter;
+            order.(!pre_counter) <- v;
+            incr pre_counter;
+            depth.(v) <- depth.(u) + 1;
+            parent.(v) <- u;
+            Stack.push (v, ref 0, Digraph.succ g v) stack
+          end
+        end
+      done
+    end
+  in
+  (match roots with
+  | Some rs -> List.iter visit rs
+  | None ->
+      for v = 0 to n - 1 do
+        if Digraph.in_degree g v = 0 then visit v
+      done);
+  (* Any node not reached yet (cycles, or roots not listed) starts its own
+     DFS tree so the numbering is total. *)
+  for v = 0 to n - 1 do
+    visit v
+  done;
+  { pre; post; depth; parent; order }
+
+let topological_order g =
+  let n = Digraph.n_nodes g in
+  let indeg = Array.init n (Digraph.in_degree g) in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = Array.make n (-1) in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!k) <- u;
+    incr k;
+    Digraph.iter_succ g u (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+  done;
+  if !k = n then Some order else None
+
+let is_acyclic g = topological_order g <> None
+
+let is_forest g =
+  let n = Digraph.n_nodes g in
+  let rec no_multi_parent v =
+    v >= n || (Digraph.in_degree g v <= 1 && no_multi_parent (v + 1))
+  in
+  no_multi_parent 0 && is_acyclic g

@@ -1,0 +1,56 @@
+(** Graph traversals: BFS distances, DFS numbering, reachability, shortest
+    paths and structural classification (forest / DAG tests).
+
+    These are the reference algorithms against which every path index is
+    validated, and the run-time machinery behind strategies that walk the
+    data graph (APEX-style summary-pruned search). *)
+
+val bfs_distances : Digraph.t -> int -> int array
+(** [bfs_distances g s] is the array of shortest-path (hop) distances from
+    [s]; unreachable nodes get [-1]. [dist.(s) = 0]. *)
+
+val bfs_distances_from_set : Digraph.t -> int list -> int array
+(** Multi-source BFS: distance to the closest source. *)
+
+val reachable : Digraph.t -> int -> int -> bool
+(** [reachable g u v] is true iff there is a directed path (possibly
+    empty) from [u] to [v]; every node reaches itself. *)
+
+val distance : Digraph.t -> int -> int -> int option
+(** Shortest-path length from [u] to [v], [None] if unreachable.
+    [distance g u u = Some 0]. *)
+
+val shortest_path : Digraph.t -> int -> int -> int list option
+(** The node sequence of one shortest path from [u] to [v], inclusive. *)
+
+val descendants : Digraph.t -> int -> (int * int) list
+(** [descendants g u] is the list of [(v, dist)] for all nodes reachable
+    from [u] (including [u] at distance 0), sorted by ascending distance,
+    ties by node id. This is the ground truth for [a//*] queries. *)
+
+val descendants_by_tag : Digraph.t -> tag:int array -> int -> int option -> (int * int) list
+(** [descendants_by_tag g ~tag u t] restricts {!descendants} to nodes
+    whose tag equals [t] ([None] keeps every node). *)
+
+type dfs_numbering = {
+  pre : int array;        (** preorder rank *)
+  post : int array;       (** postorder rank *)
+  depth : int array;      (** depth below the forest root, roots at 0 *)
+  parent : int array;     (** DFS tree parent, [-1] for roots *)
+  order : int array;      (** nodes sorted by preorder rank *)
+}
+
+val dfs_forest : ?roots:int list -> Digraph.t -> dfs_numbering
+(** Depth-first numbering of a graph. When [roots] is omitted, all nodes
+    with in-degree zero are used as roots (in ascending order), followed
+    by any still-unvisited nodes. On forests this yields the classic
+    pre/postorder scheme of Grust's PPO index. *)
+
+val is_forest : Digraph.t -> bool
+(** True iff every node has at most one predecessor and the graph is
+    acyclic, i.e. the graph is a forest of rooted trees. *)
+
+val topological_order : Digraph.t -> int array option
+(** Kahn's algorithm; [None] when the graph has a cycle. *)
+
+val is_acyclic : Digraph.t -> bool

@@ -1,0 +1,16 @@
+(** Disjoint-set forests with path compression and union by rank.
+
+    Used by the Maximal-PPO meta-document builder to grow tree-shaped
+    partitions without creating cycles (paper, Section 4.3). *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union t a b] merges the classes of [a] and [b]; returns [false] when
+    they were already in the same class. *)
+
+val same : t -> int -> int -> bool
+val class_size : t -> int -> int
+val n_classes : t -> int

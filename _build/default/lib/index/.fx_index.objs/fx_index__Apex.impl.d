@@ -1,0 +1,1 @@
+lib/index/apex.ml: Array Fx_graph Fx_util Hashtbl List Option Path_index Queue Seq

@@ -1,0 +1,1 @@
+lib/index/apex.mli: Fx_graph Path_index Seq

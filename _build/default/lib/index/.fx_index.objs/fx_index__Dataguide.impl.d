@@ -1,0 +1,1 @@
+lib/index/dataguide.ml: Array Fx_graph Hashtbl List Option Path_index Queue

@@ -1,0 +1,1 @@
+lib/index/dataguide.mli: Path_index

@@ -1,0 +1,1 @@
+lib/index/disk_hopi.ml: Array Disk_labels Fx_graph Fx_store Fx_util Hopi Path_index Sys Two_hop Unix

@@ -1,0 +1,1 @@
+lib/index/disk_hopi.mli: Fx_graph Fx_store Hopi Path_index

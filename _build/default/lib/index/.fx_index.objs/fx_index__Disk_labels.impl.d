@@ -1,0 +1,1 @@
+lib/index/disk_labels.ml: Array Fx_store Fx_util Sys Two_hop

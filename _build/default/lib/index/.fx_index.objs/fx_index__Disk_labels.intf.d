@@ -1,0 +1,1 @@
+lib/index/disk_labels.mli: Fx_store Two_hop

@@ -1,0 +1,1 @@
+lib/index/hopi.mli: Fx_graph Path_index Two_hop

@@ -1,0 +1,1 @@
+lib/index/ppo.ml: Array Fx_graph Fx_util List Path_index

@@ -1,0 +1,1 @@
+lib/index/ppo.mli: Fx_graph Path_index

@@ -1,0 +1,1 @@
+lib/index/tc_index.ml: Array Fx_graph Fx_util List Path_index

@@ -1,0 +1,1 @@
+lib/index/tc_index.mli: Fx_graph Path_index

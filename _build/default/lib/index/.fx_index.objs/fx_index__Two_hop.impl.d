@@ -1,0 +1,1 @@
+lib/index/two_hop.ml: Array Fx_graph Fx_util List Queue

@@ -1,0 +1,1 @@
+lib/index/two_hop.mli: Fx_graph

@@ -1,0 +1,117 @@
+module Digraph = Fx_graph.Digraph
+
+type state = {
+  id : int;
+  target : int array;                   (* data nodes, sorted *)
+  mutable children : (int * int) list;  (* tag -> state id *)
+}
+
+type t = {
+  dg : Path_index.data_graph;
+  states : state array;
+  root_children : (int * int) list;     (* tag of a root -> state id *)
+}
+
+module Tbl = Hashtbl
+
+exception Too_big
+
+let group_by_tag (dg : Path_index.data_graph) nodes =
+  let by_tag = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let w = dg.tag.(v) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_tag w) in
+      Hashtbl.replace by_tag w (v :: cur))
+    nodes;
+  Hashtbl.fold (fun w vs acc -> (w, Array.of_list (List.sort_uniq compare vs)) :: acc) by_tag []
+
+let build ?max_states (dg : Path_index.data_graph) ~roots =
+  let g = dg.graph in
+  let n = Digraph.n_nodes g in
+  let max_states = Option.value max_states ~default:(64 * max 1 n) in
+  let states = ref [] in
+  let n_states = ref 0 in
+  let by_target : (int array, int) Tbl.t = Tbl.create 64 in
+  let queue = Queue.create () in
+  let state_of target =
+    match Tbl.find_opt by_target target with
+    | Some id -> (id, false)
+    | None ->
+        let s = { id = !n_states; target; children = [] } in
+        incr n_states;
+        if !n_states > max_states then raise Too_big;
+        states := s :: !states;
+        Tbl.add by_target target s.id;
+        Queue.add s queue;
+        (s.id, true)
+  in
+  try
+    (* Synthetic super-root: one transition per distinct root tag. *)
+    let root_children =
+      List.map (fun (w, target) -> (w, fst (state_of target))) (group_by_tag dg roots)
+    in
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      let succs =
+        Array.fold_left
+          (fun acc u -> Digraph.fold_succ g u (fun acc v -> v :: acc) acc)
+          [] s.target
+      in
+      s.children <-
+        List.map (fun (w, target) -> (w, fst (state_of target))) (group_by_tag dg succs)
+    done;
+    let arr = Array.make (max 1 !n_states) { id = 0; target = [||]; children = [] } in
+    List.iter (fun s -> arr.(s.id) <- s) !states;
+    Some { dg; states = arr; root_children }
+  with Too_big -> None
+
+let n_states t = Array.length t.states
+
+let targets_of_path t ~tag_id path =
+  let step children label =
+    match tag_id label with
+    | None -> None
+    | Some w -> List.assoc_opt w children
+  in
+  match path with
+  | [] -> []
+  | first :: rest -> begin
+      match step t.root_children first with
+      | None -> []
+      | Some sid ->
+          let rec go sid = function
+            | [] -> Array.to_list t.states.(sid).target
+            | label :: rest -> begin
+                match step t.states.(sid).children label with
+                | None -> []
+                | Some next -> go next rest
+              end
+          in
+          go sid rest
+    end
+
+let paths t ~tag_name ~max =
+  (* BFS over guide states, recording one label path per state. *)
+  let acc = ref [] in
+  let count = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter (fun (w, sid) -> Queue.add ("/" ^ tag_name w, sid) queue) t.root_children;
+  while (not (Queue.is_empty queue)) && !count < max do
+    let path, sid = Queue.pop queue in
+    if not (Hashtbl.mem seen sid) then begin
+      Hashtbl.add seen sid ();
+      acc := path :: !acc;
+      incr count;
+      List.iter
+        (fun (w, next) -> Queue.add (path ^ "/" ^ tag_name w, next) queue)
+        t.states.(sid).children
+    end
+  done;
+  List.rev !acc
+
+let size_bytes t =
+  Array.fold_left
+    (fun acc s -> acc + (8 * Array.length s.target) + (8 * List.length s.children))
+    0 t.states

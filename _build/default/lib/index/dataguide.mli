@@ -1,0 +1,33 @@
+(** Strong DataGuides (Goldman & Widom [VLDB 1997]).
+
+    A DataGuide is a concise structural summary: every distinct label
+    path of the source occurs exactly once in the guide, annotated with
+    the target set of data nodes the path leads to. We build the strong
+    DataGuide by the classic powerset construction over the data graph.
+
+    The FliX paper lists DataGuides among the related path indexes that
+    are not optimised for the descendants-or-self axis (Section 2.2); we
+    include the structure for the ablation benches and for label-path
+    (child-axis) queries, which it answers in O(path length). On cyclic
+    graphs the powerset construction may blow up, so {!build} takes a
+    node budget and reports failure instead of looping. *)
+
+type t
+
+val build : ?max_states:int -> Path_index.data_graph -> roots:int list -> t option
+(** [build dg ~roots] summarises all label paths starting at [roots].
+    [None] when more than [max_states] (default [64 * n]) guide states
+    would be needed. *)
+
+val n_states : t -> int
+
+val targets_of_path : t -> tag_id:(string -> int option) -> string list -> int list
+(** Data nodes at the end of the label path [/l1/l2/.../lk] (child axis,
+    rooted). Empty when the path does not occur. *)
+
+val paths : t -> tag_name:(int -> string) -> max:int -> string list
+(** Up to [max] distinct label paths of the collection (one witness path
+    per guide state, BFS order) — "query formulation" support, as
+    Goldman & Widom put it. *)
+
+val size_bytes : t -> int

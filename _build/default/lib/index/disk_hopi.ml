@@ -1,0 +1,112 @@
+module Pager = Fx_store.Pager
+module Btree = Fx_store.Btree
+
+type t = {
+  labels : Disk_labels.t;
+  tag_pager : Pager.t;
+  tags : Btree.t;
+  n : int;
+}
+
+let shift = 32
+let tag_key ~tag ~node = (tag lsl shift) lor node
+
+let labels_path path = path ^ ".labels"
+let tags_path path = path ^ ".tags"
+
+let save ?page_size ~path (dg : Path_index.data_graph) hopi =
+  Disk_labels.save ?page_size ~path:(labels_path path) (Hopi.labels hopi);
+  let tp = tags_path path in
+  if Sys.file_exists tp then Sys.remove tp;
+  let pager = Pager.create ?page_size tp in
+  let tree = Btree.create pager in
+  Array.iteri
+    (fun node tag -> Btree.insert tree ~key:(tag_key ~tag ~node) ~value:node)
+    dg.tag;
+  Pager.close pager
+
+let open_ ?pool_pages ?page_size ~path () =
+  let labels = Disk_labels.open_ ?pool_pages ?page_size (labels_path path) in
+  let tag_pager = Pager.create ?pool_pages ?page_size (tags_path path) in
+  let tags = Btree.create tag_pager in
+  { labels; tag_pager; tags; n = Disk_labels.n_nodes labels }
+
+let n_nodes t = t.n
+let distance t x y = Disk_labels.distance t.labels x y
+let reachable t x y = distance t x y <> None
+
+let descendants_by_tag t x want =
+  let acc = ref [] in
+  let probe node =
+    match distance t x node with Some d -> acc := (node, d) :: !acc | None -> ()
+  in
+  (match want with
+  | Some w -> Btree.iter_range t.tags ~lo:(tag_key ~tag:w ~node:0)
+                ~hi:(tag_key ~tag:w ~node:((1 lsl shift) - 1))
+                (fun _ node -> probe node)
+  | None ->
+      for node = 0 to t.n - 1 do
+        probe node
+      done);
+  Path_index.sort_results !acc
+
+let ancestors_by_tag t x want =
+  let acc = ref [] in
+  let probe node =
+    match distance t node x with Some d -> acc := (node, d) :: !acc | None -> ()
+  in
+  (match want with
+  | Some w -> Btree.iter_range t.tags ~lo:(tag_key ~tag:w ~node:0)
+                ~hi:(tag_key ~tag:w ~node:((1 lsl shift) - 1))
+                (fun _ node -> probe node)
+  | None ->
+      for node = 0 to t.n - 1 do
+        probe node
+      done);
+  Path_index.sort_results !acc
+
+let restricted_descendants t x set =
+  let acc = ref [] in
+  Fx_graph.Bitset.iter set (fun v ->
+      match distance t x v with Some d -> acc := (v, d) :: !acc | None -> ());
+  Path_index.sort_results !acc
+
+let restricted_ancestors t x set =
+  let acc = ref [] in
+  Fx_graph.Bitset.iter set (fun v ->
+      match distance t v x with Some d -> acc := (v, d) :: !acc | None -> ());
+  Path_index.sort_results !acc
+
+(* A disk deployment as a pluggable Path Indexing Strategy: FliX's
+   Index Builder can host meta documents whose indexes never load into
+   memory, composing them with in-memory ones through the same PEE. *)
+let instance ?pool_pages ?page_size ~path dg hopi =
+  let (), build_ns = Fx_util.Stopwatch.time_ns (fun () -> save ?page_size ~path dg hopi) in
+  let t = open_ ?pool_pages ?page_size ~path () in
+  let size_bytes =
+    let file p = try (Unix.stat p).Unix.st_size with Unix.Unix_error _ -> 0 in
+    file (labels_path path) + file (tags_path path)
+  in
+  {
+    Path_index.name = "HOPI-disk";
+    n_nodes = t.n;
+    reachable = reachable t;
+    distance = distance t;
+    descendants_by_tag = descendants_by_tag t;
+    ancestors_by_tag = ancestors_by_tag t;
+    restricted_descendants = restricted_descendants t;
+    restricted_ancestors = restricted_ancestors t;
+    stats =
+      { strategy = "HOPI-disk"; build_ns; entries = Two_hop.entries (Hopi.labels hopi);
+        size_bytes };
+  }
+
+let stats t = (Disk_labels.stats t.labels, Pager.stats t.tag_pager)
+
+let drop_pools t =
+  Disk_labels.drop_pool t.labels;
+  Pager.drop_pool t.tag_pager
+
+let close t =
+  Disk_labels.close t.labels;
+  Pager.close t.tag_pager

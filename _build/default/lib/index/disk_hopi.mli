@@ -1,0 +1,46 @@
+(** A complete disk-resident HOPI deployment: the 2-hop labels in a
+    {!Disk_labels} heap plus a {!Fx_store.Btree} tag directory keyed by
+    [(tag << 32) | node], so a descendants query [a//w] runs entirely
+    from disk — one range scan for the candidates of tag [w], one label
+    probe per candidate — mirroring the paper's Oracle schema (a label
+    table and a composite-key element table).
+
+    [save] writes two files, [<path>.labels] and [<path>.tags]. *)
+
+type t
+
+val save : ?page_size:int -> path:string -> Path_index.data_graph -> Hopi.t -> unit
+
+val open_ : ?pool_pages:int -> ?page_size:int -> path:string -> unit -> t
+(** @raise Fx_util.Codec.Corrupt on mangled stores. *)
+
+val n_nodes : t -> int
+val reachable : t -> int -> int -> bool
+val distance : t -> int -> int -> int option
+
+val descendants_by_tag : t -> int -> int option -> (int * int) list
+(** Distance-sorted, like the in-memory instance; [None] scans every
+    element (the wildcard query). *)
+
+val ancestors_by_tag : t -> int -> int option -> (int * int) list
+val restricted_descendants : t -> int -> Fx_graph.Bitset.t -> (int * int) list
+val restricted_ancestors : t -> int -> Fx_graph.Bitset.t -> (int * int) list
+
+val instance :
+  ?pool_pages:int ->
+  ?page_size:int ->
+  path:string ->
+  Path_index.data_graph ->
+  Hopi.t ->
+  Path_index.instance
+(** Save the given in-memory index under [path] and expose the disk
+    deployment as a Path Indexing Strategy, so the FliX Index Builder
+    (via {!Fx_flix.Strategy_selector.Custom}) can keep chosen meta
+    documents on disk while others stay in memory. The reported
+    [size_bytes] is the on-disk footprint. *)
+
+val stats : t -> Fx_store.Pager.stats * Fx_store.Pager.stats
+(** (label file, tag file) buffer-pool statistics. *)
+
+val drop_pools : t -> unit
+val close : t -> unit

@@ -1,0 +1,32 @@
+(** Disk-resident 2-hop labels — the database-backed deployment of HOPI
+    the paper actually benchmarked ("all strategies … store all
+    information in database tables and do not explicitly cache
+    information in main memory", Section 6).
+
+    {!save} lays a {!Two_hop.t} out in a {!Fx_store.Heap_file}: one
+    record per non-empty label, a directory mapping nodes to record
+    handles, and a trailer locating the directory. {!open_} maps the
+    file back with a bounded buffer pool; every {!distance} probe then
+    costs two record fetches whose page reads hit or miss the pool —
+    which is exactly the regime behind the paper's absolute numbers.
+    The D1 bench drives this cold and warm. *)
+
+type t
+
+val save : ?page_size:int -> path:string -> Two_hop.t -> unit
+(** Write a label store; overwrites an existing file. *)
+
+val open_ : ?pool_pages:int -> ?page_size:int -> string -> t
+(** [pool_pages] (default 256) bounds the buffer pool.
+    @raise Fx_util.Codec.Corrupt on a mangled store. *)
+
+val n_nodes : t -> int
+val reachable : t -> int -> int -> bool
+val distance : t -> int -> int -> int option
+
+val stats : t -> Fx_store.Pager.stats
+val reset_stats : t -> unit
+val drop_pool : t -> unit
+(** Cold-cache switch: empty the buffer pool. *)
+
+val close : t -> unit

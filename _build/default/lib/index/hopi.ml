@@ -1,0 +1,108 @@
+module Digraph = Fx_graph.Digraph
+module Partition = Fx_graph.Partition
+module Bitset = Fx_graph.Bitset
+
+type t = {
+  dg : Path_index.data_graph;
+  labels : Two_hop.t;
+  by_tag : int array array;
+}
+
+(* Landmark order for the `Borders_first strategy: border nodes of a
+   bounded partitioning first (they cover partition-crossing paths, the
+   role of HOPI's divide-and-conquer join step), then everything by
+   descending estimated pair coverage |ancestors| * |descendants|
+   (Cohen's estimator — the greedy objective of the original 2-hop
+   construction). The default `Coverage ordering skips the partitioning:
+   measurements in EXPERIMENTS.md show it yields ~35% smaller labels on
+   citation-shaped collections. *)
+let landmark_order dg ~ordering ~partition_size =
+  let g = dg.Path_index.graph in
+  let n = Digraph.n_nodes g in
+  let border = Array.make n false in
+  (match ordering with
+  | `Coverage -> ()
+  | `Borders_first ->
+      let assignment = Partition.bounded_bfs ~max_size:partition_size g in
+      List.iter
+        (fun (u, v) ->
+          border.(u) <- true;
+          border.(v) <- true)
+        (Partition.cross_edges g assignment.Partition.part));
+  let weight =
+    if n <= 1 then fun _ -> 0.0
+    else begin
+      let fwd = Fx_graph.Tc_estimate.compute ~rounds:8 ~seed:0x40b1 g in
+      let bwd = Fx_graph.Tc_estimate.compute ~rounds:8 ~seed:0x40b2 (Digraph.reverse g) in
+      fun v -> Fx_graph.Tc_estimate.reach_size fwd v *. Fx_graph.Tc_estimate.reach_size bwd v
+    end
+  in
+  let w = Array.init n weight in
+  let nodes = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare border.(b) border.(a) with
+      | 0 -> compare (w.(b), a) (w.(a), b)
+      | c -> c)
+    nodes;
+  nodes
+
+let build ?(ordering = `Coverage) ?(partition_size = 5000) (dg : Path_index.data_graph) =
+  let order = landmark_order dg ~ordering ~partition_size in
+  let labels = Two_hop.build ~order dg.graph in
+  { dg; labels; by_tag = Path_index.nodes_by_tag dg }
+
+let reachable t x y = Two_hop.reachable t.labels x y
+let distance t x y = Two_hop.distance t.labels x y
+
+(* Element-level operations probe the labels once per candidate of the
+   requested tag — the standard way a 2-hop index answers a//b. *)
+let collect x candidates ~dist =
+  let acc = ref [] in
+  Array.iter
+    (fun v -> match dist x v with Some d -> acc := (v, d) :: !acc | None -> ())
+    candidates;
+  Path_index.sort_results !acc
+
+let all_nodes t = Array.init (Digraph.n_nodes t.dg.Path_index.graph) (fun i -> i)
+
+let candidates_of_tag t = function
+  | Some w when w >= 0 && w < Array.length t.by_tag -> t.by_tag.(w)
+  | Some _ -> [||]
+  | None -> all_nodes t
+
+let descendants_by_tag t x want =
+  collect x (candidates_of_tag t want) ~dist:(distance t)
+
+let ancestors_by_tag t x want =
+  collect x (candidates_of_tag t want) ~dist:(fun x v -> distance t v x)
+
+let restricted_descendants t x set =
+  let acc = ref [] in
+  Bitset.iter set (fun v ->
+      match distance t x v with Some d -> acc := (v, d) :: !acc | None -> ());
+  Path_index.sort_results !acc
+
+let restricted_ancestors t x set =
+  let acc = ref [] in
+  Bitset.iter set (fun v ->
+      match distance t v x with Some d -> acc := (v, d) :: !acc | None -> ());
+  Path_index.sort_results !acc
+
+let labels t = t.labels
+let entries t = Two_hop.entries t.labels
+let size_bytes t = Two_hop.size_bytes t.labels
+
+let instance ?ordering ?partition_size dg =
+  let t, build_ns = Fx_util.Stopwatch.time_ns (fun () -> build ?ordering ?partition_size dg) in
+  {
+    Path_index.name = "HOPI";
+    n_nodes = Digraph.n_nodes dg.Path_index.graph;
+    reachable = reachable t;
+    distance = distance t;
+    descendants_by_tag = descendants_by_tag t;
+    ancestors_by_tag = ancestors_by_tag t;
+    restricted_descendants = restricted_descendants t;
+    restricted_ancestors = restricted_ancestors t;
+    stats = { strategy = "HOPI"; build_ns; entries = entries t; size_bytes = size_bytes t };
+  }

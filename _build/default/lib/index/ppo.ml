@@ -1,0 +1,166 @@
+module Digraph = Fx_graph.Digraph
+module Traversal = Fx_graph.Traversal
+module Bitset = Fx_graph.Bitset
+
+type t = {
+  dg : Path_index.data_graph;
+  pre : int array;
+  post : int array;
+  depth : int array;
+  parent : int array;
+  order : int array;       (* node at each preorder rank *)
+  subtree : int array;     (* subtree size per node *)
+}
+
+exception Not_a_forest
+
+let is_buildable (dg : Path_index.data_graph) = Traversal.is_forest dg.graph
+
+let build (dg : Path_index.data_graph) =
+  if not (Traversal.is_forest dg.graph) then raise Not_a_forest;
+  let num = Traversal.dfs_forest dg.graph in
+  let n = Digraph.n_nodes dg.graph in
+  let subtree = Array.make n 1 in
+  (* Children precede parents in reverse preorder, so one sweep suffices. *)
+  for r = n - 1 downto 0 do
+    let v = num.order.(r) in
+    let p = num.parent.(v) in
+    if p >= 0 then subtree.(p) <- subtree.(p) + subtree.(v)
+  done;
+  {
+    dg;
+    pre = num.pre;
+    post = num.post;
+    depth = num.depth;
+    parent = num.parent;
+    order = num.order;
+    subtree;
+  }
+
+let pre t v = t.pre.(v)
+let post t v = t.post.(v)
+let depth t v = t.depth.(v)
+
+let reachable t x y = t.pre.(x) <= t.pre.(y) && t.post.(x) >= t.post.(y)
+
+let distance t x y = if reachable t x y then Some (t.depth.(y) - t.depth.(x)) else None
+
+(* Descendants of [x] occupy the contiguous preorder range
+   [pre x, pre x + subtree x). *)
+let fold_subtree t x f init =
+  let lo = t.pre.(x) in
+  let hi = lo + t.subtree.(x) - 1 in
+  let acc = ref init in
+  for r = lo to hi do
+    acc := f !acc t.order.(r)
+  done;
+  !acc
+
+let descendants_by_tag t x want =
+  let matches v = match want with None -> true | Some w -> t.dg.tag.(v) = w in
+  let results =
+    fold_subtree t x
+      (fun acc v -> if matches v then (v, t.depth.(v) - t.depth.(x)) :: acc else acc)
+      []
+  in
+  Path_index.sort_results results
+
+let ancestors_by_tag t x want =
+  let matches v = match want with None -> true | Some w -> t.dg.tag.(v) = w in
+  let rec walk v d acc =
+    let acc = if matches v then (v, d) :: acc else acc in
+    if t.parent.(v) < 0 then acc else walk t.parent.(v) (d + 1) acc
+  in
+  Path_index.sort_results (walk x 0 [])
+
+let restricted_descendants t x set =
+  let results =
+    fold_subtree t x
+      (fun acc v -> if Bitset.mem set v then (v, t.depth.(v) - t.depth.(x)) :: acc else acc)
+      []
+  in
+  Path_index.sort_results results
+
+let restricted_ancestors t x set =
+  let rec walk v d acc =
+    let acc = if Bitset.mem set v then (v, d) :: acc else acc in
+    if t.parent.(v) < 0 then acc else walk t.parent.(v) (d + 1) acc
+  in
+  Path_index.sort_results (walk x 0 [])
+
+let parent t v = if t.parent.(v) < 0 then None else Some t.parent.(v)
+
+let children t v =
+  Digraph.fold_succ t.dg.graph v (fun acc c -> c :: acc) [] |> List.rev
+
+let following t v =
+  let stop = t.pre.(v) + t.subtree.(v) in
+  let acc = ref [] in
+  for r = Array.length t.order - 1 downto stop do
+    acc := t.order.(r) :: !acc
+  done;
+  !acc
+
+let preceding t v =
+  (* Nodes before v in document order that are not its ancestors. *)
+  let acc = ref [] in
+  for r = t.pre.(v) - 1 downto 0 do
+    let u = t.order.(r) in
+    if t.post.(u) < t.post.(v) then acc := u :: !acc
+  done;
+  !acc
+
+(* pre, post, depth per node: three 4-byte fields. *)
+let size_bytes t = 12 * Array.length t.pre
+
+(* --- persistence --------------------------------------------------- *)
+
+let magic = "flix-ppo-v1"
+
+let serialize t =
+  let module W = Fx_util.Codec.Writer in
+  let w = W.create ~magic in
+  W.int w (Array.length t.pre);
+  List.iter (W.int_array w) [ t.pre; t.post; t.depth; t.parent; t.order; t.subtree ];
+  W.contents w
+
+let deserialize (dg : Path_index.data_graph) data =
+  let module R = Fx_util.Codec.Reader in
+  let r = R.create ~magic data in
+  let n = R.int r in
+  if n <> Digraph.n_nodes dg.graph then
+    raise (Fx_util.Codec.Corrupt "node count does not match the data graph");
+  let arr name =
+    let a = R.int_array r in
+    if Array.length a <> n then
+      raise (Fx_util.Codec.Corrupt ("bad length for " ^ name));
+    a
+  in
+  let pre = arr "pre" in
+  let post = arr "post" in
+  let depth = arr "depth" in
+  let parent = arr "parent" in
+  let order = arr "order" in
+  let subtree = arr "subtree" in
+  R.expect_end r;
+  Array.iteri
+    (fun rank v ->
+      if v < 0 || v >= n || pre.(v) <> rank then
+        raise (Fx_util.Codec.Corrupt "order table is not the preorder inverse"))
+    order;
+  { dg; pre; post; depth; parent; order; subtree }
+
+let instance dg =
+  let (t : t), build_ns = Fx_util.Stopwatch.time_ns (fun () -> build dg) in
+  let n = Digraph.n_nodes dg.graph in
+  {
+    Path_index.name = "PPO";
+    n_nodes = n;
+    reachable = reachable t;
+    distance = distance t;
+    descendants_by_tag = descendants_by_tag t;
+    ancestors_by_tag = ancestors_by_tag t;
+    restricted_descendants = restricted_descendants t;
+    restricted_ancestors = restricted_ancestors t;
+    stats = { strategy = "PPO"; build_ns; entries = n; size_bytes = size_bytes t };
+  }

@@ -1,0 +1,57 @@
+(** The pre/postorder path index (PPO) of Grust [SIGMOD 2002].
+
+    For a tree (or forest), a depth-first traversal assigns each element
+    its preorder rank [pre(e)] and postorder rank [post(e)]; then [x] is
+    an ancestor of [y] iff [pre(x) <= pre(y) && post(x) >= post(y)], and
+    the distance is [depth(y) - depth(x)]. Index size is O(n), build
+    time O(n + m), and all XPath axes reduce to range conditions — which
+    is why FliX prefers PPO whenever a meta document is link-free
+    (paper, Sections 2.2 and 4.3).
+
+    PPO is {e only} correct on forests; {!build} refuses anything else
+    (this is the formal reason FliX needs the Maximal-PPO meta-document
+    builder instead of indexing a linked collection directly). *)
+
+type t
+
+exception Not_a_forest
+(** Raised by {!build} when some node has two parents or the graph has a
+    cycle. *)
+
+val build : Path_index.data_graph -> t
+val is_buildable : Path_index.data_graph -> bool
+
+val pre : t -> int -> int
+val post : t -> int -> int
+val depth : t -> int -> int
+
+val reachable : t -> int -> int -> bool
+val distance : t -> int -> int -> int option
+val descendants_by_tag : t -> int -> int option -> (int * int) list
+val ancestors_by_tag : t -> int -> int option -> (int * int) list
+val restricted_descendants : t -> int -> Fx_graph.Bitset.t -> (int * int) list
+val restricted_ancestors : t -> int -> Fx_graph.Bitset.t -> (int * int) list
+
+(** {1 Other XPath axes}
+
+    PPO supports every axis from the plane of (pre, post) ranks; we
+    expose the remaining ones used by query evaluation. *)
+
+val parent : t -> int -> int option
+val children : t -> int -> int list
+val following : t -> int -> int list
+(** Document order: nodes with greater [pre] outside the subtree. *)
+
+val preceding : t -> int -> int list
+
+val size_bytes : t -> int
+
+val serialize : t -> string
+val deserialize : Path_index.data_graph -> string -> t
+(** The numbering tables for the graph the index was built on; the graph
+    itself travels separately (it is the collection's).
+    @raise Fx_util.Codec.Corrupt on malformed input or node-count
+    mismatch. *)
+
+val instance : Path_index.data_graph -> Path_index.instance
+(** @raise Not_a_forest like {!build}. *)

@@ -1,0 +1,1 @@
+lib/query/ontology.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/query/query_eval.ml: Array Fx_flix Fx_graph Fx_xml Hashtbl List Printf Ranking Relaxation Xpath

@@ -1,0 +1,1 @@
+lib/query/query_eval.mli: Fx_flix Ontology Ranking Relaxation Result Xpath

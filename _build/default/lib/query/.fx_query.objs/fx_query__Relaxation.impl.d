@@ -1,0 +1,1 @@
+lib/query/relaxation.ml: Buffer List Ontology Printf String Xpath

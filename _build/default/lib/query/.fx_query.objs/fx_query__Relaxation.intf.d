@@ -1,0 +1,1 @@
+lib/query/relaxation.mli: Ontology Xpath

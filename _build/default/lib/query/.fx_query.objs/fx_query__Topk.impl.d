@@ -1,0 +1,1 @@
+lib/query/topk.ml: Fx_flix List Ranking

@@ -1,0 +1,1 @@
+lib/query/topk.mli: Fx_flix Ranking

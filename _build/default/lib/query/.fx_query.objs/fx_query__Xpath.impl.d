@@ -1,0 +1,1 @@
+lib/query/xpath.ml: Buffer List Printf String

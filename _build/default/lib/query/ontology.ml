@@ -1,0 +1,80 @@
+type t = { edges : (string, (string * float) list) Hashtbl.t }
+
+let create () = { edges = Hashtbl.create 32 }
+
+let add_edge t a b w =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.edges a) in
+  Hashtbl.replace t.edges a ((b, w) :: cur)
+
+let check_weight w =
+  if not (w > 0.0 && w <= 1.0) then invalid_arg "Ontology: weight must be in (0,1]"
+
+let add_synonym t a b w =
+  check_weight w;
+  add_edge t a b w;
+  add_edge t b a w
+
+let add_specialisation t ~general ~special w =
+  check_weight w;
+  add_edge t general special w
+
+(* Max-product Dijkstra over the relation graph: scores only decrease
+   along a chain, so a best-first expansion is exact. *)
+let expand ?(min_similarity = 0.1) t name =
+  let best : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.replace best name 1.0;
+  (* The frontier is tiny for realistic ontologies; a sorted list is
+     plenty and avoids a float-keyed heap. *)
+  let rec loop frontier =
+    match frontier with
+    | [] -> ()
+    | (score, n) :: rest ->
+        if Hashtbl.find_opt best n = Some score then begin
+          let next =
+            List.fold_left
+              (fun acc (n', w) ->
+                let s' = score *. w in
+                if s' >= min_similarity
+                   && s' > Option.value ~default:0.0 (Hashtbl.find_opt best n')
+                then begin
+                  Hashtbl.replace best n' s';
+                  (s', n') :: acc
+                end
+                else acc)
+              rest
+              (Option.value ~default:[] (Hashtbl.find_opt t.edges n))
+          in
+          loop (List.sort (fun (a, _) (b, _) -> compare b a) next)
+        end
+        else loop rest
+  in
+  loop [ (1.0, name) ];
+  Hashtbl.fold (fun n s acc -> (n, s) :: acc) best []
+  |> List.sort (fun (n1, s1) (n2, s2) -> compare (s2, n1) (s1, n2))
+
+let similarity t query candidate =
+  match List.assoc_opt candidate (expand ~min_similarity:1e-6 t query) with
+  | Some s -> s
+  | None -> 0.0
+
+let movies =
+  lazy
+    (let t = create () in
+     add_synonym t "movie" "film" 0.9;
+     add_specialisation t ~general:"movie" ~special:"science-fiction" 0.8;
+     add_specialisation t ~general:"movie" ~special:"documentary" 0.7;
+     add_synonym t "actor" "actress" 0.9;
+     add_specialisation t ~general:"cast" ~special:"actor" 0.8;
+     add_synonym t "title" "name" 0.7;
+     t)
+
+let bibliographic =
+  lazy
+    (let t = create () in
+     add_specialisation t ~general:"publication" ~special:"article" 0.9;
+     add_specialisation t ~general:"publication" ~special:"inproceedings" 0.9;
+     add_synonym t "article" "inproceedings" 0.7;
+     add_synonym t "journal" "booktitle" 0.8;
+     add_synonym t "author" "editor" 0.6;
+     add_synonym t "cite" "crossref" 0.5;
+     t)

@@ -1,0 +1,41 @@
+(** Tag-name ontologies for semantic vagueness.
+
+    The XXL engine the paper builds on derives "similar words as well as
+    similarity scores for them from an ontology, which can either be a
+    general-purpose one like WordNet or an ontology specific to the topic
+    of the query" (Section 1). This module is that component: a weighted
+    relation over tag names; querying a name also matches related names,
+    each with a similarity score in (0, 1] that multiplies into the
+    result's relevance.
+
+    Similarity composes multiplicatively along relation chains and the
+    best (maximum-product) chain wins — computed with a Dijkstra-style
+    search, so indirect synonyms are found with appropriately discounted
+    scores. *)
+
+type t
+
+val create : unit -> t
+
+val add_synonym : t -> string -> string -> float -> unit
+(** Symmetric relation; weight must be in (0, 1]. *)
+
+val add_specialisation : t -> general:string -> special:string -> float -> unit
+(** Directed: a query for [general] also matches [special] (a query for
+    [movie] matches [science-fiction]), not vice versa. *)
+
+val expand : ?min_similarity:float -> t -> string -> (string * float) list
+(** All names matching a query for the given name, with their scores,
+    best first. Always contains the name itself at 1.0.
+    [min_similarity] (default 0.1) cuts the tail. *)
+
+val similarity : t -> string -> string -> float
+(** [similarity t query candidate]; 0 when unrelated. *)
+
+val movies : t Lazy.t
+(** The paper's running example: [movie ~ science-fiction ~ film],
+    [actor ~ cast/actress]. *)
+
+val bibliographic : t Lazy.t
+(** DBLP-flavoured: [article ~ inproceedings ~ publication],
+    [journal ~ booktitle], [author ~ editor]. *)

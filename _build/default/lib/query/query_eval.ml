@@ -1,0 +1,190 @@
+module Flix = Fx_flix.Flix
+module Pee = Fx_flix.Pee
+module Result_stream = Fx_flix.Result_stream
+module Collection = Fx_xml.Collection
+module X = Fx_xml.Xml_types
+
+type result = { node : int; score : float }
+
+type options = {
+  relaxation : Relaxation.options;
+  ranking : Ranking.params;
+  max_dist : int;
+  min_score : float;
+  max_frontier : int;
+  exact_distances : bool;
+}
+
+let default =
+  {
+    relaxation = Relaxation.default;
+    ranking = Ranking.default;
+    max_dist = 8;
+    min_score = 0.05;
+    max_frontier = 20_000;
+    exact_distances = false;
+  }
+
+let with_ontology o = { default with relaxation = Relaxation.with_ontology o }
+
+let check_predicate c node = function
+  | None -> true
+  | Some (Xpath.Own_text v) -> Collection.text_of_node c node = v
+  | Some (Xpath.Child_text (name, v)) ->
+      let el = Collection.element c node in
+      List.exists
+        (fun (child : X.element) -> child.tag = name && X.direct_text child = v)
+        (X.children_elements el)
+  | Some (Xpath.Attribute (name, v)) -> X.attr (Collection.element c node) name = Some v
+
+let test_matches c node (test : Xpath.test) =
+  match test with
+  | Xpath.Wildcard -> true
+  | Xpath.Tag name -> begin
+      match Collection.tag_id c name with
+      | None -> false
+      | Some w -> (Collection.tag c).(node) = w
+    end
+
+(* Merge scored matches, keeping the best score per node and capping the
+   frontier size. *)
+let normalise_frontier ~max_frontier matches =
+  let best = Hashtbl.create 256 in
+  List.iter
+    (fun (node, score) ->
+      match Hashtbl.find_opt best node with
+      | Some s when s >= score -> ()
+      | Some _ | None -> Hashtbl.replace best node score)
+    matches;
+  let all = Hashtbl.fold (fun node score acc -> (node, score) :: acc) best [] in
+  let ranked = Ranking.rank all in
+  if List.length ranked > max_frontier then List.filteri (fun i _ -> i < max_frontier) ranked
+  else ranked
+
+(* One alternative of one step from one source node. *)
+let step_matches opts flix ~from_meta source score (step : Relaxation.step)
+    (alt : Relaxation.alternative) =
+  let c = Flix.collection flix in
+  match step.axis with
+  | Xpath.Child ->
+      Fx_graph.Digraph.fold_succ (Collection.graph c) source
+        (fun acc v ->
+          if test_matches c v alt.test && check_predicate c v step.predicate then
+            (v, score *. alt.similarity) :: acc
+          else acc)
+        []
+  | Xpath.Parent ->
+      Fx_graph.Digraph.fold_pred (Collection.graph c) source
+        (fun acc v ->
+          if test_matches c v alt.test && check_predicate c v step.predicate then
+            (v, score *. alt.similarity) :: acc
+          else acc)
+        []
+  | Xpath.Descendant | Xpath.Ancestor ->
+      let tag = match alt.test with Xpath.Tag n -> Some n | Xpath.Wildcard -> None in
+      let evaluate =
+        match (step.axis, opts.exact_distances) with
+        | Xpath.Ancestor, _ -> Flix.ancestors
+        | _, true -> Flix.descendants_exact
+        | _, false -> Flix.descendants
+      in
+      let stream = evaluate ?tag ~max_dist:opts.max_dist flix ~start:source in
+      let acc = ref [] in
+      let continue = ref true in
+      while !continue do
+        match Result_stream.next stream with
+        | None -> continue := false
+        | Some (it : Pee.item) ->
+            if check_predicate c it.node step.predicate then begin
+              let links_crossed = if it.meta = from_meta it.node then 0 else 1 in
+              let s =
+                score *. alt.similarity
+                *. Ranking.step_score opts.ranking ~dist:it.dist ~links_crossed
+              in
+              if s >= opts.min_score then acc := (it.node, s) :: !acc
+            end
+      done;
+      !acc
+
+let initial_frontier opts flix ~context (relaxed : Relaxation.t) =
+  let c = Flix.collection flix in
+  let roots = List.init (Collection.n_docs c) (fun d -> Collection.root_of_doc c d) in
+  match relaxed.steps with
+  | [] -> []
+  | first :: _ ->
+      let sources =
+        if relaxed.absolute || context = [] then roots else List.sort_uniq compare context
+      in
+      (* The first step is evaluated from the (virtual) collection root:
+         a child axis inspects the sources themselves, a descendant axis
+         searches below them too. *)
+      let from_sources =
+        List.concat_map
+          (fun (alt : Relaxation.alternative) ->
+            List.filter_map
+              (fun s ->
+                if test_matches c s alt.test && check_predicate c s first.predicate then
+                  Some (s, alt.similarity)
+                else None)
+              sources)
+          first.alternatives
+      in
+      let deeper =
+        if first.axis = Xpath.Descendant then begin
+          let reg = Fx_flix.Flix.registry flix in
+          let from_meta v = reg.Fx_flix.Meta_document.meta_of_node.(v) in
+          List.concat_map
+            (fun (alt : Relaxation.alternative) ->
+              List.concat_map
+                (fun s -> step_matches opts flix ~from_meta:(fun _ -> from_meta s) s 1.0
+                            { first with alternatives = [ alt ] } alt)
+              sources)
+            first.alternatives
+        end
+        else []
+      in
+      from_sources @ deeper
+
+let eval ?(options = default) ?(context = []) flix query =
+  let relaxed = Relaxation.relax options.relaxation query in
+  let reg = Flix.registry flix in
+  let meta_of v = reg.Fx_flix.Meta_document.meta_of_node.(v) in
+  match relaxed.steps with
+  | [] -> []
+  | first :: rest ->
+      let frontier0 =
+        normalise_frontier ~max_frontier:options.max_frontier
+          (initial_frontier options flix ~context { relaxed with steps = [ first ] })
+      in
+      let frontier =
+        List.fold_left
+          (fun frontier (step : Relaxation.step) ->
+            let matches =
+              List.concat_map
+                (fun (source, score) ->
+                  List.concat_map
+                    (fun alt ->
+                      step_matches options flix
+                        ~from_meta:(fun _ -> meta_of source)
+                        source score step alt)
+                    step.alternatives)
+                frontier
+            in
+            normalise_frontier ~max_frontier:options.max_frontier matches)
+          frontier0 rest
+      in
+      Ranking.cut ~min_score:options.min_score frontier
+      |> List.map (fun (node, score) -> { node; score })
+
+let eval_string ?options ?context flix input =
+  match Xpath.parse input with
+  | Error e -> Error e
+  | Ok q -> Ok (eval ?options ?context flix q)
+
+let top_k ?options ~k flix input =
+  match eval_string ?options flix input with
+  | Error _ as e -> e
+  | Ok results -> Ok (List.filteri (fun i _ -> i < k) results)
+
+let describe flix r =
+  Printf.sprintf "%s score %.3f" (Collection.describe (Flix.collection flix) r.node) r.score

@@ -1,0 +1,39 @@
+(** Ranked evaluation of (relaxed) XPath queries on top of FliX — the
+    slice of the XXL search engine that the paper positions FliX under:
+    descendant steps run on the connection indexes through the PEE,
+    child steps on the data graph, predicates on the stored elements,
+    and every result carries a relevance score combining structural
+    decay, ontology similarity and a penalty per crossed document
+    border. *)
+
+type result = { node : int; score : float }
+
+type options = {
+  relaxation : Relaxation.options;
+  ranking : Ranking.params;
+  max_dist : int;       (** per descendant step; keeps vague queries tractable *)
+  min_score : float;    (** results below are dropped *)
+  max_frontier : int;   (** per-step cap on intermediate matches (best kept) *)
+  exact_distances : bool;
+      (** evaluate descendant steps with the exactly-ordered engine, so
+          scores reflect true shortest distances rather than the
+          approximate upper bounds of the streaming engine *)
+}
+
+val default : options
+val with_ontology : Ontology.t -> options
+
+val eval : ?options:options -> ?context:int list -> Fx_flix.Flix.t -> Xpath.t -> result list
+(** Ranked results, best first. [context] seeds relative queries
+    (ignored for absolute ones); a relative query without context is
+    evaluated from all document roots. *)
+
+val eval_string :
+  ?options:options -> ?context:int list -> Fx_flix.Flix.t -> string -> (result list, string) Result.t
+(** Parse + relax + evaluate. *)
+
+val top_k :
+  ?options:options -> k:int -> Fx_flix.Flix.t -> string -> (result list, string) Result.t
+(** Convenience: [eval_string] truncated to the best [k]. *)
+
+val describe : Fx_flix.Flix.t -> result -> string

@@ -1,0 +1,12 @@
+type params = { decay : float; link_penalty : float }
+
+let default = { decay = 0.8; link_penalty = 0.75 }
+
+let step_score p ~dist ~links_crossed =
+  if dist < 0 then invalid_arg "Ranking.step_score: negative distance";
+  let extra = max 0 (dist - 1) in
+  (p.decay ** float_of_int extra) *. (p.link_penalty ** float_of_int links_crossed)
+
+let combine = List.fold_left ( *. ) 1.0
+let cut ~min_score results = List.filter (fun (_, s) -> s >= min_score) results
+let rank results = List.stable_sort (fun (_, a) (_, b) -> compare b a) results

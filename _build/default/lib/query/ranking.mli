@@ -1,0 +1,31 @@
+(** Relevance scoring for vague queries (paper, Section 1): "the
+    relevance of a result decreases with increasing path length" — a
+    match [movie/cast/actor] for the query [movie//actor] scores higher
+    than one through five intermediate elements — and semantic tag
+    matches are discounted by their ontology similarity.
+
+    A result's score is the product over all query steps of the step's
+    structural decay and tag similarity, optionally with an extra
+    penalty for every inter-document link on the path (the paper's
+    "information within one document normally is more coherent"). *)
+
+type params = {
+  decay : float;         (** per extra hop on a descendant step; 0.8 in
+                             the paper's example (0.8 for one hop) *)
+  link_penalty : float;  (** multiplier per crossed inter-document link *)
+}
+
+val default : params
+(** decay 0.8, link_penalty 0.75. *)
+
+val step_score : params -> dist:int -> links_crossed:int -> float
+(** [step_score p ~dist ~links_crossed] for a descendant step matched at
+    [dist] hops. [dist >= 1]: a direct child scores 1.0, each extra hop
+    multiplies by [decay]. [dist = 0] (self) scores 1.0. *)
+
+val combine : float list -> float
+(** Product. [combine [] = 1.0]. *)
+
+val cut : min_score:float -> ('a * float) list -> ('a * float) list
+val rank : ('a * float) list -> ('a * float) list
+(** Best score first; stable for equal scores. *)

@@ -1,0 +1,68 @@
+type options = {
+  relax_axes : bool;
+  ontology : Ontology.t option;
+  min_similarity : float;
+}
+
+let default = { relax_axes = true; ontology = None; min_similarity = 0.1 }
+let with_ontology o = { default with ontology = Some o }
+
+type alternative = { test : Xpath.test; similarity : float }
+
+type step = {
+  axis : Xpath.axis;
+  alternatives : alternative list;
+  predicate : Xpath.predicate option;
+}
+
+type t = { absolute : bool; steps : step list }
+
+let relax_test opts = function
+  | Xpath.Wildcard -> [ { test = Xpath.Wildcard; similarity = 1.0 } ]
+  | Xpath.Tag name -> begin
+      match opts.ontology with
+      | None -> [ { test = Xpath.Tag name; similarity = 1.0 } ]
+      | Some ont ->
+          Ontology.expand ~min_similarity:opts.min_similarity ont name
+          |> List.map (fun (n, s) -> { test = Xpath.Tag n; similarity = s })
+    end
+
+let widen = function
+  | Xpath.Child | Xpath.Descendant -> Xpath.Descendant
+  | Xpath.Parent | Xpath.Ancestor -> Xpath.Ancestor
+
+let relax opts (q : Xpath.t) =
+  let steps =
+    List.map
+      (fun (s : Xpath.step) ->
+        {
+          axis = (if opts.relax_axes then widen s.axis else s.axis);
+          alternatives = relax_test opts s.test;
+          predicate = s.predicate;
+        })
+      q.steps
+  in
+  { absolute = q.absolute; steps }
+
+let to_string t =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (s : step) ->
+      Buffer.add_string buf
+        (match s.axis with
+        | Xpath.Child -> "/"
+        | Xpath.Descendant -> "//"
+        | Xpath.Parent -> "/parent::"
+        | Xpath.Ancestor -> "/ancestor::");
+      let alt_str (a : alternative) =
+        let name = match a.test with Xpath.Tag n -> n | Xpath.Wildcard -> "*" in
+        if a.similarity >= 1.0 then name else Printf.sprintf "%s(%.2f)" name a.similarity
+      in
+      Buffer.add_string buf (String.concat "|" (List.map alt_str s.alternatives));
+      match s.predicate with
+      | None -> ()
+      | Some (Xpath.Child_text (n, v)) -> Buffer.add_string buf (Printf.sprintf "[%s=%S]" n v)
+      | Some (Xpath.Own_text v) -> Buffer.add_string buf (Printf.sprintf "[text()=%S]" v)
+      | Some (Xpath.Attribute (n, v)) -> Buffer.add_string buf (Printf.sprintf "[@%s=%S]" n v))
+    t.steps;
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Query relaxation — turning a crisp XPath into a vague one (paper,
+    Section 1): the query
+
+    {v /movie[title="Matrix: Revolutions"]/actor/movie v}
+
+    becomes
+
+    {v //~movie[~title ≈ "Matrix: Revolutions"]//~actor//~movie v}
+
+    i.e. every child axis is widened to descendants-or-self
+    ({e structural} vagueness) and every tag test is expanded to the
+    ontology neighbourhood of its name ({e semantic} vagueness), each
+    alternative carrying the similarity score that will discount the
+    result's relevance. *)
+
+type options = {
+  relax_axes : bool;
+  ontology : Ontology.t option;
+  min_similarity : float;
+}
+
+val default : options
+(** Axes relaxed, no ontology. *)
+
+val with_ontology : Ontology.t -> options
+
+type alternative = { test : Xpath.test; similarity : float }
+
+type step = {
+  axis : Xpath.axis;
+  alternatives : alternative list;  (** best similarity first; never empty *)
+  predicate : Xpath.predicate option;
+}
+
+type t = { absolute : bool; steps : step list }
+
+val relax : options -> Xpath.t -> t
+val to_string : t -> string
+(** Debug rendering, e.g. ["//movie|film(0.9)//actor"]. *)

@@ -1,0 +1,37 @@
+module Result_stream = Fx_flix.Result_stream
+
+type 'a stats = { pulled : int; stopped_early : bool }
+
+(* A tiny bounded buffer of the best k scored items; k is small (the
+   paper: "k usually less than 100"), so a sorted list is fine. *)
+let insert_topk k (x, s) buffer =
+  let rec go = function
+    | [] -> [ (x, s) ]
+    | (y, sy) :: rest when s > sy -> (x, s) :: (y, sy) :: rest
+    | (y, sy) :: rest -> (y, sy) :: go rest
+  in
+  let extended = go buffer in
+  if List.length extended > k then List.filteri (fun i _ -> i < k) extended else extended
+
+let kth_score k buffer =
+  if List.length buffer < k then 0.0
+  else match List.rev buffer with [] -> 0.0 | (_, s) :: _ -> s
+
+let top_k ~k ~score ~bound stream =
+  if k <= 0 then invalid_arg "Topk.top_k: k <= 0";
+  let rec go buffer pulled =
+    match Result_stream.peek stream with
+    | None -> (buffer, { pulled; stopped_early = false })
+    | Some x when List.length buffer >= k && bound x <= kth_score k buffer ->
+        (buffer, { pulled; stopped_early = true })
+    | Some x ->
+        ignore (Result_stream.next stream);
+        go (insert_topk k (x, score x) buffer) (pulled + 1)
+  in
+  go [] 0
+
+let by_distance ~k ~params stream =
+  let of_item (it : Fx_flix.Pee.item) =
+    Ranking.step_score params ~dist:(max 1 it.dist) ~links_crossed:0
+  in
+  top_k ~k ~score:of_item ~bound:of_item stream

@@ -1,0 +1,34 @@
+(** Streaming top-k with threshold-based early termination.
+
+    The paper (Section 3.1): a search engine on FliX "may even stop the
+    execution when it can determine that it has produced the top k
+    results (e.g., using an algorithm similar to Fagin's threshold
+    algorithm with only sequential reads)". Because the PEE streams
+    results in (approximately) ascending distance and relevance decays
+    monotonically with distance, an upper bound on every future result's
+    score is available at any moment; once [k] results are buffered and
+    the bound drops below the current k-th best score, no future result
+    can enter the top k and the stream can be abandoned. *)
+
+type 'a stats = {
+  pulled : int;            (** stream elements consumed *)
+  stopped_early : bool;    (** true when the threshold fired before
+                               exhaustion *)
+}
+
+val top_k :
+  k:int ->
+  score:('a -> float) ->
+  bound:('a -> float) ->
+  'a Fx_flix.Result_stream.t ->
+  ('a * float) list * 'a stats
+(** [top_k ~k ~score ~bound stream] — [bound x] must be a non-increasing
+    upper bound on the score of [x] {e and of everything after it} (for
+    PEE items: the best score still possible at that distance). Returns
+    the top k by [score], best first. *)
+
+val by_distance :
+  k:int -> params:Ranking.params -> Fx_flix.Pee.item Fx_flix.Result_stream.t ->
+  (Fx_flix.Pee.item * float) list * Fx_flix.Pee.item stats
+(** Instantiation for plain descendant queries: score and bound are both
+    the structural decay at the item's distance. *)

@@ -1,0 +1,213 @@
+type axis = Child | Descendant | Parent | Ancestor
+type test = Tag of string | Wildcard
+
+type predicate =
+  | Child_text of string * string
+  | Own_text of string
+  | Attribute of string * string
+
+type step = { axis : axis; test : test; predicate : predicate option }
+type t = { absolute : bool; steps : step list }
+
+exception Parse_error of string
+
+(* Hand-rolled scanner over the expression string. *)
+type cursor = { input : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+let advance cur = cur.pos <- cur.pos + 1
+let eof cur = cur.pos >= String.length cur.input
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+
+let skip_ws cur =
+  while (not (eof cur)) && (cur.input.[cur.pos] = ' ' || cur.input.[cur.pos] = '\t') do
+    advance cur
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name cur =
+  let start = cur.pos in
+  while (not (eof cur)) && is_name_char cur.input.[cur.pos] do
+    advance cur
+  done;
+  if cur.pos = start then fail cur "expected a name";
+  String.sub cur.input start (cur.pos - start)
+
+let read_quoted cur =
+  match peek cur with
+  | Some ('"' as q) | Some ('\'' as q) ->
+      advance cur;
+      let start = cur.pos in
+      while (not (eof cur)) && cur.input.[cur.pos] <> q do
+        advance cur
+      done;
+      if eof cur then fail cur "unterminated string literal";
+      let s = String.sub cur.input start (cur.pos - start) in
+      advance cur;
+      s
+  | _ -> fail cur "expected a quoted string"
+
+let read_axis cur ~first =
+  match peek cur with
+  | Some '/' ->
+      advance cur;
+      if peek cur = Some '/' then begin
+        advance cur;
+        Some Descendant
+      end
+      else Some Child
+  | Some _ when first -> None (* relative expression: implicit first separator *)
+  | Some c -> fail cur (Printf.sprintf "expected '/' or '//', found %C" c)
+  | None -> fail cur "unexpected end of expression"
+
+(* Optional explicit axis prefix: "parent::" / "ancestor::" (the
+   forward axes stay implicit in the separators). *)
+let read_axis_prefix cur =
+  let try_prefix name axis =
+    let p = name ^ "::" in
+    let n = String.length p in
+    if cur.pos + n <= String.length cur.input && String.sub cur.input cur.pos n = p then begin
+      cur.pos <- cur.pos + n;
+      Some axis
+    end
+    else None
+  in
+  match try_prefix "parent" Parent with
+  | Some a -> Some a
+  | None -> try_prefix "ancestor" Ancestor
+
+let read_test cur =
+  skip_ws cur;
+  match peek cur with
+  | Some '*' ->
+      advance cur;
+      Wildcard
+  | Some c when is_name_char c -> Tag (read_name cur)
+  | Some c -> fail cur (Printf.sprintf "expected a tag test, found %C" c)
+  | None -> fail cur "expected a tag test"
+
+let read_predicate cur =
+  if peek cur <> Some '[' then None
+  else begin
+    advance cur;
+    skip_ws cur;
+    let pred =
+      if
+        cur.pos + 6 <= String.length cur.input
+        && String.sub cur.input cur.pos 6 = "text()"
+      then begin
+        cur.pos <- cur.pos + 6;
+        skip_ws cur;
+        (match peek cur with
+        | Some '=' -> advance cur
+        | _ -> fail cur "expected '=' after text()");
+        skip_ws cur;
+        Own_text (read_quoted cur)
+      end
+      else if peek cur = Some '@' then begin
+        advance cur;
+        let name = read_name cur in
+        skip_ws cur;
+        (match peek cur with
+        | Some '=' -> advance cur
+        | _ -> fail cur "expected '=' in attribute predicate");
+        skip_ws cur;
+        Attribute (name, read_quoted cur)
+      end
+      else begin
+        let name = read_name cur in
+        skip_ws cur;
+        (match peek cur with
+        | Some '=' -> advance cur
+        | _ -> fail cur "expected '=' in predicate");
+        skip_ws cur;
+        Child_text (name, read_quoted cur)
+      end
+    in
+    skip_ws cur;
+    (match peek cur with
+    | Some ']' -> advance cur
+    | _ -> fail cur "expected ']'");
+    Some pred
+  end
+
+let parse input =
+  let cur = { input = String.trim input; pos = 0 } in
+  try
+    if eof cur then raise (Parse_error "empty expression");
+    (* A leading '.' marks an explicitly relative path (".//a"). *)
+    let relative_dot = peek cur = Some '.' in
+    if relative_dot then advance cur;
+    let absolute = (not relative_dot) && peek cur = Some '/' in
+    let rec steps first acc =
+      skip_ws cur;
+      if eof cur then List.rev acc
+      else begin
+        let axis =
+          match read_axis cur ~first with
+          | Some a -> a
+          | None -> Child (* relative first step *)
+        in
+        skip_ws cur;
+        if eof cur then fail cur "trailing path separator";
+        (* "/parent::x" overrides the separator's axis; "//ancestor::x"
+           is rejected as contradictory. *)
+        let axis =
+          match read_axis_prefix cur with
+          | None -> axis
+          | Some explicit ->
+              if axis = Descendant then fail cur "reverse axis after '//'"
+              else explicit
+        in
+        let test = read_test cur in
+        let predicate = read_predicate cur in
+        steps false ({ axis; test; predicate } :: acc)
+      end
+    in
+    let steps = steps true [] in
+    if steps = [] then raise (Parse_error "empty expression");
+    Ok { absolute; steps }
+  with Parse_error msg -> Error msg
+
+let parse_exn input =
+  match parse input with
+  | Ok q -> q
+  | Error msg -> failwith ("XPath parse error " ^ msg)
+
+let to_string q =
+  let buf = Buffer.create 32 in
+  List.iteri
+    (fun i (s : step) ->
+      let sep = match s.axis with Descendant -> "//" | Child | Parent | Ancestor -> "/" in
+      if i = 0 && not q.absolute then begin
+        if s.axis = Descendant then Buffer.add_string buf ".//"
+      end
+      else Buffer.add_string buf sep;
+      (match s.axis with
+      | Parent -> Buffer.add_string buf "parent::"
+      | Ancestor -> Buffer.add_string buf "ancestor::"
+      | Child | Descendant -> ());
+      (match s.test with
+      | Tag t -> Buffer.add_string buf t
+      | Wildcard -> Buffer.add_char buf '*');
+      match s.predicate with
+      | None -> ()
+      | Some (Child_text (n, v)) -> Buffer.add_string buf (Printf.sprintf "[%s=%S]" n v)
+      | Some (Own_text v) -> Buffer.add_string buf (Printf.sprintf "[text()=%S]" v)
+      | Some (Attribute (n, v)) -> Buffer.add_string buf (Printf.sprintf "[@%s=%S]" n v))
+    q.steps;
+  Buffer.contents buf
+
+(* Structural relaxation widens each axis within its direction: child
+   becomes descendants-or-self, parent becomes ancestors-or-self. *)
+let relax_axes q =
+  let widen = function
+    | Child | Descendant -> Descendant
+    | Parent | Ancestor -> Ancestor
+  in
+  { q with steps = List.map (fun s -> { s with axis = widen s.axis }) q.steps }

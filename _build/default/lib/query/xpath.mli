@@ -1,0 +1,42 @@
+(** A parser for the XPath fragment FliX serves (paper, Sections 1 and
+    5): location paths over the child and descendants-or-self axes with
+    tag tests, wildcards and simple text-equality predicates —
+
+    {v /dblp_0001//article   //movie[title="Matrix"]//actor//movie
+       a//b                  //inproceedings[@key="conf/VLDB/Mohan99"]/author v}
+
+    Semantic operators of the XXL query language ([~] similarity) are
+    not part of the surface syntax here; {!Relaxation} adds vagueness to
+    a parsed query instead. *)
+
+type axis = Child | Descendant | Parent | Ancestor
+(** Forward axes come from the separators ([/] and [//]); the reverse
+    axes use explicit prefixes, [/parent::x] and [/ancestor::x] — the
+    paper's Section 5 notes the PEE algorithms "can be adapted easily
+    … to support the corresponding reverse axes like
+    ancestors-or-self", and the evaluator does. *)
+
+type test = Tag of string | Wildcard
+
+type predicate =
+  | Child_text of string * string  (** [[name="value"]]: a child element
+                                       [name] has direct text [value] *)
+  | Own_text of string             (** [[text()="value"]] *)
+  | Attribute of string * string   (** [[@name="value"]] *)
+
+type step = { axis : axis; test : test; predicate : predicate option }
+
+type t = { absolute : bool; steps : step list }
+(** [absolute]: the expression started with [/] or [//] (evaluation
+    starts at document roots); otherwise it is evaluated relative to
+    caller-supplied context nodes. *)
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+val to_string : t -> string
+(** Round-trips with {!parse} up to insignificant whitespace. *)
+
+val relax_axes : t -> t
+(** Structural vagueness: every child axis becomes descendants-or-self
+    ([/movie/actor] → [//movie//actor]) and every parent axis becomes
+    ancestors-or-self. *)

@@ -1,0 +1,1 @@
+lib/store/btree.ml: Bytes Char Fx_util Int32 Int64 List Pager String

@@ -1,0 +1,1 @@
+lib/store/heap_file.ml: Bytes Fx_util Int32 Pager String

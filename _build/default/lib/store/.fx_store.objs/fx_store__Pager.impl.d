@@ -1,0 +1,1 @@
+lib/store/pager.ml: Bytes Fx_util Lazy Printf String Unix

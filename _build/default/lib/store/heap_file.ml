@@ -1,0 +1,105 @@
+(* Byte positions address a contiguous record space laid over the data
+   pages: position p lives at page (p / page_size), offset (p mod
+   page_size). Each record is a 4-byte big-endian length followed by the
+   payload. The write cursor persists implicitly: on reopen we scan
+   forward from position 0 over valid length prefixes (cheap — it reads
+   only the prefix of each record). *)
+
+type t = {
+  pager : Pager.t;
+  mutable cursor : int;
+  mutable payload : int;
+  mutable last : int option; (* handle of the most recently written record *)
+}
+
+type handle = int
+
+let corrupt msg = raise (Fx_util.Codec.Corrupt msg)
+
+let page_of t pos = pos / Pager.page_size t.pager
+let off_of t pos = pos mod Pager.page_size t.pager
+
+let capacity t = Pager.n_pages t.pager * Pager.page_size t.pager
+
+(* Read [len] bytes starting at byte position [pos], crossing pages. *)
+let read_bytes t pos len =
+  if len < 0 || pos < 0 || pos + len > capacity t then corrupt "Heap_file: out of range";
+  let out = Bytes.create len in
+  let rec go pos written =
+    if written < len then begin
+      let page = page_of t pos and off = off_of t pos in
+      let chunk = min (len - written) (Pager.page_size t.pager - off) in
+      let piece = Pager.read t.pager ~page ~offset:off ~len:chunk in
+      Bytes.blit piece 0 out written chunk;
+      go (pos + chunk) (written + chunk)
+    end
+  in
+  go pos 0;
+  Bytes.to_string out
+
+let write_bytes t pos s =
+  let len = String.length s in
+  (* Grow the file as needed. *)
+  while pos + len > capacity t do
+    ignore (Pager.append_page t.pager)
+  done;
+  let rec go pos written =
+    if written < len then begin
+      let page = page_of t pos and off = off_of t pos in
+      let chunk = min (len - written) (Pager.page_size t.pager - off) in
+      Pager.write t.pager ~page ~offset:off (Bytes.of_string (String.sub s written chunk));
+      go (pos + chunk) (written + chunk)
+    end
+  in
+  go pos 0
+
+let length_prefix n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.to_string b
+
+let read_length t pos =
+  let s = read_bytes t pos 4 in
+  Int32.to_int (String.get_int32_be s 0)
+
+(* Recover the write cursor by walking the record chain; a zero length
+   (zeroed fresh pages) terminates. *)
+let recover t =
+  let cap = capacity t in
+  let rec go pos payload last =
+    if pos + 4 > cap then (pos, payload, last)
+    else begin
+      let len = read_length t pos in
+      if len <= 0 || pos + 4 + len > cap then (pos, payload, last)
+      else go (pos + 4 + len) (payload + len) (Some pos)
+    end
+  in
+  let cursor, payload, last = go 0 0 None in
+  t.cursor <- cursor;
+  t.payload <- payload;
+  t.last <- last
+
+let create pager =
+  let t = { pager; cursor = 0; payload = 0; last = None } in
+  if Pager.n_pages pager > 0 then recover t;
+  t
+
+let append t s =
+  if s = "" then invalid_arg "Heap_file.append: empty record";
+  let handle = t.cursor in
+  write_bytes t handle (length_prefix (String.length s));
+  write_bytes t (handle + 4) s;
+  t.cursor <- handle + 4 + String.length s;
+  t.payload <- t.payload + String.length s;
+  t.last <- Some handle;
+  handle
+
+let read t handle =
+  if handle < 0 || handle + 4 > capacity t then corrupt "Heap_file.read: bad handle";
+  let len = read_length t handle in
+  if len <= 0 || handle + 4 + len > capacity t then
+    corrupt "Heap_file.read: mangled length prefix";
+  read_bytes t (handle + 4) len
+
+let size_bytes t = t.payload
+let last_handle t = t.last

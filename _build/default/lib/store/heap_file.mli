@@ -1,0 +1,29 @@
+(** A log-structured heap of variable-length records over a {!Pager}
+    file. Records are length-prefixed byte strings written sequentially,
+    spanning page boundaries freely; a record's handle is its byte
+    position. This is the "table" the disk-backed indexes store their
+    labels in — the equivalent of the paper's database tables, minus the
+    SQL. *)
+
+type t
+type handle = int
+(** Byte position of the record; stable across reopen. *)
+
+val create : Pager.t -> t
+(** Wrap a pager; an empty file starts a fresh heap, otherwise the
+    existing heap is resumed (the write cursor is recovered from the
+    pager's page count and the trailer record). *)
+
+val append : t -> string -> handle
+(** Write a record at the end; O(record size / page size) page writes. *)
+
+val read : t -> handle -> string
+(** @raise Fx_util.Codec.Corrupt on an invalid handle or a mangled
+    length prefix. *)
+
+val size_bytes : t -> int
+(** Bytes of record payload written (excluding page headers/slack). *)
+
+val last_handle : t -> handle option
+(** The most recently written record — a natural place for a directory
+    trailer. Recovered on reopen. *)

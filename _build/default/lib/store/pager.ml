@@ -1,0 +1,186 @@
+(* Header page layout: magic "FXPG1\n" + page size as decimal + '\n',
+   rest zero. Data pages follow, addressed from 0. *)
+
+let header_magic = "FXPG1\n"
+
+type stats = { logical_reads : int; physical_reads : int; physical_writes : int }
+
+type slot = { data : Bytes.t; mutable dirty : bool }
+
+type t = {
+  fd : Unix.file_descr;
+  page_size : int;
+  mutable n_pages : int;
+  pool : (int, slot) Fx_util.Lru.t;
+  mutable logical_reads : int;
+  mutable physical_reads : int;
+  mutable physical_writes : int;
+  mutable closed : bool;
+}
+
+let check_open t = if t.closed then invalid_arg "Pager: already closed"
+
+let file_offset t page = (page + 1) * t.page_size
+
+let really_pread fd buf off =
+  let len = Bytes.length buf in
+  let rec go pos =
+    if pos < len then begin
+      let k = Unix.read fd buf pos (len - pos) in
+      if k = 0 then invalid_arg "Pager: short read (truncated file)";
+      go (pos + k)
+    end
+  in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  go 0
+
+let really_pwrite fd buf off =
+  let len = Bytes.length buf in
+  let rec go pos =
+    if pos < len then begin
+      let k = Unix.write fd buf pos (len - pos) in
+      go (pos + k)
+    end
+  in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  go 0
+
+let write_back t page (slot : slot) =
+  if slot.dirty then begin
+    t.physical_writes <- t.physical_writes + 1;
+    really_pwrite t.fd slot.data (file_offset t page);
+    slot.dirty <- false
+  end
+
+let create ?(pool_pages = 256) ?(page_size = 4096) path =
+  if page_size < 64 then invalid_arg "Pager.create: page_size < 64";
+  if pool_pages < 1 then invalid_arg "Pager.create: pool_pages < 1";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let file_len = (Unix.fstat fd).Unix.st_size in
+  let rec t =
+    lazy
+      {
+        fd;
+        page_size;
+        n_pages = 0;
+        pool =
+          Fx_util.Lru.create ~capacity:pool_pages
+            ~on_evict:(fun page slot -> write_back (Lazy.force t) page slot)
+            ();
+        logical_reads = 0;
+        physical_reads = 0;
+        physical_writes = 0;
+        closed = false;
+      }
+  in
+  let t = Lazy.force t in
+  if file_len = 0 then begin
+    (* Fresh file: write the header page. *)
+    let header = Bytes.make page_size '\000' in
+    let tag = Printf.sprintf "%s%d\n" header_magic page_size in
+    Bytes.blit_string tag 0 header 0 (String.length tag);
+    really_pwrite fd header 0;
+    t.n_pages <- 0
+  end
+  else begin
+    if file_len < page_size || file_len mod page_size <> 0 then begin
+      Unix.close fd;
+      invalid_arg "Pager.create: file size is not a multiple of the page size"
+    end;
+    let header = Bytes.create page_size in
+    really_pread fd header 0;
+    let m = String.length header_magic in
+    if Bytes.sub_string header 0 m <> header_magic then begin
+      Unix.close fd;
+      invalid_arg "Pager.create: bad header magic"
+    end;
+    let rest = Bytes.sub_string header m (min 16 (page_size - m)) in
+    let recorded =
+      match String.index_opt rest '\n' with
+      | Some i -> int_of_string_opt (String.sub rest 0 i)
+      | None -> None
+    in
+    (match recorded with
+    | Some ps when ps = page_size -> ()
+    | Some ps ->
+        Unix.close fd;
+        invalid_arg (Printf.sprintf "Pager.create: file has page size %d, expected %d" ps page_size)
+    | None ->
+        Unix.close fd;
+        invalid_arg "Pager.create: corrupt header");
+    t.n_pages <- (file_len / page_size) - 1
+  end;
+  t
+
+let page_size t = t.page_size
+let n_pages t = t.n_pages
+
+let fetch t page =
+  if page < 0 || page >= t.n_pages then invalid_arg "Pager: page out of range";
+  t.logical_reads <- t.logical_reads + 1;
+  match Fx_util.Lru.find t.pool page with
+  | Some slot -> slot
+  | None ->
+      t.physical_reads <- t.physical_reads + 1;
+      let data = Bytes.create t.page_size in
+      really_pread t.fd data (file_offset t page);
+      let slot = { data; dirty = false } in
+      Fx_util.Lru.add t.pool page slot;
+      slot
+
+let append_page t =
+  check_open t;
+  let page = t.n_pages in
+  t.n_pages <- t.n_pages + 1;
+  let slot = { data = Bytes.make t.page_size '\000'; dirty = true } in
+  (* Extend the file immediately so page indexes stay valid even if this
+     page is evicted before being written to. *)
+  really_pwrite t.fd slot.data (file_offset t page);
+  t.physical_writes <- t.physical_writes + 1;
+  slot.dirty <- false;
+  Fx_util.Lru.add t.pool page slot;
+  page
+
+let read t ~page ~offset ~len =
+  check_open t;
+  if offset < 0 || len < 0 || offset + len > t.page_size then
+    invalid_arg "Pager.read: out of page bounds";
+  let slot = fetch t page in
+  Bytes.sub slot.data offset len
+
+let write t ~page ~offset buf =
+  check_open t;
+  if offset < 0 || offset + Bytes.length buf > t.page_size then
+    invalid_arg "Pager.write: out of page bounds";
+  let slot = fetch t page in
+  Bytes.blit buf 0 slot.data offset (Bytes.length buf);
+  slot.dirty <- true
+
+let flush t =
+  check_open t;
+  Fx_util.Lru.iter t.pool (fun page slot -> write_back t page slot);
+  Unix.fsync t.fd
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    t.closed <- true;
+    Unix.close t.fd
+  end
+
+let stats t =
+  {
+    logical_reads = t.logical_reads;
+    physical_reads = t.physical_reads;
+    physical_writes = t.physical_writes;
+  }
+
+let reset_stats t =
+  t.logical_reads <- 0;
+  t.physical_reads <- 0;
+  t.physical_writes <- 0
+
+let drop_pool t =
+  check_open t;
+  Fx_util.Lru.iter t.pool (fun page slot -> write_back t page slot);
+  Fx_util.Lru.clear t.pool

@@ -1,0 +1,51 @@
+(** A page file with an LRU buffer pool — the storage regime of the
+    paper's evaluation, where every index lived in a database and each
+    label probe paid for page fetches. The disk-backed index variants
+    (see {!Fx_index.Disk_labels}) run on top of this, and the benches
+    use the pool statistics to reproduce the cold/warm behaviour that
+    dominates the paper's absolute numbers.
+
+    Pages are fixed-size blocks addressed by index. Reads go through the
+    pool; writes mark the cached page dirty and are written back on
+    eviction or {!flush}. Not crash-safe (no WAL) — the stores built on
+    it are write-once index snapshots, rebuildable from the collection. *)
+
+type t
+
+val create : ?pool_pages:int -> ?page_size:int -> string -> t
+(** [create path] opens or creates the page file. [page_size] (default
+    4096) must match the file if it already exists (it is recorded in a
+    header page). [pool_pages] (default 256) bounds the buffer pool.
+    Raises [Invalid_argument] on a page-size mismatch or a corrupt
+    header; [Sys_error] on I/O failure. *)
+
+val page_size : t -> int
+val n_pages : t -> int
+(** Data pages currently in the file (the header page is not counted). *)
+
+val append_page : t -> int
+(** Allocate a fresh zeroed page at the end; returns its index. *)
+
+val read : t -> page:int -> offset:int -> len:int -> bytes
+(** Read [len] bytes from one page (bounds-checked). *)
+
+val write : t -> page:int -> offset:int -> bytes -> unit
+(** Write within one page; the page stays dirty in the pool until
+    eviction or {!flush}. *)
+
+val flush : t -> unit
+(** Write every dirty pooled page back and fsync. *)
+
+val close : t -> unit
+(** {!flush} then close the file descriptor. Using [t] afterwards raises. *)
+
+type stats = {
+  logical_reads : int;   (** page requests *)
+  physical_reads : int;  (** requests that missed the pool *)
+  physical_writes : int; (** page write-backs *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val drop_pool : t -> unit
+(** Flush and empty the pool — a "cold cache" switch for benches. *)

@@ -1,0 +1,1 @@
+lib/util/codec.ml: Array Buffer Char Printf String

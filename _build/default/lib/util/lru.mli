@@ -1,0 +1,32 @@
+(** A small LRU map with hit/miss accounting. *)
+
+type ('k, 'v) t
+
+val create : ?on_evict:('k -> 'v -> unit) -> capacity:int -> unit -> ('k, 'v) t
+(** [on_evict] fires when a capacity overflow pushes the least recently
+    used entry out (not on {!remove} or {!clear}) — buffer pools use it
+    to write dirty pages back. Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Refreshes the entry's recency on a hit. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts or replaces; evicts the least recently used entry when the
+    capacity is exceeded. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Does not refresh recency. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** Iterate over resident entries, unspecified order, without touching
+    recency. *)
+
+val length : ('k, 'v) t -> int
+val clear : ('k, 'v) t -> unit
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+(** [find] outcomes since creation (or the last {!clear}). *)

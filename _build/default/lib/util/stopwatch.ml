@@ -1,0 +1,10 @@
+type t = { t0 : float }
+
+let start () = { t0 = Unix.gettimeofday () }
+let elapsed_ns t = Int64.of_float ((Unix.gettimeofday () -. t.t0) *. 1e9)
+let elapsed_ms t = (Unix.gettimeofday () -. t.t0) *. 1e3
+
+let time_ns f =
+  let w = start () in
+  let x = f () in
+  (x, elapsed_ns w)

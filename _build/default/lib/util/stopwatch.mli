@@ -1,0 +1,10 @@
+(** Wall-clock timing for the benchmark harness. *)
+
+type t
+
+val start : unit -> t
+val elapsed_ns : t -> int64
+val elapsed_ms : t -> float
+
+val time_ns : (unit -> 'a) -> 'a * int64
+(** [time_ns f] runs [f] once and reports its wall-clock duration. *)

@@ -1,0 +1,1 @@
+lib/workload/dblp_gen.ml: Fx_util Fx_xml List Printf String Zipf

@@ -1,0 +1,1 @@
+lib/workload/inex_gen.ml: Fx_util Fx_xml List Printf String

@@ -1,0 +1,1 @@
+lib/workload/inex_gen.mli: Fx_xml

@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Array Fx_graph Fx_util Fx_xml Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/workload/web_gen.mli: Fx_xml

@@ -1,0 +1,114 @@
+module Rng = Fx_util.Rng
+module X = Fx_xml.Xml_types
+
+type params = {
+  n_docs : int;
+  seed : int;
+  citing_fraction : float;
+  mean_cites : float;
+  zipf_exponent : float;
+}
+
+let default =
+  { n_docs = 600; seed = 7; citing_fraction = 0.85; mean_cites = 4.1; zipf_exponent = 1.05 }
+
+let paper_scale = { default with n_docs = 6210 }
+
+let doc_name i = Printf.sprintf "dblp_%04d" i
+
+let venues =
+  [| ("inproceedings", "booktitle", "EDBT");
+     ("inproceedings", "booktitle", "ICDE");
+     ("inproceedings", "booktitle", "SIGMOD");
+     ("inproceedings", "booktitle", "VLDB");
+     ("article", "journal", "TODS");
+     ("article", "journal", "VLDB-Journal") |]
+
+let surnames =
+  [| "Mohan"; "Schenkel"; "Weikum"; "Theobald"; "Grust"; "Cohen"; "Widom"; "Goldman";
+     "Chung"; "Fagin"; "Halevy"; "Franklin"; "Apers"; "Jensen"; "Suciu"; "Vossen";
+     "Shasha"; "Zhang"; "Kaushik"; "Ley" |]
+
+let words =
+  [| "indexing"; "XML"; "queries"; "efficient"; "adaptive"; "structural"; "recovery";
+     "transactions"; "semistructured"; "path"; "optimization"; "distributed"; "ranking";
+     "retrieval"; "graphs"; "joins"; "views"; "streams"; "caching"; "storage" |]
+
+let title_text rng =
+  let k = 3 + Rng.int rng 5 in
+  String.concat " " (List.init k (fun _ -> Rng.pick rng words))
+
+(* A flat bibliographic record, ~25 elements on average: root + authors +
+   title (with occasional markup fragments) + fixed fields + ee/url +
+   cite elements. *)
+let publication rng ~zipf ~p i =
+  let kind, venue_field, venue = Rng.pick rng venues in
+  let n_authors = 1 + Rng.int rng 6 in
+  let authors =
+    List.init n_authors (fun _ ->
+        X.e "author" [ X.text (Rng.pick rng surnames ^ " " ^ Rng.pick rng surnames) ])
+  in
+  let title_children =
+    let base = [ X.text (title_text rng) ] in
+    (* Occasional markup inside titles, as real DBLP has (<i>, <sub>). *)
+    if Rng.int rng 3 = 0 then
+      base @ [ X.e "i" [ X.text (Rng.pick rng words) ]; X.text (title_text rng) ]
+    else base
+  in
+  let year = 1985 + Rng.int rng 19 in
+  let fixed =
+    [
+      X.e "title" title_children;
+      X.e "year" [ X.text (string_of_int year) ];
+      X.e "pages" [ X.text (Printf.sprintf "%d-%d" (Rng.int rng 500) (500 + Rng.int rng 30)) ];
+      X.e venue_field [ X.text venue ];
+      X.e "volume" [ X.text (string_of_int (1 + Rng.int rng 30)) ];
+      X.e "number" [ X.text (string_of_int (1 + Rng.int rng 6)) ];
+      X.e "month" [ X.text (Rng.pick rng [| "Jan"; "Apr"; "Jun"; "Sep" |]) ];
+      X.e "url" [ X.text (Printf.sprintf "db/%s/%d.html" venue year) ];
+    ]
+  in
+  let ees =
+    List.init (1 + Rng.int rng 3) (fun k ->
+        X.e "ee" [ X.text (Printf.sprintf "https://doi.org/10.1000/%d.%d" i k) ])
+  in
+  let cites =
+    if i = 0 || Rng.float rng > p.citing_fraction then []
+    else begin
+      let n_cites =
+        let lambda = p.mean_cites /. p.citing_fraction in
+        1 + Rng.int rng (max 1 (int_of_float (2.0 *. lambda) - 1))
+      in
+      List.init n_cites (fun _ ->
+          (* Citations point backwards in publication order. Most
+             references are recent work (Zipf-distributed age), the rest
+             all-time classics (Zipf over the whole prefix) — the mix
+             that gives bibliographic graphs their long citation chains
+             plus a few heavily-cited hubs. *)
+          let t =
+            if Rng.float rng < 0.7 then i - 1 - (Zipf.sample zipf rng mod i)
+            else begin
+              let rec classic () =
+                let t = Zipf.sample zipf rng in
+                if t < i then t else classic ()
+              in
+              classic ()
+            end
+          in
+          X.e "cite" ~attrs:[ ("href", doc_name t); ("label", Printf.sprintf "ref%d" t) ] [])
+    end
+  in
+  let root =
+    X.elt kind
+      ~attrs:[ ("key", Printf.sprintf "conf/%s/%s%d" venue (Rng.pick rng surnames) (year mod 100)) ]
+      (authors @ fixed @ ees @ cites)
+  in
+  X.document ~name:(doc_name i) root
+
+let generate p =
+  if p.n_docs < 1 then invalid_arg "Dblp_gen.generate: n_docs < 1";
+  let rng = Rng.create p.seed in
+  let zipf = Zipf.create ~exponent:p.zipf_exponent p.n_docs in
+  List.init p.n_docs (fun i -> publication rng ~zipf ~p i)
+
+let collection p = Fx_xml.Collection.build (generate p)

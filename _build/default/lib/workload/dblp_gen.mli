@@ -1,0 +1,36 @@
+(** Synthetic DBLP-like collection generator.
+
+    The paper's evaluation data is an extract of DBLP: "one XML document
+    for each 2nd-level element of DBLP (article, inproceedings, ...)"
+    restricted to EDBT / ICDE / SIGMOD / VLDB / TODS / VLDB-Journal,
+    giving 6,210 documents with 168,991 elements and 25,368
+    inter-document links. The real dump is unavailable offline, so this
+    generator reproduces the collection's {e shape}: flat bibliographic
+    records of ~25 elements, one document per publication, and
+    Zipf-skewed citation links pointing at the root elements of earlier
+    publications — so hub papers with hundreds of citing documents exist
+    (the role Mohan's ARIES paper plays in the paper's query). All
+    citation links are inter-document and point at roots, matching the
+    paper's observation that DBLP is "almost a tree" and well suited to
+    the Maximal-PPO configuration. *)
+
+type params = {
+  n_docs : int;
+  seed : int;
+  citing_fraction : float;  (** fraction of publications with a cite list *)
+  mean_cites : float;       (** average cites per citing publication *)
+  zipf_exponent : float;    (** skew of citation targets *)
+}
+
+val default : params
+(** 600 documents — test-suite scale. *)
+
+val paper_scale : params
+(** 6,210 documents, tuned towards the paper's element and link counts. *)
+
+val doc_name : int -> string
+(** Collection name of publication [i] ("dblp_0042"). *)
+
+val generate : params -> Fx_xml.Xml_types.document list
+val collection : params -> Fx_xml.Collection.t
+(** [collection p] = [Collection.build (generate p)]. *)

@@ -1,0 +1,83 @@
+module Rng = Fx_util.Rng
+module X = Fx_xml.Xml_types
+
+type params = {
+  n_docs : int;
+  seed : int;
+  sections_per_level : int;
+  depth : int;
+  xref_prob : float;
+  inter_link_prob : float;
+}
+
+let default =
+  {
+    n_docs = 100;
+    seed = 19;
+    sections_per_level = 3;
+    depth = 3;
+    xref_prob = 0.05;
+    inter_link_prob = 0.02;
+  }
+
+let doc_name i = Printf.sprintf "inex_%04d" i
+
+let words =
+  [| "retrieval"; "evaluation"; "relevance"; "assessment"; "topic"; "fragment";
+     "structured"; "document"; "collection"; "benchmark"; "metric"; "pooling" |]
+
+let sentence rng =
+  X.text (String.concat " " (List.init (4 + Rng.int rng 8) (fun _ -> Rng.pick rng words)))
+
+(* One article: front matter, a section tree with titled sections and
+   paragraphs, sparse intra-document xrefs to section ids, a
+   bibliography. *)
+let article rng p i =
+  let sec_counter = ref 0 in
+  let xrefs = ref [] in
+  let rec section level =
+    incr sec_counter;
+    let id = Printf.sprintf "sec%d" !sec_counter in
+    let paragraphs =
+      List.init
+        (1 + Rng.int rng 3)
+        (fun _ ->
+          if Rng.float rng < p.xref_prob && !sec_counter > 1 then begin
+            let target = 1 + Rng.int rng (!sec_counter - 1) in
+            xrefs := target :: !xrefs;
+            X.e "p" [ sentence rng; X.e "xref" ~attrs:[ ("idref", Printf.sprintf "sec%d" target) ] [] ]
+          end
+          else X.e "p" [ sentence rng ])
+    in
+    let subsections =
+      if level >= p.depth then []
+      else List.init (Rng.int rng (p.sections_per_level + 1)) (fun _ -> section (level + 1))
+    in
+    X.e "sec" ~attrs:[ ("id", id) ]
+      (X.e "st" [ sentence rng ] :: (paragraphs @ subsections))
+  in
+  let body = List.init p.sections_per_level (fun _ -> section 1) in
+  let bibliography =
+    if Rng.float rng < p.inter_link_prob && i > 0 then
+      [ X.e "bb" ~attrs:[ ("xlink:href", doc_name (Rng.int rng i)) ] [ sentence rng ] ]
+    else []
+  in
+  let front =
+    [
+      X.e "fm"
+        [
+          X.e "atl" [ sentence rng ];
+          X.e "au" [ X.text (Rng.pick rng words) ];
+          X.e "abs" [ sentence rng ];
+        ];
+    ]
+  in
+  X.document ~name:(doc_name i)
+    (X.elt "article" (front @ [ X.e "bdy" body ] @ bibliography))
+
+let generate p =
+  if p.n_docs < 1 then invalid_arg "Inex_gen.generate: n_docs < 1";
+  let rng = Rng.create p.seed in
+  List.init p.n_docs (fun i -> article rng p i)
+
+let collection p = Fx_xml.Collection.build (generate p)

@@ -1,0 +1,30 @@
+(** INEX-style collection generator: large, deeply structured, mostly
+    {e isolated} documents — full-text journal articles with nested
+    sections, a few intra-document cross-references and almost no
+    inter-document links.
+
+    The paper singles this shape out as the sweet spot of the Naive
+    configuration: "this approach can be useful if documents are
+    relatively large, the number of inter-document links is small, and
+    queries usually do not cross document boundaries. As an example, the
+    INEX benchmark collection of XML documents would be a good
+    candidate" (Section 4.3). The A6 bench uses this generator to show
+    exactly that. *)
+
+type params = {
+  n_docs : int;
+  seed : int;
+  sections_per_level : int;  (** fan-out of the section tree *)
+  depth : int;               (** section nesting depth *)
+  xref_prob : float;         (** chance a paragraph carries an
+                                 intra-document cross-reference *)
+  inter_link_prob : float;   (** chance a document links to another
+                                 document at all (INEX: rare) *)
+}
+
+val default : params
+(** 100 documents of ~250 elements, ~2 % inter-document links. *)
+
+val doc_name : int -> string
+val generate : params -> Fx_xml.Xml_types.document list
+val collection : params -> Fx_xml.Collection.t

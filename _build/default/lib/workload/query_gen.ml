@@ -1,0 +1,116 @@
+module Collection = Fx_xml.Collection
+module Traversal = Fx_graph.Traversal
+module Digraph = Fx_graph.Digraph
+module Rng = Fx_util.Rng
+
+type query = { start : int; tag : string; n_reachable : int; label : string }
+
+let most_cited_root c =
+  let g = Collection.graph c in
+  let best = ref (Collection.root_of_doc c 0) and best_deg = ref (-1) in
+  for d = 0 to Collection.n_docs c - 1 do
+    let r = Collection.root_of_doc c d in
+    let deg = Digraph.in_degree g r in
+    if deg > !best_deg then begin
+      best := r;
+      best_deg := deg
+    end
+  done;
+  !best
+
+let count_reachable_with_tag c start tag =
+  match Collection.tag_id c tag with
+  | None -> 0
+  | Some w ->
+      let dist = Traversal.bfs_distances (Collection.graph c) start in
+      let tags = Collection.tag c in
+      let count = ref 0 in
+      Array.iteri (fun v d -> if d > 0 && tags.(v) = w then incr count) dist;
+      !count
+
+(* Root with the (estimated) largest descendant set: link direction is
+   citer -> cited, so the right start element for the Figure-5 query is a
+   publication whose transitive reference list is huge — found cheaply
+   with Cohen's reach-size estimator, then verified by one exact BFS. *)
+let widest_reach_root c =
+  let est = Fx_graph.Tc_estimate.compute ~rounds:8 ~seed:99 (Collection.graph c) in
+  let best = ref (Collection.root_of_doc c 0) and best_size = ref neg_infinity in
+  for d = 0 to Collection.n_docs c - 1 do
+    let r = Collection.root_of_doc c d in
+    let s = Fx_graph.Tc_estimate.reach_size est r in
+    if s > !best_size then begin
+      best := r;
+      best_size := s
+    end
+  done;
+  !best
+
+let hub_query c ~tag =
+  let start = widest_reach_root c in
+  {
+    start;
+    tag;
+    n_reachable = count_reachable_with_tag c start tag;
+    label = Printf.sprintf "%s//%s" (Collection.describe c start) tag;
+  }
+
+let descendant_queries c ~seed ~count ~min_results =
+  let rng = Rng.create seed in
+  let g = Collection.graph c in
+  let tags = Collection.tag c in
+  let n_docs = Collection.n_docs c in
+  let acc = ref [] and found = ref 0 and attempts = ref 0 in
+  while !found < count && !attempts < 50 * count do
+    incr attempts;
+    let start = Collection.root_of_doc c (Rng.int rng n_docs) in
+    let dist = Traversal.bfs_distances g start in
+    (* Count reachable nodes per tag and pick a qualifying tag at random. *)
+    let per_tag = Hashtbl.create 16 in
+    Array.iteri
+      (fun v d ->
+        if d > 0 then
+          Hashtbl.replace per_tag tags.(v)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_tag tags.(v))))
+      dist;
+    let qualifying =
+      Hashtbl.fold (fun w n acc -> if n >= min_results then (w, n) :: acc else acc) per_tag []
+    in
+    match qualifying with
+    | [] -> ()
+    | _ ->
+        let w, n = List.nth qualifying (Rng.int rng (List.length qualifying)) in
+        let tag = Collection.tag_name c w in
+        incr found;
+        acc :=
+          {
+            start;
+            tag;
+            n_reachable = n;
+            label = Printf.sprintf "%s//%s" (Collection.describe c start) tag;
+          }
+          :: !acc
+  done;
+  List.rev !acc
+
+let connection_pairs c ~seed ~count ~connected_fraction =
+  let rng = Rng.create seed in
+  let g = Collection.graph c in
+  let n = Collection.n_nodes c in
+  List.init count (fun _ ->
+      if Rng.float rng < connected_fraction then begin
+        (* Sample a genuinely connected pair: BFS from a random root and
+           pick a reachable node. *)
+        let a = Collection.root_of_doc c (Rng.int rng (Collection.n_docs c)) in
+        let dist = Traversal.bfs_distances g a in
+        let reachable = ref [] in
+        Array.iteri (fun v d -> if d > 0 then reachable := v :: !reachable) dist;
+        match !reachable with
+        | [] -> (a, Rng.int rng n, None)
+        | rs ->
+            let b = List.nth rs (Rng.int rng (List.length rs)) in
+            (a, b, Some dist.(b))
+      end
+      else begin
+        let a = Rng.int rng n and b = Rng.int rng n in
+        (a, b, Traversal.distance g a b)
+      end)

@@ -1,0 +1,44 @@
+(** Query workload generation for the benches.
+
+    The paper's headline query asks for all [article] descendants of one
+    highly-cited publication ("Mohan's VLDB 99 paper about ARIES") and
+    then repeats the experiment "with different start elements and
+    different tag names". These helpers pick equivalent start points
+    from a synthetic collection: hubs with many incoming citations and
+    sizeable descendant sets, plus random connection-test pairs with
+    ground truth. *)
+
+type query = {
+  start : int;         (** global start node *)
+  tag : string;        (** target tag name *)
+  n_reachable : int;   (** ground-truth result count (strict descendants) *)
+  label : string;      (** human-readable description *)
+}
+
+val most_cited_root : Fx_xml.Collection.t -> int
+(** Document root with the highest in-degree in the collection graph. *)
+
+val widest_reach_root : Fx_xml.Collection.t -> int
+(** Document root with the largest estimated descendant set (links run
+    citer → cited, so this is a publication with a deep transitive
+    reference list) — the ARIES stand-in. Uses Cohen's reach-size
+    estimator, O(rounds · (n + m)). *)
+
+val hub_query : Fx_xml.Collection.t -> tag:string -> query
+(** The Figure-5 query: [hub//tag] starting at {!widest_reach_root}.
+    Counting the ground truth costs one BFS. *)
+
+val descendant_queries :
+  Fx_xml.Collection.t -> seed:int -> count:int -> min_results:int -> query list
+(** Random [a//b] queries whose ground-truth result count is at least
+    [min_results]; start nodes are sampled among document roots, target
+    tags among tags actually present in the start's descendant set.
+    Fewer than [count] queries are returned when the collection cannot
+    support them. *)
+
+val connection_pairs :
+  Fx_xml.Collection.t -> seed:int -> count:int -> connected_fraction:float ->
+  (int * int * int option) list
+(** Random node pairs with their ground-truth distance;
+    [connected_fraction] steers how many pairs are sampled from real
+    reachability sets rather than uniformly. *)

@@ -1,0 +1,128 @@
+module Rng = Fx_util.Rng
+module X = Fx_xml.Xml_types
+
+type params = {
+  seed : int;
+  n_tree_docs : int;
+  tree_fanout : int;
+  tree_doc_depth : int;
+  n_dense_docs : int;
+  dense_doc_size : int;
+  dense_out_links : int;
+  intra_links : int;
+  bridges : int;
+}
+
+let default =
+  {
+    seed = 11;
+    n_tree_docs = 40;
+    tree_fanout = 3;
+    tree_doc_depth = 3;
+    n_dense_docs = 25;
+    dense_doc_size = 60;
+    dense_out_links = 6;
+    intra_links = 4;
+    bridges = 2;
+  }
+
+let tree_doc_name i = Printf.sprintf "site_%03d" i
+let dense_doc_name i = Printf.sprintf "wiki_%03d" i
+
+let section_tags = [| "section"; "chapter"; "div"; "entry"; "topic" |]
+let leaf_tags = [| "para"; "item"; "note"; "figure"; "code" |]
+
+let words =
+  [| "web"; "data"; "link"; "page"; "graph"; "index"; "portal"; "engine"; "model" |]
+
+let some_text rng =
+  X.text (String.concat " " (List.init (2 + Rng.int rng 4) (fun _ -> Rng.pick rng words)))
+
+(* Nested page content; every element receives an id so that it can be an
+   anchor target for cross-document links. *)
+let rec page_content rng ~prefix ~depth ~fanout counter =
+  let fresh () =
+    incr counter;
+    Printf.sprintf "%s-e%d" prefix !counter
+  in
+  if depth = 0 then
+    X.e (Rng.pick rng leaf_tags) ~attrs:[ ("id", fresh ()) ] [ some_text rng ]
+  else begin
+    let k = 1 + Rng.int rng fanout in
+    let children =
+      List.init k (fun _ -> page_content rng ~prefix ~depth:(depth - 1) ~fanout counter)
+    in
+    X.e (Rng.pick rng section_tags) ~attrs:[ ("id", fresh ()) ] (some_text rng :: children)
+  end
+
+(* Tree cluster: document i's page links to the roots of its child
+   documents (classic site hierarchy). *)
+let tree_doc rng p i =
+  let counter = ref 0 in
+  let body =
+    List.init 2 (fun _ ->
+        page_content rng ~prefix:(tree_doc_name i) ~depth:p.tree_doc_depth
+          ~fanout:p.tree_fanout counter)
+  in
+  let child_links =
+    List.filter_map
+      (fun k ->
+        let child = (i * p.tree_fanout) + 1 + k in
+        if child < p.n_tree_docs then
+          Some (X.e "nav" ~attrs:[ ("xlink:href", tree_doc_name child) ] [ some_text rng ])
+        else None)
+      (List.init p.tree_fanout (fun k -> k))
+  in
+  X.document ~name:(tree_doc_name i)
+    (X.elt "page" ~attrs:[ ("id", tree_doc_name i ^ "-root") ] (body @ child_links))
+
+(* Dense cluster: anchored elements, intra-document idref links (cycles
+   welcome) and links to random anchors of other dense documents. *)
+let dense_doc rng p i anchors_per_doc =
+  let counter = ref 0 in
+  let name = dense_doc_name i in
+  let rec build budget =
+    if budget <= 1 then
+      [ page_content rng ~prefix:name ~depth:0 ~fanout:1 counter ]
+    else begin
+      let chunk = page_content rng ~prefix:name ~depth:2 ~fanout:3 counter in
+      chunk :: build (budget - 12)
+    end
+  in
+  let body = build p.dense_doc_size in
+  let n_anchors = !counter in
+  let intra =
+    List.init p.intra_links (fun _ ->
+        let a = 1 + Rng.int rng (max 1 n_anchors) in
+        X.e "seealso" ~attrs:[ ("idref", Printf.sprintf "%s-e%d" name a) ] [])
+  in
+  let inter =
+    List.init p.dense_out_links (fun _ ->
+        let target = Rng.int rng p.n_dense_docs in
+        let anchor = 1 + Rng.int rng (max 1 anchors_per_doc) in
+        X.e "ref"
+          ~attrs:[ ("xlink:href", Printf.sprintf "%s#%s-e%d" (dense_doc_name target)
+                      (dense_doc_name target) anchor) ]
+          [])
+  in
+  let bridge =
+    if i < p.bridges && p.n_tree_docs > 0 then
+      [ X.e "ref"
+          ~attrs:[ ("xlink:href", tree_doc_name (Rng.int rng p.n_tree_docs)) ]
+          [] ]
+    else []
+  in
+  X.document ~name
+    (X.elt "article" ~attrs:[ ("id", name ^ "-root") ] (body @ intra @ inter @ bridge))
+
+let generate p =
+  if p.n_tree_docs < 0 || p.n_dense_docs < 0 then invalid_arg "Web_gen.generate";
+  let rng = Rng.create p.seed in
+  (* Dense documents reference each other's anchors by number; use a safe
+     lower bound every document is guaranteed to have. *)
+  let anchors_per_doc = max 1 (p.dense_doc_size / 12) in
+  let tree = List.init p.n_tree_docs (fun i -> tree_doc rng p i) in
+  let dense = List.init p.n_dense_docs (fun i -> dense_doc rng p i anchors_per_doc) in
+  tree @ dense
+
+let collection p = Fx_xml.Collection.build (generate p)

@@ -1,0 +1,33 @@
+(** Heterogeneous web-style collection generator — the paper's Figure 1
+    scenario: "a part consisting of documents one to four that forms a
+    tree, while the rest is closely interlinked".
+
+    The generated collection has two clusters plus a bridge:
+    - a {b tree cluster}: documents arranged in a site hierarchy, every
+      link pointing at a child document's root — ideal for Maximal PPO;
+    - a {b dense cluster}: documents with intra-document idref links
+      (including cycles) and inter-document links into arbitrary
+      anchored elements — PPO-hostile, HOPI territory;
+    - one or more {b bridge links} from the dense cluster into the tree
+      cluster (Figure 1's edge between documents 5 and 4).
+
+    This is the workload for the Hybrid-configuration ablation (DESIGN.md
+    experiment A1). *)
+
+type params = {
+  seed : int;
+  n_tree_docs : int;
+  tree_fanout : int;        (** child documents per tree document *)
+  tree_doc_depth : int;     (** element nesting inside tree documents *)
+  n_dense_docs : int;
+  dense_doc_size : int;     (** approximate elements per dense document *)
+  dense_out_links : int;    (** inter-document links per dense document *)
+  intra_links : int;        (** idref links inside each dense document *)
+  bridges : int;            (** dense-to-tree links *)
+}
+
+val default : params
+val tree_doc_name : int -> string
+val dense_doc_name : int -> string
+val generate : params -> Fx_xml.Xml_types.document list
+val collection : params -> Fx_xml.Collection.t

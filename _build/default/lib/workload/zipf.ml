@@ -1,0 +1,25 @@
+type t = { cdf : float array }
+
+let create ?(exponent = 1.0) n =
+  if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (k + 1) ** exponent));
+    cdf.(k) <- !total
+  done;
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. !total
+  done;
+  { cdf }
+
+let sample t rng =
+  let u = Fx_util.Rng.float rng in
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let n t = Array.length t.cdf

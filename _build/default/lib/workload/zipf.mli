@@ -1,0 +1,18 @@
+(** Zipf-distributed sampling over [0 .. n-1].
+
+    Citation counts in bibliographic data are heavily skewed — a few
+    papers (the paper's running example is Mohan's ARIES work) attract a
+    large share of the links. The DBLP workload generator uses a Zipf
+    law for link targets so that such hub elements exist. *)
+
+type t
+
+val create : ?exponent:float -> int -> t
+(** [create n] prepares sampling over ranks [0 .. n-1] with
+    [P(k) ∝ 1 / (k+1)^exponent] (default exponent 1.0).
+    Raises [Invalid_argument] on [n <= 0]. *)
+
+val sample : t -> Fx_util.Rng.t -> int
+(** O(log n) by binary search on the cumulative distribution. *)
+
+val n : t -> int

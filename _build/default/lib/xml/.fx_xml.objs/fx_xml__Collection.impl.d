@@ -1,0 +1,1 @@
+lib/xml/collection.ml: Array Fx_graph Hashtbl Link_resolver List Option Printf Xml_types

@@ -1,0 +1,1 @@
+lib/xml/collection.mli: Fx_graph Xml_types

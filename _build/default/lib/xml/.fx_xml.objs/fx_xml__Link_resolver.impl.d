@@ -1,0 +1,1 @@
+lib/xml/link_resolver.ml: Hashtbl List String Xml_types

@@ -1,0 +1,1 @@
+lib/xml/link_resolver.mli: Xml_types

@@ -1,0 +1,1 @@
+lib/xml/xml_lexer.ml: Buffer Char Printf String

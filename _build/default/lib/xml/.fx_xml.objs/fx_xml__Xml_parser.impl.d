@@ -1,0 +1,1 @@
+lib/xml/xml_parser.ml: List Xml_sax Xml_types

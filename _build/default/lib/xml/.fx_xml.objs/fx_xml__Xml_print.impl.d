@@ -1,0 +1,1 @@
+lib/xml/xml_print.ml: Buffer List String Xml_types

@@ -1,0 +1,1 @@
+lib/xml/xml_sax.ml: Format Hashtbl List Option Printf String Xml_lexer

@@ -1,0 +1,1 @@
+lib/xml/xml_sax.mli: Format

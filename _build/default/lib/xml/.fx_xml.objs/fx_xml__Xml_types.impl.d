@@ -1,0 +1,1 @@
+lib/xml/xml_types.ml: Buffer List String

@@ -1,0 +1,46 @@
+type href = { doc : string option; anchor : string option }
+
+type raw = {
+  anchors : (string * int) list;
+  idrefs : (int * string) list;
+  hrefs : (int * href) list;
+}
+
+let parse_href s =
+  match String.index_opt s '#' with
+  | None -> { doc = (if s = "" then None else Some s); anchor = None }
+  | Some i ->
+      let doc = String.sub s 0 i in
+      let anchor = String.sub s (i + 1) (String.length s - i - 1) in
+      {
+        doc = (if doc = "" then None else Some doc);
+        anchor = (if anchor = "" then None else Some anchor);
+      }
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun x -> x <> "")
+
+let scan (doc : Xml_types.document) =
+  let anchors = ref [] and idrefs = ref [] and hrefs = ref [] in
+  let seen_anchor = Hashtbl.create 16 in
+  let index = ref (-1) in
+  Xml_types.iter_elements doc.root (fun el ->
+      incr index;
+      let i = !index in
+      List.iter
+        (fun ({ name; value } : Xml_types.attribute) ->
+          match name with
+          | "id" | "xml:id" ->
+              if not (Hashtbl.mem seen_anchor value) then begin
+                Hashtbl.add seen_anchor value ();
+                anchors := (value, i) :: !anchors
+              end
+          | "idref" -> if value <> "" then idrefs := (i, value) :: !idrefs
+          | "idrefs" -> List.iter (fun v -> idrefs := (i, v) :: !idrefs) (split_ws value)
+          | "xlink:href" | "href" -> if value <> "" then hrefs := (i, parse_href value) :: !hrefs
+          | _ -> ())
+        el.attrs);
+  { anchors = List.rev !anchors; idrefs = List.rev !idrefs; hrefs = List.rev !hrefs }

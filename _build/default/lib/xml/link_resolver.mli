@@ -1,0 +1,27 @@
+(** Extraction of intra- and inter-document links from XML documents.
+
+    Following the paper (Section 1), two link mechanisms are recognised:
+    - attributes of type id / idref(s): an [id] (or [xml:id]) attribute
+      declares an anchor; [idref] / [idrefs] attributes reference anchors
+      of the {e same} document;
+    - XLink-style hrefs: [xlink:href] (or plain [href]) attributes of the
+      form ["target-doc#anchor"], ["target-doc"] (the target's root
+      element) or ["#anchor"] (same document).
+
+    Elements are identified by their preorder index within their
+    document; {!Collection} turns these into global graph nodes. *)
+
+type href = { doc : string option; anchor : string option }
+(** [doc = None]: same document. [anchor = None]: the root element. *)
+
+type raw = {
+  anchors : (string * int) list;  (** id value, preorder index of carrier *)
+  idrefs : (int * string) list;   (** source preorder index, referenced id *)
+  hrefs : (int * href) list;      (** source preorder index, parsed href *)
+}
+
+val parse_href : string -> href
+val scan : Xml_types.document -> raw
+(** Single preorder pass; [idrefs] attributes are split on whitespace.
+    Duplicate anchors keep the first occurrence (later ones are shadowed,
+    as in HTML). *)

@@ -1,0 +1,171 @@
+type t = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+exception Error of { line : int; col : int; message : string }
+
+let create input = { input; pos = 0; line = 1; col = 1 }
+let position t = (t.line, t.col)
+let fail t message = raise (Error { line = t.line; col = t.col; message })
+let eof t = t.pos >= String.length t.input
+let peek t = if eof t then None else Some t.input.[t.pos]
+
+let peek2 t =
+  if t.pos + 1 >= String.length t.input then None else Some t.input.[t.pos + 1]
+
+let advance t =
+  if eof t then fail t "unexpected end of input";
+  if t.input.[t.pos] = '\n' then begin
+    t.line <- t.line + 1;
+    t.col <- 1
+  end
+  else t.col <- t.col + 1;
+  t.pos <- t.pos + 1
+
+let expect t c =
+  match peek t with
+  | Some c' when c' = c -> advance t
+  | Some c' -> fail t (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail t (Printf.sprintf "expected %C, found end of input" c)
+
+let looking_at t s =
+  let n = String.length s in
+  t.pos + n <= String.length t.input && String.sub t.input t.pos n = s
+
+let expect_string t s =
+  if looking_at t s then String.iter (fun _ -> advance t) s
+  else fail t (Printf.sprintf "expected %S" s)
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws t =
+  while (not (eof t)) && is_ws t.input.[t.pos] do
+    advance t
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | _ -> false
+
+let is_name_char c =
+  is_name_start c || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let read_name t =
+  (match peek t with
+  | Some c when is_name_start c -> ()
+  | Some c -> fail t (Printf.sprintf "invalid name start %C" c)
+  | None -> fail t "expected a name, found end of input");
+  let start = t.pos in
+  while (not (eof t)) && is_name_char t.input.[t.pos] do
+    advance t
+  done;
+  String.sub t.input start (t.pos - start)
+
+(* Entity reference, cursor on '&'. *)
+let read_entity t =
+  expect t '&';
+  let start = t.pos in
+  while (not (eof t)) && t.input.[t.pos] <> ';' && t.pos - start < 12 do
+    advance t
+  done;
+  if eof t || t.input.[t.pos] <> ';' then fail t "unterminated entity reference";
+  let name = String.sub t.input start (t.pos - start) in
+  advance t;
+  match name with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+      if String.length name >= 2 && name.[0] = '#' then begin
+        let code =
+          try
+            if name.[1] = 'x' || name.[1] = 'X' then
+              int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+            else int_of_string (String.sub name 1 (String.length name - 1))
+          with Failure _ -> fail t (Printf.sprintf "invalid character reference &%s;" name)
+        in
+        if code < 0 || code > 0x10FFFF then fail t "character reference out of range";
+        (* UTF-8 encode. *)
+        let buf = Buffer.create 4 in
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else if code < 0x10000 then begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        Buffer.contents buf
+      end
+      else fail t (Printf.sprintf "unknown entity &%s;" name)
+
+let read_attr_value t =
+  let quote =
+    match peek t with
+    | Some ('"' as q) | Some ('\'' as q) ->
+        advance t;
+        q
+    | Some c -> fail t (Printf.sprintf "expected quoted attribute value, found %C" c)
+    | None -> fail t "expected attribute value, found end of input"
+  in
+  let buf = Buffer.create 16 in
+  let continue = ref true in
+  while !continue do
+    match peek t with
+    | None -> fail t "unterminated attribute value"
+    | Some c when c = quote ->
+        advance t;
+        continue := false
+    | Some '&' -> Buffer.add_string buf (read_entity t)
+    | Some '<' -> fail t "'<' is not allowed in attribute values"
+    | Some c ->
+        Buffer.add_char buf c;
+        advance t
+  done;
+  Buffer.contents buf
+
+let read_text t =
+  let buf = Buffer.create 32 in
+  let continue = ref true in
+  while !continue do
+    match peek t with
+    | None | Some '<' -> continue := false
+    | Some '&' -> Buffer.add_string buf (read_entity t)
+    | Some ']' when looking_at t "]]>" -> fail t "']]>' is not allowed in character data"
+    | Some c ->
+        Buffer.add_char buf c;
+        advance t
+  done;
+  Buffer.contents buf
+
+let read_until t stop =
+  let buf = Buffer.create 32 in
+  let continue = ref true in
+  while !continue do
+    if looking_at t stop then begin
+      expect_string t stop;
+      continue := false
+    end
+    else if eof t then fail t (Printf.sprintf "expected %S before end of input" stop)
+    else begin
+      Buffer.add_char buf t.input.[t.pos];
+      advance t
+    end
+  done;
+  Buffer.contents buf
+
+let read_comment_body t = read_until t "-->"
+let read_cdata_body t = read_until t "]]>"

@@ -1,0 +1,47 @@
+(** Low-level scanning primitives for the XML parser: a cursor over the
+    input with line/column tracking, plus the context-sensitive token
+    readers (names, attribute values, character data, comments, CDATA,
+    entity references). The grammar lives in {!Xml_parser}. *)
+
+type t
+
+exception Error of { line : int; col : int; message : string }
+
+val create : string -> t
+val position : t -> int * int
+(** Current (line, column), 1-based. *)
+
+val fail : t -> string -> 'a
+(** Raise {!Error} at the current position. *)
+
+val eof : t -> bool
+val peek : t -> char option
+val peek2 : t -> char option
+(** Character after the next one. *)
+
+val advance : t -> unit
+val expect : t -> char -> unit
+val expect_string : t -> string -> unit
+val skip_ws : t -> unit
+val looking_at : t -> string -> bool
+
+val read_name : t -> string
+(** XML name: leading letter/underscore/colon, then also digits, dots,
+    hyphens. Fails on anything else. *)
+
+val read_attr_value : t -> string
+(** Quoted attribute value (either quote style), entities resolved. *)
+
+val read_text : t -> string
+(** Character data up to the next ['<'], entities resolved. Fails on a
+    bare ['&'] that is not a valid entity, and on [']]>'] in content. *)
+
+val read_comment_body : t -> string
+(** After ["<!--"], reads up to and including ["-->"]. *)
+
+val read_cdata_body : t -> string
+(** After ["<![CDATA["], reads up to and including ["]]>"]. *)
+
+val read_until : t -> string -> string
+(** [read_until t stop] consumes up to and including [stop], returning
+    the text before it. Fails at end of input. *)

@@ -1,0 +1,66 @@
+(* The tree parser is a fold over the SAX event stream (Xml_sax owns the
+   grammar): Start pushes a frame, content events accumulate into the
+   top frame, End pops and wraps. Both views therefore accept and reject
+   exactly the same inputs. *)
+
+type error = Xml_sax.error = { line : int; col : int; message : string }
+
+let pp_error = Xml_sax.pp_error
+let error_to_string = Xml_sax.error_to_string
+
+type frame = {
+  tag : string;
+  attrs : Xml_types.attribute list;
+  mutable children : Xml_types.node list; (* reversed *)
+}
+
+let parse ?(name = "doc") input =
+  let stack : frame list ref = ref [] in
+  let root = ref None in
+  let push_node node =
+    match !stack with
+    | top :: _ -> top.children <- node :: top.children
+    | [] -> assert false (* SAX only emits content inside the root *)
+  in
+  let on_event (e : Xml_sax.event) =
+    match e with
+    | Start_element { tag; attrs } ->
+        let attrs = List.map (fun (name, value) -> { Xml_types.name; value }) attrs in
+        stack := { tag; attrs; children = [] } :: !stack
+    | End_element _ -> begin
+        match !stack with
+        | frame :: rest ->
+            let element =
+              {
+                Xml_types.tag = frame.tag;
+                attrs = frame.attrs;
+                children = List.rev frame.children;
+              }
+            in
+            stack := rest;
+            if rest = [] then root := Some element
+            else push_node (Xml_types.Element element)
+        | [] -> assert false
+      end
+    | Text s -> push_node (Xml_types.Text s)
+    | Cdata s -> push_node (Xml_types.Cdata s)
+    | Comment s -> push_node (Xml_types.Comment s)
+    | Pi { target; body } -> push_node (Xml_types.Pi { target; body })
+  in
+  match Xml_sax.parse input ~on_event with
+  | Error _ as e -> e
+  | Ok () -> begin
+      match !root with
+      | Some root -> Ok (Xml_types.document ~name root)
+      | None -> assert false (* a successful SAX run closed the root *)
+    end
+
+let parse_exn ?name input =
+  match parse ?name input with
+  | Ok doc -> doc
+  | Error e -> failwith ("XML parse error at " ^ error_to_string e)
+
+let parse_element input =
+  match parse ~name:"_" input with
+  | Ok doc -> Ok doc.Xml_types.root
+  | Error e -> Error e

@@ -1,0 +1,23 @@
+(** Tree parser for the XML subset used by document collections:
+    prolog, doctype (skipped), elements with attributes, character data
+    with entity references, CDATA, comments, processing instructions.
+    Namespaces are kept as raw prefixed names (FliX treats
+    ["xlink:href"] as an ordinary attribute name). Implemented as a fold
+    over the {!Xml_sax} event stream, so the two views agree exactly on
+    which inputs are well-formed. *)
+
+type error = Xml_sax.error = { line : int; col : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse : ?name:string -> string -> (Xml_types.document, error) result
+(** [parse ~name input] parses a complete document. [name] (default
+    ["doc"]) becomes the document's collection name. Trailing garbage
+    after the root element is an error. *)
+
+val parse_exn : ?name:string -> string -> Xml_types.document
+(** @raise Failure with a formatted message on parse errors. *)
+
+val parse_element : string -> (Xml_types.element, error) result
+(** Parses a bare element (no prolog handling beyond whitespace). *)

@@ -1,0 +1,107 @@
+open Xml_types
+
+let escape ~quot s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when quot -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text s = escape ~quot:false s
+let escape_attr s = escape ~quot:true s
+
+let add_attrs buf attrs =
+  List.iter
+    (fun { name; value } ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf name;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr value);
+      Buffer.add_char buf '"')
+    attrs
+
+let rec add_element buf el =
+  Buffer.add_char buf '<';
+  Buffer.add_string buf el.tag;
+  add_attrs buf el.attrs;
+  match el.children with
+  | [] -> Buffer.add_string buf "/>"
+  | children ->
+      Buffer.add_char buf '>';
+      List.iter (add_node buf) children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf el.tag;
+      Buffer.add_char buf '>'
+
+and add_node buf = function
+  | Element el -> add_element buf el
+  | Text s -> Buffer.add_string buf (escape_text s)
+  | Cdata s ->
+      Buffer.add_string buf "<![CDATA[";
+      Buffer.add_string buf s;
+      Buffer.add_string buf "]]>"
+  | Comment s ->
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf s;
+      Buffer.add_string buf "-->"
+  | Pi { target; body } ->
+      Buffer.add_string buf "<?";
+      Buffer.add_string buf target;
+      if body <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf body
+      end;
+      Buffer.add_string buf "?>"
+
+let element_to_string el =
+  let buf = Buffer.create 256 in
+  add_element buf el;
+  Buffer.contents buf
+
+let to_string doc =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  add_element buf doc.root;
+  Buffer.contents buf
+
+let pretty doc =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  let indent n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let text_only el =
+    List.for_all (function Text _ | Cdata _ -> true | _ -> false) el.children
+  in
+  let rec go level el =
+    indent level;
+    if el.children = [] || text_only el then begin
+      add_element buf el;
+      Buffer.add_char buf '\n'
+    end
+    else begin
+      Buffer.add_char buf '<';
+      Buffer.add_string buf el.tag;
+      add_attrs buf el.attrs;
+      Buffer.add_string buf ">\n";
+      List.iter
+        (fun n ->
+          match n with
+          | Element c -> go (level + 1) c
+          | other ->
+              indent (level + 1);
+              add_node buf other;
+              Buffer.add_char buf '\n')
+        el.children;
+      indent level;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf el.tag;
+      Buffer.add_string buf ">\n"
+    end
+  in
+  go 0 doc.root;
+  Buffer.contents buf

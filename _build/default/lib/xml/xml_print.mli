@@ -1,0 +1,14 @@
+(** Serialisation back to XML text. [parse (to_string d) = d] holds for
+    documents built from the parser or the constructors (modulo
+    insignificant whitespace, which {!to_string} does not introduce). *)
+
+val escape_text : string -> string
+val escape_attr : string -> string
+
+val to_string : Xml_types.document -> string
+(** Compact serialisation with an XML declaration. *)
+
+val element_to_string : Xml_types.element -> string
+
+val pretty : Xml_types.document -> string
+(** Indented, one element per line; text-only elements stay inline. *)

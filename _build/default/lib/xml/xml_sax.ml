@@ -1,0 +1,185 @@
+type error = { line : int; col : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "%d:%d: %s" e.line e.col e.message
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type event =
+  | Start_element of { tag : string; attrs : (string * string) list }
+  | End_element of string
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; body : string }
+
+module L = Xml_lexer
+
+(* Attribute list for an open tag; cursor is just past the name. *)
+let rec parse_attrs lx acc =
+  L.skip_ws lx;
+  match L.peek lx with
+  | Some ('>' | '/') | None -> List.rev acc
+  | Some _ ->
+      let name = L.read_name lx in
+      if List.mem_assoc name acc then
+        L.fail lx (Printf.sprintf "duplicate attribute %S" name);
+      L.skip_ws lx;
+      L.expect lx '=';
+      L.skip_ws lx;
+      let value = L.read_attr_value lx in
+      parse_attrs lx ((name, value) :: acc)
+
+(* Prolog: XML declaration, comments, PIs, one optional doctype. These
+   are not reported as events (they are metadata, not content). *)
+let parse_prolog lx =
+  let continue = ref true in
+  while !continue do
+    L.skip_ws lx;
+    if L.looking_at lx "<?" then begin
+      L.expect_string lx "<?";
+      let _target = L.read_name lx in
+      ignore (L.read_until lx "?>")
+    end
+    else if L.looking_at lx "<!--" then begin
+      L.expect_string lx "<!--";
+      ignore (L.read_comment_body lx)
+    end
+    else if L.looking_at lx "<!DOCTYPE" then begin
+      L.expect_string lx "<!DOCTYPE";
+      let depth = ref 0 in
+      let in_doctype = ref true in
+      while !in_doctype do
+        match L.peek lx with
+        | None -> L.fail lx "unterminated doctype"
+        | Some '[' ->
+            incr depth;
+            L.advance lx
+        | Some ']' ->
+            decr depth;
+            L.advance lx
+        | Some '>' when !depth = 0 ->
+            L.advance lx;
+            in_doctype := false
+        | Some _ -> L.advance lx
+      done
+    end
+    else continue := false
+  done
+
+(* The document body: one root element, handled with an explicit stack
+   of open tags so depth is unbounded. *)
+let parse_body lx emit =
+  (match L.peek lx with
+  | Some '<' -> ()
+  | Some c -> L.fail lx (Printf.sprintf "expected root element, found %C" c)
+  | None -> L.fail lx "empty document");
+  let stack = ref [] in
+  (* Open one tag (cursor on '<'); self-closing tags emit both events. *)
+  let open_element () =
+    L.expect lx '<';
+    let tag = L.read_name lx in
+    let attrs = parse_attrs lx [] in
+    match L.peek lx with
+    | Some '/' ->
+        L.advance lx;
+        L.expect lx '>';
+        emit (Start_element { tag; attrs });
+        emit (End_element tag)
+    | Some '>' ->
+        L.advance lx;
+        emit (Start_element { tag; attrs });
+        stack := tag :: !stack
+    | Some c -> L.fail lx (Printf.sprintf "unexpected %C in tag" c)
+    | None -> L.fail lx "unexpected end of input in tag"
+  in
+  open_element ();
+  while !stack <> [] do
+    match L.peek lx with
+    | None ->
+        L.fail lx (Printf.sprintf "unclosed element <%s>" (List.hd !stack))
+    | Some '<' -> begin
+        match L.peek2 lx with
+        | Some '/' ->
+            L.advance lx;
+            L.advance lx;
+            let close = L.read_name lx in
+            (match !stack with
+            | top :: rest when top = close ->
+                L.skip_ws lx;
+                L.expect lx '>';
+                emit (End_element close);
+                stack := rest
+            | top :: _ ->
+                L.fail lx
+                  (Printf.sprintf "mismatched closing tag: expected </%s>, found </%s>" top close)
+            | [] -> assert false)
+        | Some '!' ->
+            if L.looking_at lx "<!--" then begin
+              L.expect_string lx "<!--";
+              emit (Comment (L.read_comment_body lx))
+            end
+            else if L.looking_at lx "<![CDATA[" then begin
+              L.expect_string lx "<![CDATA[";
+              emit (Cdata (L.read_cdata_body lx))
+            end
+            else L.fail lx "unsupported markup declaration inside element"
+        | Some '?' ->
+            L.expect_string lx "<?";
+            let target = L.read_name lx in
+            let body = String.trim (L.read_until lx "?>") in
+            emit (Pi { target; body })
+        | Some _ | None -> open_element ()
+      end
+    | Some _ ->
+        let s = L.read_text lx in
+        if String.trim s <> "" then emit (Text s)
+  done
+
+let parse_epilog lx =
+  let rec skip () =
+    L.skip_ws lx;
+    if L.looking_at lx "<!--" then begin
+      L.expect_string lx "<!--";
+      ignore (L.read_comment_body lx);
+      skip ()
+    end
+    else if L.looking_at lx "<?" then begin
+      L.expect_string lx "<?";
+      ignore (L.read_until lx "?>");
+      skip ()
+    end
+    else if not (L.eof lx) then L.fail lx "trailing content after root element"
+  in
+  skip ()
+
+let parse input ~on_event =
+  let lx = L.create input in
+  try
+    parse_prolog lx;
+    L.skip_ws lx;
+    parse_body lx on_event;
+    parse_epilog lx;
+    Ok ()
+  with L.Error { line; col; message } -> Error { line; col; message }
+
+let fold input ~init ~f =
+  let acc = ref init in
+  match parse input ~on_event:(fun e -> acc := f !acc e) with
+  | Ok () -> Ok !acc
+  | Error _ as e -> e
+
+let count_elements input =
+  fold input ~init:0 ~f:(fun n -> function Start_element _ -> n + 1 | _ -> n)
+
+let tag_histogram input =
+  let tbl = Hashtbl.create 32 in
+  match
+    parse input ~on_event:(function
+      | Start_element { tag; _ } ->
+          Hashtbl.replace tbl tag (1 + Option.value ~default:0 (Hashtbl.find_opt tbl tag))
+      | _ -> ())
+  with
+  | Error _ as e -> e
+  | Ok () ->
+      Ok
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+        |> List.sort (fun (t1, a) (t2, b) -> compare (b, t1) (a, t2)))

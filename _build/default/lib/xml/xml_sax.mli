@@ -1,0 +1,34 @@
+(** Streaming (SAX-style) XML parsing: the grammar of {!Xml_parser}
+    delivered as a sequence of events instead of a tree. {!Xml_parser}
+    itself is a fold over this event stream, so both views accept and
+    reject exactly the same inputs.
+
+    Use this to scan large documents without materialising them —
+    counting elements, harvesting links or collecting tag statistics in
+    constant memory. *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type event =
+  | Start_element of { tag : string; attrs : (string * string) list }
+  | End_element of string
+  | Text of string          (** non-whitespace character data, entities resolved *)
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; body : string }
+
+val parse : string -> on_event:(event -> unit) -> (unit, error) result
+(** Runs the callback over the document's events. Well-formedness
+    (matching tags, single root, valid entities, ...) is enforced; on
+    error, events already emitted stay emitted. *)
+
+val fold : string -> init:'a -> f:('a -> event -> 'a) -> ('a, error) result
+
+val count_elements : string -> (int, error) result
+(** Element count in constant memory. *)
+
+val tag_histogram : string -> ((string * int) list, error) result
+(** Tag name frequencies, descending count. *)

@@ -1,0 +1,72 @@
+type attribute = { name : string; value : string }
+
+type node =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; body : string }
+
+and element = { tag : string; attrs : attribute list; children : node list }
+
+type document = { name : string; root : element }
+
+let elt ?(attrs = []) tag children =
+  { tag; attrs = List.map (fun (name, value) -> { name; value }) attrs; children }
+
+let text s = Text s
+let e ?attrs tag children = Element (elt ?attrs tag children)
+let document ~name root = { name; root }
+
+let attr el name =
+  List.find_map
+    (fun (a : attribute) -> if a.name = name then Some a.value else None)
+    el.attrs
+
+let children_elements el =
+  List.filter_map (function Element e -> Some e | _ -> None) el.children
+
+let direct_text el =
+  let buf = Buffer.create 16 in
+  List.iter
+    (function
+      | Text s | Cdata s -> Buffer.add_string buf s
+      | Element _ | Comment _ | Pi _ -> ())
+    el.children;
+  String.trim (Buffer.contents buf)
+
+let rec iter_elements el f =
+  f el;
+  List.iter (function Element c -> iter_elements c f | _ -> ()) el.children
+
+let fold_elements el f init =
+  let acc = ref init in
+  iter_elements el (fun e -> acc := f !acc e);
+  !acc
+
+let count_elements el = fold_elements el (fun n _ -> n + 1) 0
+
+let find_first el p =
+  let result = ref None in
+  (try
+     iter_elements el (fun e ->
+         if p e then begin
+           result := Some e;
+           raise Exit
+         end)
+   with Exit -> ());
+  !result
+
+let rec equal_element a b =
+  a.tag = b.tag && a.attrs = b.attrs
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal_node a.children b.children
+
+and equal_node a b =
+  match (a, b) with
+  | Element ea, Element eb -> equal_element ea eb
+  | Text sa, Text sb | Cdata sa, Cdata sb | Comment sa, Comment sb -> sa = sb
+  | Pi a, Pi b -> a.target = b.target && a.body = b.body
+  | (Element _ | Text _ | Cdata _ | Comment _ | Pi _), _ -> false
+
+let equal_document a b = a.name = b.name && equal_element a.root b.root

@@ -1,0 +1,52 @@
+(** The XML document model.
+
+    A document is a named tree of elements; FliX's data model (paper,
+    Section 2.1) is derived from it by {!Collection}: one graph node per
+    element, tree edges for parent–child relations, extra edges for
+    intra- and inter-document links. *)
+
+type attribute = { name : string; value : string }
+
+type node =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; body : string }
+
+and element = { tag : string; attrs : attribute list; children : node list }
+
+type document = { name : string; root : element }
+(** [name] identifies the document inside a collection and is the anchor
+    for inter-document links ("name#id"). Names must be unique. *)
+
+(** {1 Constructors} *)
+
+val elt : ?attrs:(string * string) list -> string -> node list -> element
+val text : string -> node
+val e : ?attrs:(string * string) list -> string -> node list -> node
+(** [e tag children] is [Element (elt tag children)]. *)
+
+val document : name:string -> element -> document
+
+(** {1 Accessors} *)
+
+val attr : element -> string -> string option
+(** First attribute with the given name. *)
+
+val children_elements : element -> element list
+val direct_text : element -> string
+(** Concatenation of the element's direct text and CDATA children,
+    whitespace-trimmed. *)
+
+val iter_elements : element -> (element -> unit) -> unit
+(** Preorder traversal over the element and all its descendants. *)
+
+val fold_elements : element -> ('a -> element -> 'a) -> 'a -> 'a
+val count_elements : element -> int
+
+val find_first : element -> (element -> bool) -> element option
+(** Preorder search. *)
+
+val equal_element : element -> element -> bool
+val equal_document : document -> document -> bool

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Fx_flix Fx_graph Fx_index Fx_util List Option Printf QCheck QCheck_alcotest String

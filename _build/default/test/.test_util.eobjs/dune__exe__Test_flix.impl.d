@@ -1,0 +1,1 @@
+test/test_flix.ml: Alcotest Array Filename Format Fun Fx_flix Fx_graph Fx_util Fx_workload Fx_xml Hashtbl Helpers List Option Printf QCheck String Sys

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fx_graph Helpers List QCheck

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Bytes Filename Fx_graph Fx_index Fx_util Helpers List Option String Sys

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Fx_flix Fx_graph Fx_query Fx_workload Fx_xml Helpers Lazy List Option Printf Result String

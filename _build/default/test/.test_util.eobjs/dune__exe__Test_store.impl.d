@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Bytes Filename Fun Fx_graph Fx_index Fx_store Fx_util Helpers Int List Map Printf QCheck String Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fx_util Helpers List QCheck String

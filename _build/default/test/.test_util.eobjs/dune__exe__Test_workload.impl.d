@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fx_graph Fx_util Fx_workload Fx_xml Helpers List Option

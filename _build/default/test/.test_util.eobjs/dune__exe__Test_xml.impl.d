@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Buffer Fx_graph Fx_xml Gen Helpers List Option QCheck Result String

@@ -1,0 +1,96 @@
+(* Shared test utilities: QCheck generators for graphs and collections,
+   ground-truth oracles, and Alcotest glue. *)
+
+module Digraph = Fx_graph.Digraph
+module Traversal = Fx_graph.Traversal
+
+let qtest ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* --- random graphs ------------------------------------------------- *)
+
+(* A random digraph as (n, edge list); n in [1, max_n]. *)
+let digraph_gen ?(max_n = 24) ?(edge_factor = 2.0) () =
+  let open QCheck.Gen in
+  int_range 1 max_n >>= fun n ->
+  let max_edges = int_of_float (edge_factor *. float_of_int n) in
+  int_range 0 max_edges >>= fun m ->
+  list_repeat m (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) >>= fun edges ->
+  return (n, edges)
+
+let digraph_arb ?max_n ?edge_factor () =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat "; " (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) edges)))
+    (digraph_gen ?max_n ?edge_factor ())
+
+(* A random forest as (n, parent edges): node i>0 optionally gets a
+   parent among 0..i-1. *)
+let forest_gen ?(max_n = 30) () =
+  let open QCheck.Gen in
+  int_range 1 max_n >>= fun n ->
+  let parent_for i = if i = 0 then return None else opt (int_range 0 (i - 1)) in
+  let rec build i acc =
+    if i >= n then return (List.rev acc)
+    else parent_for i >>= fun p -> build (i + 1) ((i, p) :: acc)
+  in
+  build 0 [] >>= fun parents ->
+  let edges = List.filter_map (fun (i, p) -> Option.map (fun p -> (p, i)) p) parents in
+  return (n, edges)
+
+let forest_arb ?max_n () =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat "; " (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) edges)))
+    (forest_gen ?max_n ())
+
+(* Random tags for n nodes over a small alphabet. *)
+let tags_of_graph seed n =
+  let rng = Fx_util.Rng.create seed in
+  Array.init n (fun _ -> Fx_util.Rng.int rng 4)
+
+let data_graph_of (n, edges) ~tag_seed =
+  let g = Digraph.of_edges ~n edges in
+  { Fx_index.Path_index.graph = g; tag = tags_of_graph tag_seed n }
+
+(* --- oracles -------------------------------------------------------- *)
+
+let oracle_reachable g u v = Traversal.reachable g u v
+let oracle_distance g u v = Traversal.distance g u v
+
+let oracle_descendants_by_tag (dg : Fx_index.Path_index.data_graph) u want =
+  Traversal.descendants_by_tag dg.graph ~tag:dg.tag u want
+
+(* Compare result lists modulo the tie order at equal distance. *)
+let same_results a b =
+  let norm l = List.sort compare l in
+  norm a = norm b
+  && List.map snd (List.sort compare a) = List.map snd (List.sort compare b)
+
+let sorted_by_distance l = Fx_flix.Stats.is_sorted_by_dist l
+
+(* All (u, v) pairs of a small graph. *)
+let all_pairs n =
+  List.concat (List.init n (fun u -> List.init n (fun v -> (u, v))))
+
+(* --- tiny fixed graphs ---------------------------------------------- *)
+
+(*     0          5
+      / \         |
+     1   2        6 <-> 7   (cycle)
+        / \
+       3   4  , plus a link 4 -> 5 *)
+let small_graph () =
+  Digraph.of_edges ~n:8
+    [ (0, 1); (0, 2); (2, 3); (2, 4); (4, 5); (5, 6); (6, 7); (7, 6) ]
+
+let small_forest () = Digraph.of_edges ~n:6 [ (0, 1); (0, 2); (2, 3); (2, 4) ]
+
+let sorted_by_dist_list dists =
+  let rec go = function
+    | d1 :: (d2 :: _ as rest) -> d1 <= d2 && go rest
+    | [ _ ] | [] -> true
+  in
+  go dists

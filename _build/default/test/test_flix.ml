@@ -1,0 +1,1016 @@
+(* Tests for the FliX framework: meta-document construction, the four
+   configurations, strategy selection, index building, the PEE and the
+   facade. The central property, checked for every configuration on
+   random collections: the PEE's result SET equals BFS ground truth on
+   the full collection graph — partitioning and run-time link chasing
+   must never lose or duplicate results — while ordering is approximate
+   (exact per meta-document block). *)
+
+module C = Fx_xml.Collection
+module X = Fx_xml.Xml_types
+module MD = Fx_flix.Meta_document
+module MB = Fx_flix.Meta_builder
+module SS = Fx_flix.Strategy_selector
+module IB = Fx_flix.Index_builder
+module Pee = Fx_flix.Pee
+module RS = Fx_flix.Result_stream
+module Stats = Fx_flix.Stats
+module Flix = Fx_flix.Flix
+module Digraph = Fx_graph.Digraph
+module Traversal = Fx_graph.Traversal
+module H = Helpers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse name s = Fx_xml.Xml_parser.parse_exn ~name s
+
+(* A hand-written collection mirroring the paper's Figure 1: documents
+   1-4 form a tree via root links, 5-7 are densely interlinked, with a
+   bridge 5 -> 4. *)
+let figure1 () =
+  C.build
+    [
+      parse "doc1" {|<a><b href="doc2"/><c href="doc3"/></a>|};
+      parse "doc2" {|<a><b/><c href="doc4"/></a>|};
+      parse "doc3" {|<a><b/></a>|};
+      parse "doc4" {|<a><b/><c/></a>|};
+      parse "doc5"
+        {|<p id="p5"><q href="doc6#x6"/><r href="doc7"/><s href="doc4"/><t idref="p5"/></p>|};
+      parse "doc6" {|<p><q id="x6" href="doc7#x7"/><r href="doc5"/></p>|};
+      parse "doc7" {|<p><q id="x7" href="doc5"/></p>|};
+    ]
+
+let all_configs =
+  [
+    MB.Naive;
+    MB.Maximal_ppo;
+    MB.Spanning_ppo;
+    MB.Unconnected_hopi { max_size = 6 };
+    MB.Unconnected_hopi { max_size = 1000 };
+    MB.Hybrid { max_size = 8; min_tree_size = 4 };
+  ]
+
+(* --- meta documents ------------------------------------------------------ *)
+
+let registry_invariants c (reg : MD.registry) =
+  let n = C.n_nodes c in
+  (* Every node in exactly one meta document, local ids consistent. *)
+  let seen = Array.make n 0 in
+  Array.iter
+    (fun (m : MD.t) ->
+      Array.iteri
+        (fun l v ->
+          seen.(v) <- seen.(v) + 1;
+          check_int "meta_of_node" m.id reg.meta_of_node.(v);
+          check_int "local_of_node" l reg.local_of_node.(v);
+          check_int "global_of_local" v (MD.global_of_local m l))
+        m.nodes)
+    reg.metas;
+  Array.iter (fun k -> check_int "node covered once" 1 k) seen;
+  (* Documents are never split. *)
+  for v = 1 to n - 1 do
+    if C.doc_of_node c v = C.doc_of_node c (v - 1) then
+      check "doc not split" true (reg.meta_of_node.(v) = reg.meta_of_node.(v - 1))
+  done;
+  (* Internal edges + out-links = tree edges + links of the collection. *)
+  let internal = Array.fold_left (fun a (m : MD.t) -> a + Digraph.n_edges m.graph) 0 reg.metas in
+  let out = MD.total_out_links reg in
+  let expected = Digraph.n_edges (C.tree_graph c) + List.length (C.links c) in
+  (* Digraph collapses duplicate edges, so internal can undercount. *)
+  check "edge conservation" true (internal + out <= expected && internal + out >= expected - 2);
+  (* Link bitsets match the out_links arrays. *)
+  Array.iter
+    (fun (m : MD.t) ->
+      Array.iteri
+        (fun l targets ->
+          check "link_nodes bitset" true
+            (Fx_graph.Bitset.mem m.link_nodes l = (targets <> [])))
+        m.out_links)
+    reg.metas
+
+let test_registry_invariants_fig1 () =
+  List.iter (fun cfg -> registry_invariants (figure1 ()) (MB.build cfg (figure1 ()))) all_configs
+
+let test_naive_one_meta_per_doc () =
+  let c = figure1 () in
+  let reg = MB.build MB.Naive c in
+  check_int "7 metas" 7 (Array.length reg.metas);
+  (* All inter-document links become run-time links; intra links stay in. *)
+  check_int "run-time links = inter links" (C.n_inter_links c) (MD.total_out_links reg)
+
+let test_maximal_ppo_forests () =
+  let c = figure1 () in
+  let reg = MB.build MB.Maximal_ppo c in
+  (* Docs 1-4 should merge into one tree meta document. *)
+  let meta_of_doc d = reg.meta_of_node.(C.root_of_doc c d) in
+  check "1+2 merged" true (meta_of_doc 0 = meta_of_doc 1);
+  check "2+4 merged" true (meta_of_doc 1 = meta_of_doc 3);
+  check "1+3 merged" true (meta_of_doc 0 = meta_of_doc 2);
+  check "5 apart" true (meta_of_doc 4 <> meta_of_doc 0);
+  (* Every meta document of a Maximal-PPO build is a forest. *)
+  Array.iter (fun (m : MD.t) -> check "forest" true (Traversal.is_forest m.graph)) reg.metas
+
+let test_maximal_ppo_accepted_links_are_tree_edges () =
+  let c = figure1 () in
+  let doc_part, accepted = MB.maximal_ppo_plan c in
+  (* accepted links stay within one doc-class and point at roots *)
+  Hashtbl.iter
+    (fun (src, dst) () ->
+      check "same class" true
+        (doc_part.(C.doc_of_node c src) = doc_part.(C.doc_of_node c dst));
+      check "dst is root" true (C.root_of_doc c (C.doc_of_node c dst) = dst))
+    accepted
+
+let test_unconnected_hopi_size_bound () =
+  let c = figure1 () in
+  let reg = MB.build (MB.Unconnected_hopi { max_size = 6 }) c in
+  Array.iter
+    (fun (m : MD.t) ->
+      (* A single document may exceed the bound; multi-doc metas not. *)
+      let docs =
+        List.sort_uniq compare (Array.to_list (Array.map (C.doc_of_node c) m.nodes))
+      in
+      if List.length docs > 1 then check "size bound" true (MD.n_nodes m <= 6))
+    reg.metas
+
+let test_hybrid_mixes () =
+  let c = figure1 () in
+  let reg = MB.build (MB.Hybrid { max_size = 8; min_tree_size = 4 }) c in
+  let built = IB.build reg in
+  let strategies = List.map fst (IB.strategy_histogram built) in
+  check "has PPO" true (List.exists (fun s -> s = "PPO") strategies);
+  check "has a graph strategy" true
+    (List.exists (fun s -> s <> "PPO") strategies)
+
+let test_spanning_ppo_single_meta () =
+  let c = figure1 () in
+  let reg = MB.build MB.Spanning_ppo c in
+  check_int "one meta document" 1 (Array.length reg.metas);
+  (* Accepted links became tree edges; everything else is run-time. *)
+  check "forest" true (Traversal.is_forest reg.metas.(0).MD.graph);
+  let built = IB.build reg in
+  check "indexed with PPO" true
+    (List.mem ("PPO", 1) (IB.strategy_histogram built))
+
+(* --- auto configuration ----------------------------------------------------- *)
+
+let test_auto_config_per_workload () =
+  let dblp =
+    Fx_workload.Dblp_gen.collection { Fx_workload.Dblp_gen.default with n_docs = 300 }
+  in
+  let inex = Fx_workload.Inex_gen.collection Fx_workload.Inex_gen.default in
+  let web = Fx_workload.Web_gen.collection Fx_workload.Web_gen.default in
+  let dense =
+    Fx_workload.Web_gen.collection
+      { Fx_workload.Web_gen.default with n_tree_docs = 0; bridges = 0 }
+  in
+  (* The decisions the paper prescribes per collection shape. *)
+  check "DBLP -> maximal PPO" true (Fx_flix.Auto_config.configure dblp = MB.Maximal_ppo);
+  check "INEX -> naive" true (Fx_flix.Auto_config.configure inex = MB.Naive);
+  (match Fx_flix.Auto_config.configure web with
+  | MB.Hybrid _ -> ()
+  | other -> Alcotest.failf "web mix -> %s, expected hybrid" (MB.config_to_string other));
+  match Fx_flix.Auto_config.configure dense with
+  | MB.Unconnected_hopi _ -> ()
+  | other -> Alcotest.failf "dense -> %s, expected unconnected" (MB.config_to_string other)
+
+let test_auto_config_analysis_fields () =
+  let c = Fx_workload.Dblp_gen.collection { Fx_workload.Dblp_gen.default with n_docs = 200 } in
+  let a = Fx_flix.Auto_config.analyse c in
+  check_int "docs" 200 a.n_docs;
+  check_int "elements" (C.n_nodes c) a.n_elements;
+  check "shares in [0,1]" true
+    (List.for_all
+       (fun x -> x >= 0.0 && x <= 1.0)
+       [ a.intra_link_share; a.root_link_share; a.tree_doc_share; a.linked_doc_share;
+         a.mergeable_share ]);
+  (* DBLP: all links inter-document and root-targeted. *)
+  Alcotest.(check (float 1e-9)) "no intra" 0.0 a.intra_link_share;
+  Alcotest.(check (float 1e-9)) "all to roots" 1.0 a.root_link_share;
+  check "analysis renders" true
+    (String.length (Format.asprintf "%a" Fx_flix.Auto_config.pp_analysis a) > 0)
+
+let test_auto_config_empty_collection () =
+  let c = C.build [] in
+  check "empty -> naive" true (Fx_flix.Auto_config.configure c = MB.Naive)
+
+(* --- strategy selector ------------------------------------------------------ *)
+
+let test_selector_auto () =
+  let c = figure1 () in
+  let reg = MB.build MB.Naive c in
+  Array.iter
+    (fun (m : MD.t) ->
+      match SS.select SS.default_auto m with
+      | SS.PPO -> check "ppo only for forests" true (Traversal.is_forest m.graph)
+      | SS.TC -> check "tc only for small" true (MD.n_nodes m <= 64)
+      | SS.HOPI _ | SS.HOPI_disk _ | SS.APEX -> ())
+    reg.metas
+
+let test_selector_force_and_custom () =
+  let c = figure1 () in
+  let reg = MB.build MB.Naive c in
+  let m = reg.metas.(0) in
+  check "force" true (SS.select (SS.Force SS.APEX) m = SS.APEX);
+  check "custom" true
+    (SS.select (SS.Custom (fun _ -> SS.TC)) m = SS.TC)
+
+let test_selector_estimate () =
+  let c = figure1 () in
+  let reg = MB.build MB.Naive c in
+  let est = SS.estimate_closure_pairs reg.metas.(0) in
+  check "estimate positive" true (est > 0.0)
+
+(* --- index builder ------------------------------------------------------------ *)
+
+let test_builder_fallback () =
+  let c = figure1 () in
+  let reg = MB.build MB.Naive c in
+  (* Forcing PPO on doc5 (which has an intra link cycle) must fall back. *)
+  let built = IB.build ~policy:(SS.Force SS.PPO) reg in
+  let fallbacks = Array.to_list built.indexes |> List.filter (fun b -> b.IB.fallback) in
+  check "some fallback" true (fallbacks <> []);
+  List.iter
+    (fun (b : IB.built) ->
+      check "fallback is HOPI" true (b.strategy = SS.HOPI { partition_size = 5000 }))
+    fallbacks
+
+let test_builder_parallel_equivalent () =
+  let c = figure1 () in
+  let reg = MB.build (MB.Unconnected_hopi { max_size = 6 }) c in
+  let seq = IB.build ~jobs:1 reg in
+  let par = IB.build ~jobs:4 reg in
+  check "same histogram" true (IB.strategy_histogram seq = IB.strategy_histogram par);
+  check_int "same total entries" (IB.total_entries seq) (IB.total_entries par);
+  (* Same answers through the PEE. *)
+  let nodes built start =
+    RS.to_list (Pee.descendants (Pee.create built) ~start)
+    |> List.map (fun (it : Pee.item) -> (it.node, it.dist))
+    |> List.sort compare
+  in
+  for start = 0 to C.n_nodes c - 1 do
+    check "same results" true (nodes seq start = nodes par start)
+  done
+
+let test_builder_disk_strategy () =
+  let c = figure1 () in
+  let dir = Filename.temp_file "flixdisk" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      (* Every meta document indexed from disk; answers must match the
+         all-in-memory build exactly. *)
+      let reg = MB.build (MB.Unconnected_hopi { max_size = 1000 }) c in
+      let mem = IB.build ~policy:(SS.Force (SS.HOPI { partition_size = 1000 })) reg in
+      let disk = IB.build ~policy:(SS.Force (SS.HOPI_disk { dir })) reg in
+      check "files on disk" true (Array.length (Sys.readdir dir) > 0);
+      check "histogram says disk" true
+        (List.mem_assoc "HOPI-disk" (IB.strategy_histogram disk));
+      let nodes built start =
+        RS.to_list (Pee.descendants (Pee.create built) ~start)
+        |> List.map (fun (it : Pee.item) -> (it.node, it.dist))
+        |> List.sort compare
+      in
+      for start = 0 to C.n_nodes c - 1 do
+        check "disk = memory" true (nodes mem start = nodes disk start)
+      done)
+
+let test_builder_report () =
+  let c = figure1 () in
+  let built = IB.build (MB.build MB.Naive c) in
+  let r = IB.report built in
+  check "mentions meta documents" true
+    (String.length r > 0 && String.index_opt r 'm' <> None);
+  check "positive size" true (IB.total_size_bytes built > 0);
+  check "positive entries" true (IB.total_entries built > 0)
+
+(* --- PEE --------------------------------------------------------------------------- *)
+
+let ground_truth_descendants c start want =
+  Traversal.descendants_by_tag (C.graph c) ~tag:(C.tag c) start
+    (Option.bind want (C.tag_id c))
+  |> List.filter (fun (v, d) -> not (v = start && d = 0))
+
+let pee_of c cfg =
+  let reg = MB.build cfg c in
+  Pee.create (IB.build reg)
+
+let pee_set_equals_truth c cfg start want =
+  let pee = pee_of c cfg in
+  let tag = Option.bind want (C.tag_id c) in
+  let results = RS.to_list (Pee.descendants ?tag pee ~start) in
+  let got = List.map (fun (it : Pee.item) -> it.node) results in
+  let truth = List.map fst (ground_truth_descendants c start want) in
+  List.sort_uniq compare got = List.sort_uniq compare truth
+  && List.length got = List.length (List.sort_uniq compare got)
+
+let test_pee_fig1_all_configs () =
+  let c = figure1 () in
+  List.iter
+    (fun cfg ->
+      for start = 0 to C.n_nodes c - 1 do
+        check "set = truth (wildcard)" true (pee_set_equals_truth c cfg start None);
+        check "set = truth (tag b)" true (pee_set_equals_truth c cfg start (Some "b"))
+      done)
+    all_configs
+
+let test_pee_distances_are_exact_in_fig1_tree () =
+  (* Inside the merged Maximal-PPO tree all distances are exact. *)
+  let c = figure1 () in
+  let pee = pee_of c MB.Maximal_ppo in
+  let start = C.root_of_doc c 0 in
+  let results = RS.to_list (Pee.descendants pee ~start) in
+  List.iter
+    (fun (it : Pee.item) ->
+      match Traversal.distance (C.graph c) start it.node with
+      | Some d -> check "distance exact or upper bound" true (it.dist >= d)
+      | None -> Alcotest.fail "unreachable result")
+    results
+
+let test_pee_max_dist () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let start = C.root_of_doc c 0 in
+  let results = RS.to_list (Pee.descendants ~max_dist:2 pee ~start) in
+  check "nonempty" true (results <> []);
+  List.iter (fun (it : Pee.item) -> check "within bound" true (it.dist <= 2)) results;
+  (* everything at true distance <= 2 must be there (reported dist is an
+     upper bound, so this is the stronger check) *)
+  let truth =
+    ground_truth_descendants c start None |> List.filter (fun (_, d) -> d <= 2)
+  in
+  check "at least close truth"
+    true
+    (List.for_all
+       (fun (v, d) ->
+         d > 2 || List.exists (fun (it : Pee.item) -> it.node = v) results
+         || d = 2 (* a 2-hop path through another meta doc may cost a link hop *))
+       truth)
+
+let test_pee_include_self () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let start = C.root_of_doc c 0 in
+  let without = RS.to_list (Pee.descendants pee ~start) in
+  let with_self = RS.to_list (Pee.descendants ~include_self:true pee ~start) in
+  check "self excluded by default" true
+    (not (List.exists (fun (it : Pee.item) -> it.node = start && it.dist = 0) without));
+  check "self included on demand" true
+    (List.exists (fun (it : Pee.item) -> it.node = start && it.dist = 0) with_self)
+
+let test_pee_streaming_is_lazy () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let stream = Pee.descendants pee ~start:(C.root_of_doc c 0) in
+  (* Pull one result; insertions so far must be far below the total. *)
+  check "first result exists" true (RS.next stream <> None);
+  let ins1, _ = Pee.queue_stats pee in
+  ignore (RS.to_list stream);
+  let ins2, _ = Pee.queue_stats pee in
+  check "work grows as we pull" true (ins2 >= ins1)
+
+let test_pee_multi () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Maximal_ppo in
+  let starts = C.find_by_tag c "p" in
+  let results = RS.to_list (Pee.descendants_multi ~tag:(C.tag_id c "q" |> Option.get) pee ~starts) in
+  (* every q reachable from some p with dist > 0 appears *)
+  let truth =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (v, d) -> if d > 0 then Some v else None)
+          (ground_truth_descendants c s (Some "q")))
+      starts
+    |> List.sort_uniq compare
+  in
+  let got = List.sort_uniq compare (List.map (fun (it : Pee.item) -> it.node) results) in
+  check "multi covers truth" true (got = truth)
+
+let test_pee_ancestors () =
+  let c = figure1 () in
+  List.iter
+    (fun cfg ->
+      let pee = pee_of c cfg in
+      for v = 0 to C.n_nodes c - 1 do
+        let got =
+          RS.to_list (Pee.ancestors pee ~start:v)
+          |> List.map (fun (it : Pee.item) -> it.node)
+          |> List.sort_uniq compare
+        in
+        let truth =
+          Traversal.descendants (Digraph.reverse (C.graph c)) v
+          |> List.filter (fun (u, d) -> not (u = v && d = 0))
+          |> List.map fst |> List.sort_uniq compare
+        in
+        check "ancestors = reverse truth" true (got = truth)
+      done)
+    [ MB.Naive; MB.Maximal_ppo; MB.Unconnected_hopi { max_size = 6 } ]
+
+let test_pee_exact_ordering () =
+  (* The exact engine must return every reachable node at its TRUE
+     shortest distance, in exactly ascending order — for every config
+     and every start node of figure 1. *)
+  let c = figure1 () in
+  List.iter
+    (fun cfg ->
+      let pee = pee_of c cfg in
+      for start = 0 to C.n_nodes c - 1 do
+        let results = RS.to_list (Pee.descendants_exact ~include_self:true pee ~start) in
+        check "exactly sorted" true
+          (H.sorted_by_dist_list (List.map (fun (it : Pee.item) -> it.dist) results));
+        let truth = Traversal.bfs_distances (C.graph c) start in
+        List.iter
+          (fun (it : Pee.item) ->
+            check "distance is exact" true (truth.(it.node) = it.dist))
+          results;
+        (* completeness & no duplicates *)
+        let got = List.map (fun (it : Pee.item) -> it.node) results in
+        let expected =
+          List.filteri (fun _ d -> d >= 0) (Array.to_list truth)
+          |> List.length
+        in
+        ignore expected;
+        let expected_nodes =
+          Array.to_list (Array.mapi (fun v d -> (v, d)) truth)
+          |> List.filter_map (fun (v, d) -> if d >= 0 then Some v else None)
+        in
+        check "complete, duplicate-free" true
+          (List.sort compare got = expected_nodes
+          && List.length got = List.length (List.sort_uniq compare got))
+      done)
+    all_configs
+
+let test_pee_ancestors_exact () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Maximal_ppo in
+  let rev = Digraph.reverse (C.graph c) in
+  for start = 0 to C.n_nodes c - 1 do
+    let truth = Traversal.bfs_distances rev start in
+    let results = RS.to_list (Pee.ancestors_exact ~include_self:true pee ~start) in
+    List.iter
+      (fun (it : Pee.item) -> check "ancestor distance exact" true (truth.(it.node) = it.dist))
+      results
+  done
+
+let test_pee_connected () =
+  let c = figure1 () in
+  List.iter
+    (fun cfg ->
+      let pee = pee_of c cfg in
+      for a = 0 to C.n_nodes c - 1 do
+        for b = 0 to C.n_nodes c - 1 do
+          let truth = Traversal.distance (C.graph c) a b in
+          let got = Pee.connected pee a b in
+          check "connected iff reachable" true ((got <> None) = (truth <> None));
+          (match (got, truth) with
+          | Some g, Some t -> check "upper bound" true (g >= t)
+          | None, None -> ()
+          | _ -> Alcotest.fail "reachability mismatch");
+          check "bidir agrees" true (Pee.connected_bidir pee a b = (truth <> None))
+        done
+      done)
+    all_configs
+
+let test_pee_connected_max_dist () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  (* doc1 root reaches doc4's children in 3-4 hops via link chain. *)
+  let a = C.root_of_doc c 0 in
+  let b = C.root_of_doc c 3 in
+  check "within generous bound" true (Pee.connected ~max_dist:10 pee a b <> None);
+  check "cut by tight bound" true (Pee.connected ~max_dist:1 pee a b = None)
+
+(* Random collections: generate documents with random tree shape and
+   random links, compare all configurations against ground truth. *)
+let random_collection_gen =
+  let open QCheck.Gen in
+  int_range 2 6 >>= fun n_docs ->
+  int_range 0 20 >>= fun n_links ->
+  int_range 0 1000 >>= fun seed ->
+  return (n_docs, n_links, seed)
+
+let random_collection (n_docs, n_links, seed) =
+  let rng = Fx_util.Rng.create seed in
+  let tags = [| "a"; "b"; "c" |] in
+  let docs =
+    List.init n_docs (fun i ->
+        let counter = ref 0 in
+        let rec el depth =
+          incr counter;
+          let id = Printf.sprintf "e%d" !counter in
+          let children =
+            if depth = 0 then []
+            else List.init (Fx_util.Rng.int rng 3) (fun _ -> X.Element (el (depth - 1)))
+          in
+          X.elt tags.(Fx_util.Rng.int rng 3) ~attrs:[ ("id", id) ] children
+        in
+        let root = el 2 in
+        (X.document ~name:(Printf.sprintf "doc%d" i) root, !counter))
+  in
+  (* Inject links by rewriting: easier to add link children to roots. *)
+  let with_links =
+    List.mapi
+      (fun i (d, n_el) ->
+        let links =
+          List.init n_links (fun _ ->
+              if Fx_util.Rng.int rng n_docs = i then
+                (* intra link to a random element *)
+                let t = 1 + Fx_util.Rng.int rng n_el in
+                Some (X.e "l" ~attrs:[ ("idref", Printf.sprintf "e%d" t) ] [])
+              else if Fx_util.Rng.bool rng then begin
+                let target = Fx_util.Rng.int rng n_docs in
+                let anchor = 1 + Fx_util.Rng.int rng 3 in
+                Some
+                  (X.e "l"
+                     ~attrs:
+                       [ ("xlink:href", Printf.sprintf "doc%d#e%d" target anchor) ]
+                     [])
+              end
+              else None)
+          |> List.filter_map Fun.id
+        in
+        let root = d.X.root in
+        { d with X.root = { root with X.children = root.children @ links } })
+      docs
+  in
+  C.build with_links
+
+let prop_pee_random_collections =
+  H.qtest ~count:40 "PEE set = BFS truth on random collections"
+    (QCheck.make ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c) random_collection_gen)
+    (fun params ->
+      let c = random_collection params in
+      List.for_all
+        (fun cfg ->
+          List.for_all
+            (fun start ->
+              pee_set_equals_truth c cfg start None
+              && pee_set_equals_truth c cfg start (Some "b"))
+            [ 0; C.n_nodes c / 2; C.n_nodes c - 1 ])
+        [ MB.Naive; MB.Maximal_ppo; MB.Unconnected_hopi { max_size = 8 };
+          MB.Hybrid { max_size = 8; min_tree_size = 3 } ])
+
+let prop_pee_block_order =
+  H.qtest ~count:30 "link-free queries stream in exact distance order"
+    (QCheck.make ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c) random_collection_gen)
+    (fun (n_docs, _, seed) ->
+      (* Without links every query is answered by one meta-document
+         block, whose ordering guarantee is exact. *)
+      let c = random_collection (n_docs, 0, seed) in
+      let pee = pee_of c MB.Naive in
+      let results = RS.to_list (Pee.descendants pee ~start:0) in
+      H.sorted_by_distance (List.map (fun (it : Pee.item) -> (it.node, it.dist)) results))
+
+let prop_pee_exact_random =
+  H.qtest ~count:40 "exact engine = BFS distances on random collections"
+    (QCheck.make ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c) random_collection_gen)
+    (fun params ->
+      let c = random_collection params in
+      List.for_all
+        (fun cfg ->
+          let pee = pee_of c cfg in
+          List.for_all
+            (fun start ->
+              let truth = Traversal.bfs_distances (C.graph c) start in
+              let results =
+                RS.to_list (Pee.descendants_exact ~include_self:true pee ~start)
+              in
+              List.for_all (fun (it : Pee.item) -> truth.(it.node) = it.dist) results
+              && H.sorted_by_dist_list (List.map (fun (it : Pee.item) -> it.dist) results))
+            [ 0; C.n_nodes c - 1 ])
+        [ MB.Naive; MB.Maximal_ppo; MB.Unconnected_hopi { max_size = 8 } ])
+
+
+(* --- element-level meta documents (future-work builder) ------------------- *)
+
+let test_element_level_splits_docs () =
+  let c = figure1 () in
+  let reg = MB.build (MB.Element_level { max_size = 3 }) c in
+  (* With a bound of 3 elements, some document must be split. *)
+  let split = ref false in
+  for v = 1 to C.n_nodes c - 1 do
+    if
+      C.doc_of_node c v = C.doc_of_node c (v - 1)
+      && reg.meta_of_node.(v) <> reg.meta_of_node.(v - 1)
+    then split := true
+  done;
+  check "some document split" true !split;
+  Array.iter (fun (m : MD.t) -> check "bound" true (MD.n_nodes m <= 3)) reg.metas
+
+let test_element_level_pee_correct () =
+  let c = figure1 () in
+  List.iter
+    (fun max_size ->
+      let cfg = MB.Element_level { max_size } in
+      for start = 0 to C.n_nodes c - 1 do
+        check "set = truth" true (pee_set_equals_truth c cfg start None)
+      done;
+      (* exact engine too: distances across split tree edges stay exact *)
+      let pee = pee_of c cfg in
+      let truth = Traversal.bfs_distances (C.graph c) 0 in
+      List.iter
+        (fun (it : Pee.item) -> check "exact dist" true (truth.(it.node) = it.dist))
+        (RS.to_list (Pee.descendants_exact ~include_self:true pee ~start:0)))
+    [ 2; 3; 5; 100 ]
+
+let prop_element_level_random =
+  H.qtest ~count:25 "element-level PEE = BFS truth on random collections"
+    (QCheck.make ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c) random_collection_gen)
+    (fun params ->
+      let c = random_collection params in
+      List.for_all
+        (fun start ->
+          pee_set_equals_truth c (MB.Element_level { max_size = 4 }) start None)
+        [ 0; C.n_nodes c - 1 ])
+
+(* --- query cache ------------------------------------------------------------ *)
+
+let test_query_cache_replay () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let cache = Fx_flix.Query_cache.create ~capacity:4 pee in
+  let start = C.root_of_doc c 0 in
+  let run () =
+    RS.to_list (Fx_flix.Query_cache.descendants cache ~start)
+    |> List.map (fun (it : Pee.item) -> (it.node, it.dist))
+  in
+  let first = run () in
+  let second = run () in
+  check "replay identical" true (first = second);
+  let s = Fx_flix.Query_cache.stats cache in
+  check_int "one hit" 1 s.hits;
+  check_int "one miss" 1 s.misses;
+  check "hit rate" true (abs_float (s.hit_rate -. 0.5) < 1e-9)
+
+let test_query_cache_keys () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let cache = Fx_flix.Query_cache.create pee in
+  let start = C.root_of_doc c 0 in
+  let tag_b = Option.get (C.tag_id c "b") in
+  let all = RS.to_list (Fx_flix.Query_cache.descendants cache ~start) in
+  let only_b = RS.to_list (Fx_flix.Query_cache.descendants cache ~tag:tag_b ~start) in
+  let bounded = RS.to_list (Fx_flix.Query_cache.descendants cache ~max_dist:1 ~start) in
+  check "different keys differ" true
+    (List.length only_b < List.length all && List.length bounded < List.length all);
+  check_int "three entries" 3 (Fx_flix.Query_cache.stats cache).entries
+
+let test_query_cache_unconsumed_not_cached () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let cache = Fx_flix.Query_cache.create pee in
+  let start = C.root_of_doc c 0 in
+  (* Create but never pull: no evaluation, no cache entry. *)
+  ignore (Fx_flix.Query_cache.descendants cache ~start);
+  check_int "nothing cached" 0 (Fx_flix.Query_cache.stats cache).entries;
+  (* Pull one result: the miss materialises the full list and caches it. *)
+  ignore (RS.next (Fx_flix.Query_cache.descendants cache ~start));
+  check_int "cached after pull" 1 (Fx_flix.Query_cache.stats cache).entries
+
+let test_query_cache_invalidate () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let cache = Fx_flix.Query_cache.create pee in
+  let start = C.root_of_doc c 0 in
+  ignore (RS.to_list (Fx_flix.Query_cache.descendants cache ~start));
+  Fx_flix.Query_cache.invalidate cache;
+  check_int "empty after invalidate" 0 (Fx_flix.Query_cache.stats cache).entries
+
+(* --- self-tuning ------------------------------------------------------------- *)
+
+let test_self_tuning_summary () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let mon = Fx_flix.Self_tuning.create pee in
+  for d = 0 to C.n_docs c - 1 do
+    ignore
+      (RS.to_list (Fx_flix.Self_tuning.descendants mon ~start:(C.root_of_doc c d)))
+  done;
+  let s = Fx_flix.Self_tuning.summary mon in
+  check_int "all queries seen" (C.n_docs c) s.queries;
+  check "link hops observed" true (s.mean_link_hops > 0.0)
+
+let test_self_tuning_window () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let mon = Fx_flix.Self_tuning.create ~window:5 pee in
+  for _ = 1 to 12 do
+    ignore (RS.to_list (Fx_flix.Self_tuning.descendants mon ~start:(C.root_of_doc c 0)))
+  done;
+  check_int "window caps samples" 5 (Fx_flix.Self_tuning.summary mon).queries
+
+let test_self_tuning_recommend () =
+  let c = figure1 () in
+  let pee = pee_of c MB.Naive in
+  let mon = Fx_flix.Self_tuning.create pee in
+  (* Too few queries: Keep regardless of pressure. *)
+  check "keep when cold" true
+    (Fx_flix.Self_tuning.recommend mon ~current:MB.Naive = Fx_flix.Self_tuning.Keep);
+  (* Hammer the link-heavy start (doc1 root chases links constantly). *)
+  for _ = 1 to 20 do
+    ignore (RS.to_list (Fx_flix.Self_tuning.descendants mon ~start:(C.root_of_doc c 0)))
+  done;
+  (match Fx_flix.Self_tuning.recommend ~pressure_threshold:0.01 mon ~current:MB.Naive with
+  | Fx_flix.Self_tuning.Rebuild (MB.Unconnected_hopi _) -> ()
+  | Fx_flix.Self_tuning.Rebuild _ | Fx_flix.Self_tuning.Keep ->
+      Alcotest.fail "expected escalation from Naive");
+  (match
+     Fx_flix.Self_tuning.recommend ~pressure_threshold:0.01 mon
+       ~current:(MB.Unconnected_hopi { max_size = 100 })
+   with
+  | Fx_flix.Self_tuning.Rebuild (MB.Unconnected_hopi { max_size }) ->
+      check_int "doubled" 200 max_size
+  | _ -> Alcotest.fail "expected doubled partitions");
+  check "keep under lenient threshold" true
+    (Fx_flix.Self_tuning.recommend ~pressure_threshold:1e9 mon ~current:MB.Naive
+    = Fx_flix.Self_tuning.Keep)
+
+(* --- incremental extension and rebuild --------------------------------------- *)
+
+let test_extend_reuses_indexes () =
+  let c = figure1 () in
+  let f = Flix.build ~config:MB.Naive c in
+  (* Add a document citing doc1's root: under the Naive config every
+     existing meta document's structure is untouched. *)
+  let extra = parse "doc8" {|<a><b href="doc1"/></a>|} in
+  let f2 = Flix.extend f [ extra ] in
+  check_int "all 7 old metas reused" 7 (IB.reused_count (Flix.built f2));
+  check_int "docs grew" 8 (C.n_docs (Flix.collection f2));
+  (* Queries on the extended collection are correct, including through
+     the new document's link. *)
+  let c2 = Flix.collection f2 in
+  let start = Option.get (Flix.node_of f2 ~doc:"doc8" ~anchor:None) in
+  let got =
+    RS.to_list (Flix.descendants f2 ~start)
+    |> List.map (fun (it : Pee.item) -> it.node)
+    |> List.sort_uniq compare
+  in
+  let truth =
+    Traversal.descendants (C.graph c2) start
+    |> List.filter (fun (v, d) -> not (v = start && d = 0))
+    |> List.map fst |> List.sort_uniq compare
+  in
+  check "extended query correct" true (got = truth);
+  (* The old ids still resolve identically. *)
+  check "old anchors stable" true
+    (Flix.node_of f ~doc:"doc6" ~anchor:(Some "x6")
+    = Flix.node_of f2 ~doc:"doc6" ~anchor:(Some "x6"))
+
+let test_extend_duplicate_name_rejected () =
+  let c = figure1 () in
+  let f = Flix.build c in
+  match Flix.extend f [ parse "doc1" "<a/>" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate name accepted"
+
+let test_remove_documents () =
+  let c = figure1 () in
+  let f = Flix.build ~config:MB.Naive c in
+  let f2 = Flix.remove f [ "doc7"; "nonexistent" ] in
+  let c2 = Flix.collection f2 in
+  check_int "six docs left" 6 (C.n_docs c2);
+  (* Links into doc7 become dangling, queries stay correct. *)
+  check "dangling recorded" true (C.dangling_refs c2 <> []);
+  for start = 0 to C.n_nodes c2 - 1 do
+    let got =
+      RS.to_list (Flix.descendants f2 ~start)
+      |> List.map (fun (it : Pee.item) -> it.node)
+      |> List.sort_uniq compare
+    in
+    let truth =
+      Traversal.descendants (C.graph c2) start
+      |> List.filter (fun (v, d) -> not (v = start && d = 0))
+      |> List.map fst |> List.sort_uniq compare
+    in
+    check "correct after removal" true (got = truth)
+  done;
+  (* Prefix documents (doc1..doc6 precede doc7) are fully reused. *)
+  check_int "prefix reuse" 6 (IB.reused_count (Flix.built f2));
+  (* Removing nothing returns the same value. *)
+  check "no-op removal" true (Flix.remove f [ "nope" ] == f)
+
+let test_rebuild_applies_recommendation () =
+  let c = figure1 () in
+  let f = Flix.build ~config:MB.Naive c in
+  let f2 = Flix.rebuild ~config:(MB.Unconnected_hopi { max_size = 1000 }) f in
+  (* Same collection object, fewer meta documents, correct answers. *)
+  check "same collection" true (Flix.collection f2 == Flix.collection f);
+  check "fewer metas" true
+    (Array.length (Flix.registry f2).MD.metas < Array.length (Flix.registry f).MD.metas);
+  let start = C.root_of_doc c 0 in
+  let nodes stream = List.sort_uniq compare (List.map (fun (it : Pee.item) -> it.node) (RS.to_list stream)) in
+  check "answers unchanged" true
+    (nodes (Flix.descendants f ~start) = nodes (Flix.descendants f2 ~start))
+
+let test_extend_link_into_old_doc_rebuilds_it () =
+  (* MaximalPPO: a new doc citing doc3's root can merge with the old
+     tree, changing that meta document; its index must be rebuilt, and
+     results must stay correct. *)
+  let c = figure1 () in
+  let f = Flix.build ~config:MB.Maximal_ppo c in
+  let f2 = Flix.extend f [ parse "doc8" {|<a><b href="doc7"/></a>|} ] in
+  let c2 = Flix.collection f2 in
+  for start = 0 to C.n_nodes c2 - 1 do
+    let got =
+      RS.to_list (Flix.descendants f2 ~start)
+      |> List.map (fun (it : Pee.item) -> it.node)
+      |> List.sort_uniq compare
+    in
+    let truth =
+      Traversal.descendants (C.graph c2) start
+      |> List.filter (fun (v, d) -> not (v = start && d = 0))
+      |> List.map fst |> List.sort_uniq compare
+    in
+    check "correct after structural change" true (got = truth)
+  done
+
+(* --- result stream ------------------------------------------------------------- *)
+
+let test_stream_basics () =
+  let count = ref 0 in
+  let s =
+    RS.of_fn (fun () ->
+        incr count;
+        if !count <= 3 then Some !count else None)
+  in
+  check "peek" true (RS.peek s = Some 1);
+  check "peek stable" true (RS.peek s = Some 1);
+  check "next" true (RS.next s = Some 1);
+  Alcotest.(check (list int)) "take" [ 2; 3 ] (RS.take 5 s);
+  check "exhausted" true (RS.next s = None);
+  check "exhausted stays" true (RS.next s = None)
+
+let test_stream_take_while_map_filter () =
+  let mk () =
+    let count = ref 0 in
+    RS.of_fn (fun () ->
+        incr count;
+        if !count <= 10 then Some !count else None)
+  in
+  Alcotest.(check (list int)) "take_while" [ 1; 2; 3 ] (RS.take_while (fun x -> x < 4) (mk ()));
+  Alcotest.(check (list int)) "map" [ 2; 4 ] (RS.take 2 (RS.map (fun x -> 2 * x) (mk ())));
+  Alcotest.(check (list int)) "filter" [ 2; 4; 6 ]
+    (RS.take 3 (RS.filter (fun x -> x mod 2 = 0) (mk ())));
+  check_int "to_seq length" 10 (List.length (List.of_seq (RS.to_seq (mk ()))))
+
+let test_stream_timed () =
+  let count = ref 0 in
+  let s = RS.of_fn (fun () -> incr count; if !count <= 5 then Some !count else None) in
+  let timed = RS.take_timed 10 s in
+  check_int "five" 5 (List.length timed);
+  let times = List.map snd timed in
+  check "monotone" true (List.sort compare times = times)
+
+(* --- stats ------------------------------------------------------------------------ *)
+
+let test_error_rate () =
+  let dist = function 1 -> 1 | 2 -> 2 | 3 -> 3 | _ -> 0 in
+  Alcotest.(check (float 1e-9)) "sorted" 0.0 (Stats.error_rate ~true_dist:dist [ 1; 2; 3 ]);
+  (* 3 returned before 1 and 2: the 3 is "wrong" (smaller dist later). *)
+  Alcotest.(check (float 1e-9)) "one wrong" (1.0 /. 3.0)
+    (Stats.error_rate ~true_dist:dist [ 3; 1; 2 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.error_rate ~true_dist:dist []);
+  check_int "inversions" 2 (Stats.inversions ~true_dist:dist [ 3; 1; 2 ]);
+  Alcotest.(check (float 1e-9)) "inversion rate" (2.0 /. 3.0)
+    (Stats.inversion_rate ~true_dist:dist [ 3; 1; 2 ]);
+  Alcotest.(check (float 1e-9)) "rate sorted" 0.0
+    (Stats.inversion_rate ~true_dist:dist [ 1; 2; 3 ]);
+  Alcotest.(check (float 1e-9)) "rate singleton" 0.0
+    (Stats.inversion_rate ~true_dist:dist [ 1 ])
+
+let test_time_series () =
+  let trace = [ ("a", 1.0); ("b", 2.0); ("c", 3.0) ] in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "series"
+    [ (1, 1.0); (3, 3.0) ]
+    (Stats.time_series trace ~ks:[ 1; 3; 10 ])
+
+let test_percentile_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "p100" 3.0 (Stats.percentile 100.0 [ 3.0; 1.0; 2.0 ])
+
+(* --- facade -------------------------------------------------------------------------- *)
+
+let test_flix_facade () =
+  let c = figure1 () in
+  let f = Flix.build ~config:MB.default_hybrid c in
+  check "report nonempty" true (String.length (Flix.report f) > 0);
+  check "size positive" true (Flix.index_size_bytes f > 0);
+  let start = Option.get (Flix.node_of f ~doc:"doc1" ~anchor:None) in
+  let results = RS.to_list (Flix.descendants f ~start ~tag:"b") in
+  check "results" true (results <> []);
+  (* unknown tag: empty, not an error *)
+  check "unknown tag empty" true (RS.to_list (Flix.descendants f ~start ~tag:"zzz") = []);
+  (* node_of with anchor *)
+  check "anchor lookup" true (Flix.node_of f ~doc:"doc6" ~anchor:(Some "x6") <> None);
+  check "missing doc" true (Flix.node_of f ~doc:"nope" ~anchor:None = None);
+  (* A//B over the whole collection *)
+  let ab = RS.to_list (Flix.evaluate f ~start_tag:"p" ~target_tag:"q") in
+  check "A//B nonempty" true (ab <> []);
+  (* true_distance sanity *)
+  check "true distance" true (Flix.true_distance f start start = Some 0)
+
+let () =
+  Alcotest.run "fx_flix"
+    [
+      ( "meta_documents",
+        [
+          Alcotest.test_case "registry invariants (fig1, all configs)" `Quick
+            test_registry_invariants_fig1;
+          Alcotest.test_case "naive = 1 doc per meta" `Quick test_naive_one_meta_per_doc;
+          Alcotest.test_case "maximal PPO builds forests" `Quick test_maximal_ppo_forests;
+          Alcotest.test_case "accepted links point at roots" `Quick
+            test_maximal_ppo_accepted_links_are_tree_edges;
+          Alcotest.test_case "unconnected HOPI size bound" `Quick
+            test_unconnected_hopi_size_bound;
+          Alcotest.test_case "hybrid mixes strategies" `Quick test_hybrid_mixes;
+          Alcotest.test_case "spanning PPO single meta" `Quick test_spanning_ppo_single_meta;
+        ] );
+      ( "auto_config",
+        [
+          Alcotest.test_case "paper's prescription per workload" `Quick
+            test_auto_config_per_workload;
+          Alcotest.test_case "analysis fields" `Quick test_auto_config_analysis_fields;
+          Alcotest.test_case "empty collection" `Quick test_auto_config_empty_collection;
+        ] );
+      ( "strategy_selector",
+        [
+          Alcotest.test_case "auto policy" `Quick test_selector_auto;
+          Alcotest.test_case "force and custom" `Quick test_selector_force_and_custom;
+          Alcotest.test_case "closure estimate" `Quick test_selector_estimate;
+        ] );
+      ( "index_builder",
+        [
+          Alcotest.test_case "PPO fallback" `Quick test_builder_fallback;
+          Alcotest.test_case "parallel build equivalent" `Quick test_builder_parallel_equivalent;
+          Alcotest.test_case "disk-resident strategy" `Quick test_builder_disk_strategy;
+          Alcotest.test_case "report" `Quick test_builder_report;
+        ] );
+      ( "pee",
+        [
+          Alcotest.test_case "fig1: all configs, all starts" `Quick test_pee_fig1_all_configs;
+          Alcotest.test_case "distances are upper bounds" `Quick
+            test_pee_distances_are_exact_in_fig1_tree;
+          Alcotest.test_case "max_dist threshold" `Quick test_pee_max_dist;
+          Alcotest.test_case "include_self" `Quick test_pee_include_self;
+          Alcotest.test_case "lazy streaming" `Quick test_pee_streaming_is_lazy;
+          Alcotest.test_case "A//B multi-start" `Quick test_pee_multi;
+          Alcotest.test_case "ancestors" `Quick test_pee_ancestors;
+          Alcotest.test_case "exact ordering (fig1)" `Quick test_pee_exact_ordering;
+          prop_pee_exact_random;
+          Alcotest.test_case "ancestors exact" `Quick test_pee_ancestors_exact;
+          Alcotest.test_case "connection test" `Quick test_pee_connected;
+          Alcotest.test_case "connection max_dist" `Quick test_pee_connected_max_dist;
+          prop_pee_random_collections;
+          prop_pee_block_order;
+        ] );
+      ( "element_level",
+        [
+          Alcotest.test_case "splits documents" `Quick test_element_level_splits_docs;
+          Alcotest.test_case "PEE correct (fig1)" `Quick test_element_level_pee_correct;
+          prop_element_level_random;
+        ] );
+      ( "query_cache",
+        [
+          Alcotest.test_case "replay" `Quick test_query_cache_replay;
+          Alcotest.test_case "keys" `Quick test_query_cache_keys;
+          Alcotest.test_case "unconsumed not cached" `Quick test_query_cache_unconsumed_not_cached;
+          Alcotest.test_case "invalidate" `Quick test_query_cache_invalidate;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "extend reuses indexes" `Quick test_extend_reuses_indexes;
+          Alcotest.test_case "duplicate names rejected" `Quick test_extend_duplicate_name_rejected;
+          Alcotest.test_case "remove documents" `Quick test_remove_documents;
+          Alcotest.test_case "rebuild with new config" `Quick test_rebuild_applies_recommendation;
+          Alcotest.test_case "structural change handled" `Quick
+            test_extend_link_into_old_doc_rebuilds_it;
+        ] );
+      ( "self_tuning",
+        [
+          Alcotest.test_case "summary" `Quick test_self_tuning_summary;
+          Alcotest.test_case "window" `Quick test_self_tuning_window;
+          Alcotest.test_case "recommendations" `Quick test_self_tuning_recommend;
+        ] );
+      ( "result_stream",
+        [
+          Alcotest.test_case "basics" `Quick test_stream_basics;
+          Alcotest.test_case "combinators" `Quick test_stream_take_while_map_filter;
+          Alcotest.test_case "timed" `Quick test_stream_timed;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "error rate" `Quick test_error_rate;
+          Alcotest.test_case "time series" `Quick test_time_series;
+          Alcotest.test_case "percentile/mean" `Quick test_percentile_mean;
+        ] );
+      ("facade", [ Alcotest.test_case "flix facade" `Quick test_flix_facade ]);
+    ]

@@ -1,0 +1,440 @@
+(* Unit and property tests for the graph substrate. *)
+
+module Digraph = Fx_graph.Digraph
+module Traversal = Fx_graph.Traversal
+module Bitset = Fx_graph.Bitset
+module Pq = Fx_graph.Priority_queue
+module Uf = Fx_graph.Union_find
+module Scc = Fx_graph.Scc
+module Partition = Fx_graph.Partition
+module Tc = Fx_graph.Transitive_closure
+module Tc_estimate = Fx_graph.Tc_estimate
+module H = Helpers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Digraph --------------------------------------------------------- *)
+
+let test_digraph_basic () =
+  let g = Digraph.of_edges ~n:4 [ (0, 1); (0, 2); (2, 3); (0, 1) ] in
+  check_int "nodes" 4 (Digraph.n_nodes g);
+  check_int "edges deduped" 3 (Digraph.n_edges g);
+  check_int "out 0" 2 (Digraph.out_degree g 0);
+  check_int "in 3" 1 (Digraph.in_degree g 3);
+  check "mem" true (Digraph.mem_edge g 0 2);
+  check "not mem" false (Digraph.mem_edge g 2 0);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (0, 2); (2, 3) ] (Digraph.edges g)
+
+let test_digraph_succ_sorted () =
+  let g = Digraph.of_edges ~n:5 [ (0, 4); (0, 1); (0, 3); (0, 2) ] in
+  Alcotest.(check (array int)) "sorted row" [| 1; 2; 3; 4 |] (Digraph.succ g 0)
+
+let test_digraph_reverse () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let r = Digraph.reverse g in
+  check "rev edge" true (Digraph.mem_edge r 1 0);
+  check "rev edge2" true (Digraph.mem_edge r 2 1);
+  check_int "rev edges" 2 (Digraph.n_edges r)
+
+let test_digraph_bad_edge () =
+  Alcotest.check_raises "out of range" (Invalid_argument "Digraph: node 7 out of range [0,3)")
+    (fun () -> ignore (Digraph.of_edges ~n:3 [ (0, 7) ]))
+
+let test_digraph_induced () =
+  let g = H.small_graph () in
+  let sub, mapping = Digraph.induced g [| 2; 3; 4; 5 |] in
+  check_int "sub nodes" 4 (Digraph.n_nodes sub);
+  (* kept edges: 2->3, 2->4, 4->5 *)
+  check_int "sub edges" 3 (Digraph.n_edges sub);
+  Alcotest.(check (array int)) "mapping" [| 2; 3; 4; 5 |] mapping
+
+let test_digraph_empty () =
+  let g = Digraph.empty 3 in
+  check_int "no edges" 0 (Digraph.n_edges g);
+  check "self reach only" true (Traversal.reachable g 1 1);
+  check "no cross reach" false (Traversal.reachable g 0 1)
+
+let prop_reverse_involution =
+  H.qtest "reverse (reverse g) = g" (H.digraph_arb ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      Digraph.edges (Digraph.reverse (Digraph.reverse g)) = Digraph.edges g)
+
+let prop_degree_sum =
+  H.qtest "sum of out-degrees = edge count" (H.digraph_arb ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let sum = ref 0 in
+      for v = 0 to n - 1 do
+        sum := !sum + Digraph.out_degree g v
+      done;
+      !sum = Digraph.n_edges g)
+
+let prop_mem_edge_consistent =
+  H.qtest "mem_edge agrees with edges list" (H.digraph_arb ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      List.for_all (fun (u, v) -> Digraph.mem_edge g u v) (Digraph.edges g)
+      && List.for_all (fun (u, v) -> Digraph.mem_edge g u v) edges)
+
+(* --- Bitset ---------------------------------------------------------- *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  check "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 99;
+  check "mem 0" true (Bitset.mem s 0);
+  check "mem 63" true (Bitset.mem s 63);
+  check "not mem 50" false (Bitset.mem s 50);
+  check_int "cardinal" 3 (Bitset.cardinal s);
+  Bitset.remove s 63;
+  check "removed" false (Bitset.mem s 63);
+  check_int "cardinal after remove" 2 (Bitset.cardinal s)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 10 [ 2; 3; 4 ] in
+  let i = Bitset.copy a in
+  Bitset.inter_into i b;
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.to_list i);
+  let u = Bitset.copy a in
+  Bitset.union_into u b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.to_list u)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.add s 8)
+
+let prop_bitset_roundtrip =
+  H.qtest "of_list/to_list roundtrip"
+    QCheck.(list (int_bound 63))
+    (fun xs ->
+      let s = Bitset.of_list 64 xs in
+      Bitset.to_list s = List.sort_uniq compare xs)
+
+(* --- Priority queue --------------------------------------------------- *)
+
+let test_pq_order () =
+  let q = Pq.create () in
+  List.iter (fun (p, v) -> Pq.insert q p v) [ (5, "e"); (1, "a"); (3, "c"); (2, "b") ];
+  let drain () =
+    let rec go acc = match Pq.extract_min q with None -> List.rev acc | Some x -> go (x :: acc) in
+    go []
+  in
+  Alcotest.(check (list (pair int string)))
+    "sorted" [ (1, "a"); (2, "b"); (3, "c"); (5, "e") ] (drain ())
+
+let test_pq_empty () =
+  let q = Pq.create () in
+  check "empty" true (Pq.is_empty q);
+  check "no min" true (Pq.extract_min q = None);
+  Pq.insert q 1 ();
+  check "nonempty" false (Pq.is_empty q);
+  Pq.clear q;
+  check "cleared" true (Pq.is_empty q)
+
+let prop_pq_sorts =
+  H.qtest "extracts in non-decreasing priority"
+    QCheck.(list small_int)
+    (fun prios ->
+      let q = Pq.create () in
+      List.iter (fun p -> Pq.insert q p p) prios;
+      let rec drain acc =
+        match Pq.extract_min q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare prios)
+
+(* --- Union-find -------------------------------------------------------- *)
+
+let test_uf () =
+  let uf = Uf.create 5 in
+  check_int "classes" 5 (Uf.n_classes uf);
+  check "union 0 1" true (Uf.union uf 0 1);
+  check "union 1 2" true (Uf.union uf 1 2);
+  check "re-union" false (Uf.union uf 0 2);
+  check "same" true (Uf.same uf 0 2);
+  check "not same" false (Uf.same uf 0 3);
+  check_int "class size" 3 (Uf.class_size uf 1);
+  check_int "classes after" 3 (Uf.n_classes uf)
+
+(* --- Traversal ---------------------------------------------------------- *)
+
+let test_bfs_distances () =
+  let g = H.small_graph () in
+  let d = Traversal.bfs_distances g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 1; 2; 2; 3; 4; 5 |] d;
+  let d2 = Traversal.bfs_distances g 5 in
+  check_int "unreachable" (-1) d2.(0);
+  check_int "cycle dist" 2 d2.(7)
+
+let test_distance_and_path () =
+  let g = H.small_graph () in
+  check "dist 0->7" true (Traversal.distance g 0 7 = Some 5);
+  check "dist 3->0" true (Traversal.distance g 3 0 = None);
+  check "self" true (Traversal.distance g 4 4 = Some 0);
+  match Traversal.shortest_path g 0 5 with
+  | Some path ->
+      Alcotest.(check (list int)) "path" [ 0; 2; 4; 5 ] path
+  | None -> Alcotest.fail "expected path"
+
+let test_descendants_sorted () =
+  let g = H.small_graph () in
+  let d = Traversal.descendants g 2 in
+  check "self first" true (List.hd d = (2, 0));
+  check "sorted" true (H.sorted_by_distance d);
+  check_int "count" 6 (List.length d)
+
+let test_dfs_forest_numbers () =
+  let g = H.small_forest () in
+  let num = Traversal.dfs_forest g in
+  (* Preorder: 0 1 2 3 4; node 0 first, subtree of 2 contiguous. *)
+  check_int "pre root" 0 num.pre.(0);
+  check_int "depth 3" 2 num.depth.(3);
+  check_int "parent 3" 2 num.parent.(3);
+  check_int "parent root" (-1) num.parent.(0);
+  (* post of an ancestor is greater than every descendant's. *)
+  check "post order" true (num.post.(0) > num.post.(2) && num.post.(2) > num.post.(3))
+
+let test_is_forest () =
+  check "forest" true (Traversal.is_forest (H.small_forest ()));
+  check "not forest (cycle)" false (Traversal.is_forest (H.small_graph ()));
+  check "two parents" false
+    (Traversal.is_forest (Digraph.of_edges ~n:3 [ (0, 2); (1, 2) ]))
+
+let test_topological () =
+  (match Traversal.topological_order (H.small_forest ()) with
+  | None -> Alcotest.fail "forest is acyclic"
+  | Some order ->
+      let pos = Array.make 6 0 in
+      Array.iteri (fun i v -> pos.(v) <- i) order;
+      Digraph.iter_edges (H.small_forest ()) (fun u v ->
+          check "topo respects edges" true (pos.(u) < pos.(v))));
+  check "cyclic" true (Traversal.topological_order (H.small_graph ()) = None)
+
+let prop_bfs_triangle =
+  H.qtest "triangle inequality over edges" (H.digraph_arb ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let ok = ref true in
+      for s = 0 to min 4 (n - 1) do
+        let d = Traversal.bfs_distances g s in
+        Digraph.iter_edges g (fun u v ->
+            if d.(u) >= 0 then ok := !ok && d.(v) >= 0 && d.(v) <= d.(u) + 1)
+      done;
+      !ok)
+
+let prop_descendants_match_bfs =
+  H.qtest "descendants = bfs distance set" (H.digraph_arb ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let d = Traversal.bfs_distances g 0 in
+      let expected =
+        List.filter (fun (_, dist) -> dist >= 0) (Array.to_list (Array.mapi (fun v x -> (v, x)) d))
+      in
+      H.same_results (Traversal.descendants g 0) expected)
+
+(* --- SCC ------------------------------------------------------------------ *)
+
+let test_scc_small () =
+  let g = H.small_graph () in
+  let scc = Scc.compute g in
+  check_int "components" 7 scc.n_components;
+  check "6 and 7 together" true (scc.component.(6) = scc.component.(7));
+  check "0 and 1 apart" true (scc.component.(0) <> scc.component.(1))
+
+let test_scc_condensation_dag () =
+  let g = Digraph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 5); (5, 3) ] in
+  let scc, dag = Scc.condensation g in
+  check_int "two components" 2 scc.n_components;
+  check "dag acyclic" true (Traversal.is_acyclic dag);
+  check_int "one condensed edge" 1 (Digraph.n_edges dag)
+
+let prop_scc_mutual_reach =
+  H.qtest "same component iff mutually reachable" (H.digraph_arb ~max_n:12 ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let scc = Scc.compute g in
+      List.for_all
+        (fun (u, v) ->
+          (scc.component.(u) = scc.component.(v))
+          = (Traversal.reachable g u v && Traversal.reachable g v u))
+        (H.all_pairs n))
+
+let prop_condensation_edge_direction =
+  H.qtest "condensation edges go to smaller ids" (H.digraph_arb ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let _, dag = Scc.condensation g in
+      let ok = ref true in
+      Digraph.iter_edges dag (fun c c' -> ok := !ok && c > c');
+      !ok)
+
+(* --- Partition -------------------------------------------------------------- *)
+
+let test_partition_bounds () =
+  let g = H.small_graph () in
+  let a = Partition.bounded_bfs ~max_size:3 g in
+  check "cover" true (Partition.check_cover ~n:8 a);
+  Array.iter (fun s -> check "size bound" true (s <= 3)) a.sizes
+
+let test_partition_whole () =
+  let g = H.small_forest () in
+  (* One part per weakly-connected component: the 5-node tree plus the
+     isolated node 5. *)
+  let a = Partition.bounded_bfs ~max_size:100 g in
+  check_int "parts = components" 2 a.n_parts;
+  check_int "no cut" 0 (Partition.cut_size g a.part)
+
+let test_partition_by_units () =
+  (* Units 0..3, two nodes each; weight 2 each; bound 4 -> pairs. *)
+  let g = Digraph.of_edges ~n:8 [ (1, 2); (3, 4); (5, 6); (7, 0) ] in
+  let units = [| 0; 0; 1; 1; 2; 2; 3; 3 |] in
+  let a = Partition.by_units ~units ~unit_weight:[| 2; 2; 2; 2 |] ~max_size:4 g in
+  check "cover" true (Partition.check_cover ~n:8 a);
+  (* A unit is never split. *)
+  for v = 0 to 6 do
+    if units.(v) = units.(v + 1) then check "unit intact" true (a.part.(v) = a.part.(v + 1))
+  done;
+  Array.iter (fun s -> check "weight bound" true (s <= 4)) a.sizes
+
+let prop_partition_cover =
+  H.qtest "bounded_bfs covers all nodes within bound"
+    (QCheck.pair (H.digraph_arb ()) (QCheck.int_range 1 10))
+    (fun ((n, edges), max_size) ->
+      let g = Digraph.of_edges ~n edges in
+      let a = Partition.bounded_bfs ~max_size g in
+      Partition.check_cover ~n a && Array.for_all (fun s -> s <= max_size) a.sizes)
+
+let prop_partition_units_never_split =
+  H.qtest "by_units never splits a unit"
+    (H.digraph_arb ~max_n:16 ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let units = Array.init n (fun v -> v / 3) in
+      let n_units = 1 + ((n - 1) / 3) in
+      let unit_weight = Array.make n_units 0 in
+      Array.iter (fun u -> unit_weight.(u) <- unit_weight.(u) + 1) units;
+      let a = Partition.by_units ~units ~unit_weight ~max_size:5 g in
+      Partition.check_cover ~n a
+      && List.for_all
+           (fun (u, v) -> units.(u) <> units.(v) || a.part.(u) = a.part.(v))
+           (H.all_pairs n))
+
+(* --- Transitive closure -------------------------------------------------------- *)
+
+let test_tc_small () =
+  let g = H.small_graph () in
+  let tc = Tc.compute g in
+  check "reach" true (Tc.reachable tc 0 7);
+  check "not reach" false (Tc.reachable tc 1 0);
+  check "self" true (Tc.reachable tc 3 3);
+  check "dist" true (Tc.distance tc 0 5 = Some 3);
+  check "dist self" true (Tc.distance tc 2 2 = Some 0);
+  check "dist none" true (Tc.distance tc 5 0 = None);
+  check_int "pairs" 19 (Tc.n_pairs tc);
+  check_int "bytes" (8 * 19) (Tc.size_bytes tc)
+
+let prop_tc_matches_bfs =
+  H.qtest "TC distances = BFS distances" (H.digraph_arb ~max_n:14 ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let tc = Tc.compute g in
+      List.for_all
+        (fun (u, v) -> Tc.distance tc u v = Traversal.distance g u v)
+        (H.all_pairs n))
+
+let test_tc_estimate_accuracy () =
+  (* A 2-level fanout tree: root reaches all 111 nodes. *)
+  let edges = ref [] in
+  for i = 1 to 10 do
+    edges := (0, i) :: !edges;
+    for j = 0 to 9 do
+      edges := (i, 10 + (10 * i) + j - 9) :: !edges
+    done
+  done;
+  let g = Digraph.of_edges ~n:111 !edges in
+  let est = Tc_estimate.compute ~rounds:64 ~seed:1 g in
+  let size = Tc_estimate.reach_size est 0 in
+  check "root reach ~111" true (size > 70.0 && size < 160.0);
+  let leaf = Tc_estimate.reach_size est 110 in
+  check "leaf reach ~1" true (leaf > 0.5 && leaf < 2.0)
+
+let prop_tc_estimate_scc_consistent =
+  H.qtest ~count:30 "estimator equal within an SCC" (H.digraph_arb ~max_n:12 ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let scc = Scc.compute g in
+      let est = Tc_estimate.compute ~rounds:8 ~seed:3 g in
+      List.for_all
+        (fun (u, v) ->
+          scc.component.(u) <> scc.component.(v)
+          || abs_float (Tc_estimate.reach_size est u -. Tc_estimate.reach_size est v) < 1e-9)
+        (H.all_pairs n))
+
+let () =
+  Alcotest.run "fx_graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basic" `Quick test_digraph_basic;
+          Alcotest.test_case "sorted rows" `Quick test_digraph_succ_sorted;
+          Alcotest.test_case "reverse" `Quick test_digraph_reverse;
+          Alcotest.test_case "bad edge" `Quick test_digraph_bad_edge;
+          Alcotest.test_case "induced" `Quick test_digraph_induced;
+          Alcotest.test_case "empty" `Quick test_digraph_empty;
+          prop_reverse_involution;
+          prop_degree_sum;
+          prop_mem_edge_consistent;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "set ops" `Quick test_bitset_ops;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          prop_bitset_roundtrip;
+        ] );
+      ( "priority_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pq_order;
+          Alcotest.test_case "empty/clear" `Quick test_pq_empty;
+          prop_pq_sorts;
+        ] );
+      ("union_find", [ Alcotest.test_case "basic" `Quick test_uf ]);
+      ( "traversal",
+        [
+          Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+          Alcotest.test_case "distance and path" `Quick test_distance_and_path;
+          Alcotest.test_case "descendants sorted" `Quick test_descendants_sorted;
+          Alcotest.test_case "dfs numbering" `Quick test_dfs_forest_numbers;
+          Alcotest.test_case "is_forest" `Quick test_is_forest;
+          Alcotest.test_case "topological" `Quick test_topological;
+          prop_bfs_triangle;
+          prop_descendants_match_bfs;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "small" `Quick test_scc_small;
+          Alcotest.test_case "condensation" `Quick test_scc_condensation_dag;
+          prop_scc_mutual_reach;
+          prop_condensation_edge_direction;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "bounds" `Quick test_partition_bounds;
+          Alcotest.test_case "whole graph" `Quick test_partition_whole;
+          Alcotest.test_case "by units" `Quick test_partition_by_units;
+          prop_partition_cover;
+          prop_partition_units_never_split;
+        ] );
+      ( "transitive_closure",
+        [
+          Alcotest.test_case "small" `Quick test_tc_small;
+          prop_tc_matches_bfs;
+          Alcotest.test_case "estimator accuracy" `Quick test_tc_estimate_accuracy;
+          prop_tc_estimate_scc_consistent;
+        ] );
+    ]

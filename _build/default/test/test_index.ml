@@ -1,0 +1,547 @@
+(* Tests for the Path Indexing Strategies: PPO, 2-hop/HOPI, APEX, the
+   materialised TC and the DataGuide. The central properties: every
+   strategy answers reachability, distance and descendants-by-tag
+   queries exactly like BFS on the data graph; result lists are sorted
+   by ascending distance and duplicate-free. *)
+
+module Digraph = Fx_graph.Digraph
+module Traversal = Fx_graph.Traversal
+module Bitset = Fx_graph.Bitset
+module Pi = Fx_index.Path_index
+module Ppo = Fx_index.Ppo
+module Two_hop = Fx_index.Two_hop
+module Hopi = Fx_index.Hopi
+module Apex = Fx_index.Apex
+module Tc_index = Fx_index.Tc_index
+module Dataguide = Fx_index.Dataguide
+module H = Helpers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The tagged forest from helpers:
+       0          5
+      / \
+     1   2
+        / \
+       3   4        tags: 0:a 1:b 2:b 3:c 4:b 5:a *)
+let forest_dg () =
+  { Pi.graph = H.small_forest (); tag = [| 0; 1; 1; 2; 1; 0 |] }
+
+let graph_dg () =
+  { Pi.graph = H.small_graph (); tag = [| 0; 1; 1; 2; 1; 0; 2; 1 |] }
+
+(* --- instance-level conformance, shared by all strategies ------------- *)
+
+let conformance name (make : Pi.data_graph -> Pi.instance) (dg : Pi.data_graph) =
+  let inst = make dg in
+  let g = dg.graph in
+  let n = Digraph.n_nodes g in
+  (* reachability and distance vs BFS *)
+  List.iter
+    (fun (u, v) ->
+      let expected = Traversal.distance g u v in
+      if inst.reachable u v <> (expected <> None) then
+        Alcotest.failf "%s: reachable %d %d mismatch" name u v;
+      if inst.distance u v <> expected then
+        Alcotest.failf "%s: distance %d %d = %s, expected %s" name u v
+          (match inst.distance u v with None -> "None" | Some d -> string_of_int d)
+          (match expected with None -> "None" | Some d -> string_of_int d))
+    (H.all_pairs n);
+  (* descendants by tag: exact sets, sorted, duplicate-free *)
+  let tags = List.sort_uniq compare (Array.to_list dg.tag) in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun want ->
+        let got = inst.descendants_by_tag u want in
+        let expected = H.oracle_descendants_by_tag dg u want in
+        if not (H.same_results got expected) then
+          Alcotest.failf "%s: descendants_by_tag %d mismatch" name u;
+        if not (H.sorted_by_distance got) then
+          Alcotest.failf "%s: descendants_by_tag %d not sorted" name u;
+        if List.length (List.sort_uniq compare (List.map fst got)) <> List.length got then
+          Alcotest.failf "%s: duplicates in descendants of %d" name u)
+      (None :: List.map Option.some tags);
+    (* ancestors mirror descendants on the reversed graph *)
+    let rev = Digraph.reverse g in
+    let expected_anc =
+      Traversal.descendants_by_tag rev ~tag:dg.tag u None
+    in
+    let got_anc = inst.ancestors_by_tag u None in
+    if not (H.same_results got_anc expected_anc) then
+      Alcotest.failf "%s: ancestors_by_tag %d mismatch" name u
+  done;
+  (* restricted descendants/ancestors against a fixed set *)
+  let set = Bitset.create n in
+  let rec mark v = if v >= 0 then begin Bitset.add set v; mark (v - 2) end in
+  mark (n - 1);
+  for u = 0 to n - 1 do
+    let got = inst.restricted_descendants u set in
+    let expected =
+      List.filter (fun (v, _) -> Bitset.mem set v) (Traversal.descendants g u)
+    in
+    if not (H.same_results got expected) then
+      Alcotest.failf "%s: restricted_descendants %d mismatch" name u;
+    let got_a = inst.restricted_ancestors u set in
+    let expected_a =
+      List.filter (fun (v, _) -> Bitset.mem set v)
+        (Traversal.descendants (Digraph.reverse g) u)
+    in
+    if not (H.same_results got_a expected_a) then
+      Alcotest.failf "%s: restricted_ancestors %d mismatch" name u
+  done;
+  if inst.stats.size_bytes <= 0 && n > 0 then Alcotest.failf "%s: zero size" name
+
+let make_hopi dg = Hopi.instance ~partition_size:3 dg
+let make_apex dg = Apex.instance dg
+let make_tc dg = Tc_index.instance dg
+
+(* The disk deployment must satisfy the same contract; temp files are
+   cleaned up eagerly (the instance closes with the process). *)
+let make_disk_hopi dg =
+  let path = Filename.temp_file "fxconf" "" in
+  at_exit (fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".labels"; path ^ ".tags" ]);
+  Fx_index.Disk_hopi.instance ~page_size:256 ~path dg (Hopi.build dg)
+
+let test_conformance_forest () =
+  conformance "PPO" Ppo.instance (forest_dg ());
+  conformance "HOPI" make_hopi (forest_dg ());
+  conformance "APEX" make_apex (forest_dg ());
+  conformance "TC" make_tc (forest_dg ())
+
+let test_conformance_graph () =
+  conformance "HOPI" make_hopi (graph_dg ());
+  conformance "APEX" make_apex (graph_dg ());
+  conformance "TC" make_tc (graph_dg ())
+
+let test_conformance_disk () =
+  conformance "HOPI-disk" make_disk_hopi (forest_dg ());
+  conformance "HOPI-disk" make_disk_hopi (graph_dg ())
+
+let test_conformance_borders_first () =
+  let make dg = Hopi.instance ~ordering:`Borders_first ~partition_size:3 dg in
+  conformance "HOPI-borders" make (forest_dg ());
+  conformance "HOPI-borders" make (graph_dg ())
+
+let prop_conformance_random_graphs =
+  H.qtest ~count:60 "HOPI/APEX/TC ≡ BFS on random digraphs" (H.digraph_arb ~max_n:14 ())
+    (fun (n, edges) ->
+      let dg = H.data_graph_of (n, edges) ~tag_seed:5 in
+      let instances = [ make_hopi dg; make_apex dg; make_tc dg ] in
+      let g = dg.graph in
+      List.for_all
+        (fun (inst : Pi.instance) ->
+          List.for_all
+            (fun (u, v) -> inst.distance u v = Traversal.distance g u v)
+            (H.all_pairs n)
+          && List.for_all
+               (fun u ->
+                 H.same_results (inst.descendants_by_tag u (Some 1))
+                   (H.oracle_descendants_by_tag dg u (Some 1)))
+               (List.init n (fun i -> i)))
+        instances)
+
+let prop_conformance_random_forests =
+  H.qtest ~count:60 "PPO ≡ BFS on random forests" (H.forest_arb ())
+    (fun (n, edges) ->
+      let dg = H.data_graph_of (n, edges) ~tag_seed:9 in
+      let inst = Ppo.instance dg in
+      List.for_all
+        (fun (u, v) -> inst.Pi.distance u v = Traversal.distance dg.graph u v)
+        (H.all_pairs n)
+      && List.for_all
+           (fun u ->
+             H.same_results
+               (inst.Pi.descendants_by_tag u None)
+               (Traversal.descendants dg.graph u))
+           (List.init n (fun i -> i)))
+
+(* --- PPO specifics ------------------------------------------------------- *)
+
+let test_ppo_rejects_graphs () =
+  check "not buildable" false (Ppo.is_buildable (graph_dg ()));
+  Alcotest.check_raises "raises" Ppo.Not_a_forest (fun () -> ignore (Ppo.build (graph_dg ())))
+
+let test_ppo_pre_post () =
+  let t = Ppo.build (forest_dg ()) in
+  check_int "pre root" 0 (Ppo.pre t 0);
+  check "pre/post window" true (Ppo.pre t 2 < Ppo.pre t 3 && Ppo.post t 2 > Ppo.post t 3);
+  check_int "depth" 2 (Ppo.depth t 3);
+  check "different trees" false (Ppo.reachable t 0 5)
+
+let test_ppo_axes () =
+  let t = Ppo.build (forest_dg ()) in
+  check "parent" true (Ppo.parent t 3 = Some 2);
+  check "root parent" true (Ppo.parent t 0 = None);
+  Alcotest.(check (list int)) "children" [ 3; 4 ] (Ppo.children t 2);
+  (* following of node 1: everything after its subtree in its tree, in
+     preorder: 2, 3, 4, then the second root 5 *)
+  Alcotest.(check (list int)) "following" [ 2; 3; 4; 5 ] (Ppo.following t 1);
+  Alcotest.(check (list int)) "preceding of 3" [ 1 ] (Ppo.preceding t 3)
+
+let test_ppo_size_linear () =
+  let t = Ppo.build (forest_dg ()) in
+  check_int "12 bytes per node" (12 * 6) (Ppo.size_bytes t)
+
+(* --- 2-hop labels ----------------------------------------------------------- *)
+
+let prop_two_hop_exact =
+  H.qtest ~count:80 "2-hop distances exact on random digraphs" (H.digraph_arb ~max_n:16 ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let labels = Two_hop.build g in
+      List.for_all
+        (fun (u, v) -> Two_hop.distance labels u v = Traversal.distance g u v)
+        (H.all_pairs n))
+
+let prop_two_hop_any_order =
+  H.qtest ~count:40 "2-hop exact under adversarial landmark order"
+    (H.digraph_arb ~max_n:12 ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      (* Reverse order = worst-case heuristic; correctness must hold. *)
+      let order = Array.init n (fun i -> n - 1 - i) in
+      let labels = Two_hop.build ~order g in
+      List.for_all
+        (fun (u, v) -> Two_hop.reachable labels u v = Traversal.reachable g u v)
+        (H.all_pairs n))
+
+let test_two_hop_chain_compression () =
+  (* A path graph: labels must stay near-linear, far below the O(n^2)
+     transitive closure. *)
+  let n = 200 in
+  let g = Digraph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1))) in
+  let labels = Two_hop.build g in
+  let tc_pairs = n * (n - 1) / 2 in
+  check "entries well below TC" true (Two_hop.entries labels < tc_pairs / 3);
+  check "max label sublinear" true (Two_hop.max_label labels <= n / 2)
+
+let test_two_hop_bad_order () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1) ] in
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Two_hop.build: order is not a permutation") (fun () ->
+      ignore (Two_hop.build ~order:[| 0; 0; 2 |] g))
+
+let test_two_hop_labels_inspectable () =
+  let g = Digraph.of_edges ~n:2 [ (0, 1) ] in
+  let labels = Two_hop.build g in
+  (* Some hop must witness 0 -> 1. *)
+  let w =
+    List.exists
+      (fun h -> List.mem h (Two_hop.in_label_nodes labels 1))
+      (Two_hop.out_label_nodes labels 0)
+    || List.mem 0 (Two_hop.in_label_nodes labels 1)
+    || List.mem 1 (Two_hop.out_label_nodes labels 0)
+  in
+  check "cover witness" true w
+
+(* --- HOPI ---------------------------------------------------------------------- *)
+
+let test_hopi_partition_sizes () =
+  (* Same answers for different partition sizes. *)
+  let dg = graph_dg () in
+  let h1 = Hopi.build ~partition_size:2 dg in
+  let h2 = Hopi.build ~partition_size:100 dg in
+  List.iter
+    (fun (u, v) ->
+      check "same distance" true (Hopi.distance h1 u v = Hopi.distance h2 u v))
+    (H.all_pairs 8)
+
+let test_hopi_wildcard_sorted () =
+  let h = Hopi.build (graph_dg ()) in
+  let d = Hopi.descendants_by_tag h 0 None in
+  check "sorted" true (H.sorted_by_distance d);
+  check "self included" true (List.mem (0, 0) d)
+
+(* --- APEX ------------------------------------------------------------------------ *)
+
+let test_apex_blocks_respect_tags () =
+  let a = Apex.build (graph_dg ()) in
+  let dg = graph_dg () in
+  for v = 0 to 7 do
+    for w = 0 to 7 do
+      if Apex.block a v = Apex.block a w then
+        check "same block same tag" true (dg.tag.(v) = dg.tag.(w))
+    done
+  done
+
+let test_apex_extents_partition () =
+  let a = Apex.build (graph_dg ()) in
+  let seen = Array.make 8 0 in
+  for b = 0 to Apex.n_blocks a - 1 do
+    Array.iter (fun v -> seen.(v) <- seen.(v) + 1) (Apex.extent a b)
+  done;
+  Array.iter (fun k -> check_int "each node in one extent" 1 k) seen
+
+let test_apex_label_path () =
+  (* b-tagged children under a-tagged root: //a//c ; //b//c ; //c//a *)
+  let dg = forest_dg () in
+  let a = Apex.build dg in
+  let tag_id = function "a" -> Some 0 | "b" -> Some 1 | "c" -> Some 2 | _ -> None in
+  Alcotest.(check (list int)) "//a//c" [ 3 ] (Apex.eval_label_path a [ "a"; "c" ] ~tag_id);
+  Alcotest.(check (list int)) "//b//c" [ 3 ] (Apex.eval_label_path a [ "b"; "c" ] ~tag_id);
+  Alcotest.(check (list int)) "//c//a" [] (Apex.eval_label_path a [ "c"; "a" ] ~tag_id);
+  Alcotest.(check (list int)) "unknown tag" [] (Apex.eval_label_path a [ "zz" ] ~tag_id)
+
+let prop_apex_bisimulation_summary_sound =
+  H.qtest ~count:50 "APEX summary simulates the data graph" (H.digraph_arb ~max_n:12 ())
+    (fun (n, edges) ->
+      let dg = H.data_graph_of (n, edges) ~tag_seed:13 in
+      let a = Apex.build dg in
+      (* Every data edge has a summary edge between the blocks. *)
+      let ok = ref true in
+      Digraph.iter_edges dg.graph (fun u v ->
+          ok := !ok && Digraph.mem_edge (Apex.summary_graph a) (Apex.block a u) (Apex.block a v));
+      !ok)
+
+(* --- DataGuide -------------------------------------------------------------------- *)
+
+let test_dataguide_paths () =
+  let dg = forest_dg () in
+  let guide = Option.get (Dataguide.build dg ~roots:[ 0; 5 ]) in
+  let tag_id = function "a" -> Some 0 | "b" -> Some 1 | "c" -> Some 2 | _ -> None in
+  Alcotest.(check (list int)) "/a" [ 0; 5 ] (Dataguide.targets_of_path guide ~tag_id [ "a" ]);
+  Alcotest.(check (list int)) "/a/b" [ 1; 2 ] (Dataguide.targets_of_path guide ~tag_id [ "a"; "b" ]);
+  Alcotest.(check (list int)) "/a/b/c" [ 3 ]
+    (Dataguide.targets_of_path guide ~tag_id [ "a"; "b"; "c" ]);
+  Alcotest.(check (list int)) "missing" [] (Dataguide.targets_of_path guide ~tag_id [ "c" ])
+
+let test_dataguide_budget () =
+  let dg = graph_dg () in
+  check "budget refusal" true (Dataguide.build ~max_states:1 dg ~roots:[ 0 ] = None)
+
+let test_dataguide_path_listing () =
+  let dg = forest_dg () in
+  let guide = Option.get (Dataguide.build dg ~roots:[ 0; 5 ]) in
+  let paths = Dataguide.paths guide ~tag_name:(fun w -> [| "a"; "b"; "c" |].(w)) ~max:10 in
+  check "lists /a" true (List.mem "/a" paths);
+  check "lists /a/b/c" true (List.mem "/a/b/c" paths)
+
+let prop_dataguide_targets_match_bfs =
+  H.qtest ~count:50 "DataGuide label paths ≡ navigation" (H.forest_arb ~max_n:16 ())
+    (fun (n, edges) ->
+      let dg = H.data_graph_of (n, edges) ~tag_seed:21 in
+      let roots =
+        List.filter (fun v -> Digraph.in_degree dg.graph v = 0) (List.init n (fun i -> i))
+      in
+      match Dataguide.build dg ~roots with
+      | None -> false
+      | Some guide ->
+          let tag_name w = [| "t0"; "t1"; "t2"; "t3" |].(w) in
+          let tag_id s = List.assoc_opt s [ ("t0", 0); ("t1", 1); ("t2", 2); ("t3", 3) ] in
+          (* Navigate each 2-step label path by hand and compare. *)
+          let ok = ref true in
+          for w1 = 0 to 3 do
+            for w2 = 0 to 3 do
+              let expected =
+                List.concat_map
+                  (fun r ->
+                    if dg.tag.(r) = w1 then
+                      Digraph.fold_succ dg.graph r
+                        (fun acc v -> if dg.tag.(v) = w2 then v :: acc else acc)
+                        []
+                    else [])
+                  roots
+                |> List.sort_uniq compare
+              in
+              let got = Dataguide.targets_of_path guide ~tag_id [ tag_name w1; tag_name w2 ] in
+              ok := !ok && List.sort_uniq compare got = expected
+            done
+          done;
+          !ok)
+
+(* --- persistence -------------------------------------------------------------------- *)
+
+let test_two_hop_serialization () =
+  let g = H.small_graph () in
+  let labels = Two_hop.build g in
+  let loaded = Two_hop.deserialize (Two_hop.serialize labels) in
+  List.iter
+    (fun (u, v) ->
+      check "same distance" true (Two_hop.distance labels u v = Two_hop.distance loaded u v))
+    (H.all_pairs 8);
+  check_int "same entries" (Two_hop.entries labels) (Two_hop.entries loaded)
+
+let test_two_hop_serialization_corrupt () =
+  let g = H.small_graph () in
+  let data = Two_hop.serialize (Two_hop.build g) in
+  let tamper i c =
+    let b = Bytes.of_string data in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  (match Two_hop.deserialize (tamper 0 'X') with
+  | exception Fx_util.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  match Two_hop.deserialize (String.sub data 0 (String.length data / 2)) with
+  | exception Fx_util.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncation accepted"
+
+let test_ppo_serialization () =
+  let dg = forest_dg () in
+  let t = Ppo.build dg in
+  let loaded = Ppo.deserialize dg (Ppo.serialize t) in
+  List.iter
+    (fun (u, v) ->
+      check "same distance" true (Ppo.distance t u v = Ppo.distance loaded u v))
+    (H.all_pairs 6);
+  for v = 0 to 5 do
+    check "descendants equal" true
+      (Ppo.descendants_by_tag t v None = Ppo.descendants_by_tag loaded v None)
+  done;
+  (* wrong graph is rejected *)
+  match Ppo.deserialize (graph_dg ()) (Ppo.serialize t) with
+  | exception Fx_util.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "node-count mismatch accepted"
+
+let prop_two_hop_serialization_random =
+  H.qtest ~count:30 "2-hop serialization roundtrip" (H.digraph_arb ~max_n:12 ())
+    (fun (n, edges) ->
+      let g = Digraph.of_edges ~n edges in
+      let labels = Two_hop.build g in
+      let loaded = Two_hop.deserialize (Two_hop.serialize labels) in
+      List.for_all
+        (fun (u, v) -> Two_hop.distance labels u v = Two_hop.distance loaded u v)
+        (H.all_pairs n))
+
+(* --- A(k) bounded refinement ------------------------------------------------------- *)
+
+let test_ak_index () =
+  let dg = graph_dg () in
+  let a0 = Apex.build ~k:0 dg in
+  (* A(0): blocks = tags *)
+  check_int "A(0) blocks = tags" (Fx_index.Path_index.n_tags dg) (Apex.n_blocks a0);
+  (* Blocks refine monotonically with k and answers stay exact. *)
+  let prev = ref 0 in
+  List.iter
+    (fun k ->
+      let ak = Apex.build ~k dg in
+      check "monotone blocks" true (Apex.n_blocks ak >= !prev);
+      prev := Apex.n_blocks ak;
+      List.iter
+        (fun (u, v) ->
+          check "A(k) distance exact" true
+            (Apex.distance ak u v = Fx_graph.Traversal.distance dg.graph u v))
+        (H.all_pairs 8))
+    [ 0; 1; 2; 5 ];
+  Alcotest.check_raises "negative k" (Invalid_argument "Apex.build: k < 0") (fun () ->
+      ignore (Apex.build ~k:(-1) dg))
+
+let test_fb_index () =
+  let dg = graph_dg () in
+  let plain = Apex.build dg in
+  let fb = Apex.build ~fb:true dg in
+  (* F&B refines the backward-only partition. *)
+  check "fb at least as fine" true (Apex.n_blocks fb >= Apex.n_blocks plain);
+  (* Same-block nodes agree on successor blocks too. *)
+  let g = dg.graph in
+  for v = 0 to 7 do
+    for w = 0 to 7 do
+      if Apex.block fb v = Apex.block fb w then begin
+        let out u =
+          Digraph.fold_succ g u (fun acc x -> Apex.block fb x :: acc) []
+          |> List.sort_uniq compare
+        in
+        check "stable under succ" true (out v = out w)
+      end
+    done
+  done;
+  (* Still exact. *)
+  List.iter
+    (fun (u, v) ->
+      check "fb distance exact" true
+        (Apex.distance fb u v = Fx_graph.Traversal.distance g u v))
+    (H.all_pairs 8)
+
+let prop_fb_exact =
+  H.qtest ~count:30 "F&B index exact on random digraphs" (H.digraph_arb ~max_n:10 ())
+    (fun (n, edges) ->
+      let dg = H.data_graph_of (n, edges) ~tag_seed:37 in
+      let fb = Apex.build ~fb:true dg in
+      List.for_all
+        (fun u ->
+          H.same_results
+            (Apex.descendants_by_tag fb u (Some 2))
+            (H.oracle_descendants_by_tag dg u (Some 2)))
+        (List.init n (fun i -> i)))
+
+let prop_ak_exact =
+  H.qtest ~count:40 "A(k) exact for every k on random digraphs" (H.digraph_arb ~max_n:10 ())
+    (fun (n, edges) ->
+      let dg = H.data_graph_of (n, edges) ~tag_seed:31 in
+      List.for_all
+        (fun k ->
+          let ak = Apex.build ~k dg in
+          List.for_all
+            (fun u ->
+              H.same_results
+                (Apex.descendants_by_tag ak u (Some 1))
+                (H.oracle_descendants_by_tag dg u (Some 1)))
+            (List.init n (fun i -> i)))
+        [ 0; 1; 3 ])
+
+let () =
+  Alcotest.run "fx_index"
+    [
+      ( "conformance",
+        [
+          Alcotest.test_case "all strategies, forest" `Quick test_conformance_forest;
+          Alcotest.test_case "graph strategies, cyclic graph" `Quick test_conformance_graph;
+          Alcotest.test_case "disk deployment" `Quick test_conformance_disk;
+          Alcotest.test_case "borders-first ordering" `Quick test_conformance_borders_first;
+          prop_conformance_random_graphs;
+          prop_conformance_random_forests;
+        ] );
+      ( "ppo",
+        [
+          Alcotest.test_case "rejects non-forests" `Quick test_ppo_rejects_graphs;
+          Alcotest.test_case "pre/post windows" `Quick test_ppo_pre_post;
+          Alcotest.test_case "other axes" `Quick test_ppo_axes;
+          Alcotest.test_case "linear size" `Quick test_ppo_size_linear;
+        ] );
+      ( "two_hop",
+        [
+          prop_two_hop_exact;
+          prop_two_hop_any_order;
+          Alcotest.test_case "chain compression" `Quick test_two_hop_chain_compression;
+          Alcotest.test_case "rejects bad order" `Quick test_two_hop_bad_order;
+          Alcotest.test_case "cover witness" `Quick test_two_hop_labels_inspectable;
+        ] );
+      ( "hopi",
+        [
+          Alcotest.test_case "partition size irrelevant for answers" `Quick
+            test_hopi_partition_sizes;
+          Alcotest.test_case "wildcard sorted" `Quick test_hopi_wildcard_sorted;
+        ] );
+      ( "apex",
+        [
+          Alcotest.test_case "blocks respect tags" `Quick test_apex_blocks_respect_tags;
+          Alcotest.test_case "extents partition nodes" `Quick test_apex_extents_partition;
+          Alcotest.test_case "label paths" `Quick test_apex_label_path;
+          prop_apex_bisimulation_summary_sound;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "2-hop roundtrip" `Quick test_two_hop_serialization;
+          Alcotest.test_case "2-hop corrupt" `Quick test_two_hop_serialization_corrupt;
+          Alcotest.test_case "ppo roundtrip" `Quick test_ppo_serialization;
+          prop_two_hop_serialization_random;
+        ] );
+      ( "ak_index",
+        [
+          Alcotest.test_case "bounded refinement" `Quick test_ak_index;
+          Alcotest.test_case "F&B refinement" `Quick test_fb_index;
+          prop_fb_exact;
+          prop_ak_exact;
+        ] );
+      ( "dataguide",
+        [
+          Alcotest.test_case "paths" `Quick test_dataguide_paths;
+          Alcotest.test_case "state budget" `Quick test_dataguide_budget;
+          Alcotest.test_case "path listing" `Quick test_dataguide_path_listing;
+          prop_dataguide_targets_match_bfs;
+        ] );
+    ]

@@ -1,0 +1,468 @@
+(* Tests for the query layer: XPath parsing, ontology expansion, query
+   relaxation, ranking, streaming top-k and end-to-end ranked
+   evaluation (checked against a naive interpreter). *)
+
+module Xp = Fx_query.Xpath
+module Ont = Fx_query.Ontology
+module Rel = Fx_query.Relaxation
+module Rank = Fx_query.Ranking
+module Topk = Fx_query.Topk
+module Qe = Fx_query.Query_eval
+module Flix = Fx_flix.Flix
+module RS = Fx_flix.Result_stream
+module C = Fx_xml.Collection
+module X = Fx_xml.Xml_types
+module Traversal = Fx_graph.Traversal
+module H = Helpers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let parse_ok s =
+  match Xp.parse s with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let parse_err s =
+  match Xp.parse s with Ok _ -> Alcotest.failf "expected failure for %S" s | Error _ -> ()
+
+(* --- xpath parser ---------------------------------------------------------- *)
+
+let test_xpath_absolute () =
+  let q = parse_ok "/movie//actor" in
+  check "absolute" true q.absolute;
+  check_int "steps" 2 (List.length q.steps);
+  (match q.steps with
+  | [ s1; s2 ] ->
+      check "s1 child" true (s1.axis = Xp.Child && s1.test = Xp.Tag "movie");
+      check "s2 desc" true (s2.axis = Xp.Descendant && s2.test = Xp.Tag "actor")
+  | _ -> Alcotest.fail "step shape")
+
+let test_xpath_relative () =
+  let q = parse_ok "a//b" in
+  check "relative" false q.absolute;
+  (match q.steps with
+  | [ s1; s2 ] -> check "axes" true (s1.axis = Xp.Child && s2.axis = Xp.Descendant)
+  | _ -> Alcotest.fail "steps")
+
+let test_xpath_leading_descendant () =
+  let q = parse_ok "//article" in
+  check "absolute" true q.absolute;
+  (match q.steps with
+  | [ s ] -> check "descendant" true (s.axis = Xp.Descendant)
+  | _ -> Alcotest.fail "steps")
+
+let test_xpath_wildcard () =
+  let q = parse_ok "//a//*" in
+  match q.steps with
+  | [ _; s ] -> check "wildcard" true (s.test = Xp.Wildcard)
+  | _ -> Alcotest.fail "steps"
+
+let test_xpath_predicates () =
+  let q = parse_ok {|/movie[title="Matrix: Revolutions"]//actor[text()='Reeves']|} in
+  (match q.steps with
+  | [ s1; s2 ] ->
+      check "child_text" true (s1.predicate = Some (Xp.Child_text ("title", "Matrix: Revolutions")));
+      check "own_text" true (s2.predicate = Some (Xp.Own_text "Reeves"))
+  | _ -> Alcotest.fail "steps")
+
+let test_xpath_attribute_predicate () =
+  let q = parse_ok {|//inproceedings[@key="conf/VLDB/Mohan99"]/author|} in
+  (match q.steps with
+  | [ s1; _ ] ->
+      check "attr pred" true (s1.predicate = Some (Xp.Attribute ("key", "conf/VLDB/Mohan99")))
+  | _ -> Alcotest.fail "steps");
+  check_str "roundtrip" {|//inproceedings[@key="conf/VLDB/Mohan99"]/author|} (Xp.to_string q)
+
+let test_xpath_reverse_axes () =
+  let q = parse_ok "/actor/parent::cast/ancestor::movie" in
+  (match q.steps with
+  | [ s1; s2; s3 ] ->
+      check "child" true (s1.axis = Xp.Child);
+      check "parent" true (s2.axis = Xp.Parent && s2.test = Xp.Tag "cast");
+      check "ancestor" true (s3.axis = Xp.Ancestor && s3.test = Xp.Tag "movie")
+  | _ -> Alcotest.fail "steps");
+  check_str "roundtrip" "/actor/parent::cast/ancestor::movie" (Xp.to_string q);
+  (* relaxation widens within the direction *)
+  let r = Xp.relax_axes q in
+  (match r.steps with
+  | [ s1; s2; s3 ] ->
+      check "child widened" true (s1.axis = Xp.Descendant);
+      check "parent widened" true (s2.axis = Xp.Ancestor);
+      check "ancestor kept" true (s3.axis = Xp.Ancestor)
+  | _ -> Alcotest.fail "steps");
+  (* '//parent::x' is contradictory *)
+  parse_err "//parent::x"
+
+let test_xpath_dotted_relative () =
+  let q = parse_ok ".//b" in
+  check "relative" false q.absolute;
+  (match q.steps with
+  | [ s ] -> check "descendant" true (s.axis = Xp.Descendant)
+  | _ -> Alcotest.fail "steps")
+
+let test_xpath_errors () =
+  List.iter parse_err
+    [ ""; "   "; "/"; "//"; "a//"; "/a["; "/a[b"; "/a[b="; "/a[b=\"x\""; "/a[]"; "a/ /b"; "/a[9=]" ]
+
+let test_xpath_roundtrip () =
+  List.iter
+    (fun s ->
+      let q = parse_ok s in
+      check_str ("roundtrip " ^ s) s (Xp.to_string q))
+    [ "/movie//actor"; "//a//b"; "a/b/c"; "//x[y=\"z\"]"; ".//b" ]
+
+let test_xpath_relax_axes () =
+  let q = Xp.relax_axes (parse_ok "/movie/actor/movie") in
+  check "all descendant" true (List.for_all (fun (s : Xp.step) -> s.axis = Xp.Descendant) q.steps);
+  check_str "rendered" "//movie//actor//movie" (Xp.to_string q)
+
+(* --- ontology ----------------------------------------------------------------- *)
+
+let test_ontology_expand () =
+  let o = Lazy.force Ont.movies in
+  let ex = Ont.expand o "movie" in
+  check "self first" true (List.hd ex = ("movie", 1.0));
+  check "film" true (List.mem_assoc "film" ex);
+  check "science-fiction" true (List.mem_assoc "science-fiction" ex);
+  (* directed: science-fiction does NOT expand to movie *)
+  let ex2 = Ont.expand o "science-fiction" in
+  check "no reverse specialisation" false (List.mem_assoc "movie" ex2)
+
+let test_ontology_transitive () =
+  let o = Ont.create () in
+  Ont.add_synonym o "a" "b" 0.8;
+  Ont.add_synonym o "b" "c" 0.5;
+  Alcotest.(check (float 1e-9)) "product" 0.4 (Ont.similarity o "a" "c");
+  (* min_similarity cuts the tail *)
+  let ex = Ont.expand ~min_similarity:0.5 o "a" in
+  check "c cut" false (List.mem_assoc "c" ex)
+
+let test_ontology_best_path () =
+  let o = Ont.create () in
+  Ont.add_synonym o "a" "b" 0.3;
+  Ont.add_synonym o "a" "c" 0.9;
+  Ont.add_synonym o "c" "b" 0.9;
+  (* via c: 0.81 beats direct 0.3 *)
+  Alcotest.(check (float 1e-9)) "max product" 0.81 (Ont.similarity o "a" "b")
+
+let test_ontology_bad_weight () =
+  let o = Ont.create () in
+  Alcotest.check_raises "weight > 1" (Invalid_argument "Ontology: weight must be in (0,1]")
+    (fun () -> Ont.add_synonym o "a" "b" 1.5)
+
+(* --- relaxation ------------------------------------------------------------------ *)
+
+let test_relaxation () =
+  let q = parse_ok "/movie/actor" in
+  let r = Rel.relax (Rel.with_ontology (Lazy.force Ont.movies)) q in
+  check "axes relaxed" true
+    (List.for_all (fun (s : Rel.step) -> s.axis = Xp.Descendant) r.steps);
+  (match r.steps with
+  | [ s1; _ ] ->
+      check "movie expanded" true (List.length s1.alternatives > 1);
+      check "best first" true ((List.hd s1.alternatives).similarity = 1.0)
+  | _ -> Alcotest.fail "steps");
+  check "render mentions film" true
+    (let s = Rel.to_string r in
+     let contains hay needle =
+       let lh = String.length hay and ln = String.length needle in
+       let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+       go 0
+     in
+     contains s "film")
+
+let test_relaxation_no_ontology () =
+  let q = parse_ok "/a/b" in
+  let r = Rel.relax Rel.default q in
+  List.iter
+    (fun (s : Rel.step) -> check_int "one alternative" 1 (List.length s.alternatives))
+    r.steps
+
+(* --- ranking ------------------------------------------------------------------------ *)
+
+let test_ranking_decay () =
+  let p = Rank.default in
+  Alcotest.(check (float 1e-9)) "child" 1.0 (Rank.step_score p ~dist:1 ~links_crossed:0);
+  Alcotest.(check (float 1e-9)) "grandchild" 0.8 (Rank.step_score p ~dist:2 ~links_crossed:0);
+  Alcotest.(check (float 1e-9)) "self" 1.0 (Rank.step_score p ~dist:0 ~links_crossed:0);
+  Alcotest.(check (float 1e-9)) "link penalty" (0.8 *. 0.75)
+    (Rank.step_score p ~dist:2 ~links_crossed:1);
+  check "monotone in distance" true
+    (Rank.step_score p ~dist:5 ~links_crossed:0 < Rank.step_score p ~dist:3 ~links_crossed:0)
+
+let test_ranking_combine_cut_rank () =
+  Alcotest.(check (float 1e-9)) "combine" 0.5 (Rank.combine [ 1.0; 0.5 ]);
+  Alcotest.(check (float 1e-9)) "empty" 1.0 (Rank.combine []);
+  Alcotest.(check (list (pair string (float 1e-9)))) "rank"
+    [ ("a", 0.9); ("b", 0.5) ]
+    (Rank.rank [ ("b", 0.5); ("a", 0.9) ]);
+  check_int "cut" 1 (List.length (Rank.cut ~min_score:0.6 [ ("a", 0.9); ("b", 0.5) ]))
+
+(* --- top-k ----------------------------------------------------------------------------- *)
+
+let stream_of_list xs =
+  let rest = ref xs in
+  RS.of_fn (fun () ->
+      match !rest with
+      | [] -> None
+      | x :: tl ->
+          rest := tl;
+          Some x)
+
+let test_topk_early_stop () =
+  (* Items (id, dist); bound decreases with dist; k=2. After two items
+     at dist 1 and the bound for dist-3 items below their score, stop. *)
+  let items = [ (1, 1); (2, 1); (3, 3); (4, 3); (5, 4) ] in
+  let score (_, d) = 0.8 ** float_of_int (d - 1) in
+  let top, stats = Topk.top_k ~k:2 ~score ~bound:score (stream_of_list items) in
+  check_int "k results" 2 (List.length top);
+  check "stopped early" true stats.stopped_early;
+  check "pulled less than all" true (stats.pulled < 5);
+  Alcotest.(check (list int)) "best two" [ 1; 2 ] (List.map (fun ((id, _), _) -> id) top)
+
+let test_topk_exhausts_when_needed () =
+  let items = [ (1, 5); (2, 4); (3, 1) ] in
+  (* ascending scores: bound stays above kth best, no early stop *)
+  let score (_, d) = 1.0 /. float_of_int d in
+  let top, stats = Topk.top_k ~k:2 ~score ~bound:(fun _ -> 1.0) (stream_of_list items) in
+  check "no early stop" false stats.stopped_early;
+  check_int "pulled all" 3 stats.pulled;
+  Alcotest.(check (list int)) "best" [ 3; 2 ] (List.map (fun ((id, _), _) -> id) top)
+
+let test_topk_bad_k () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Topk.top_k: k <= 0") (fun () ->
+      ignore (Topk.top_k ~k:0 ~score:(fun _ -> 0.0) ~bound:(fun _ -> 0.0) (stream_of_list [])))
+
+(* --- end-to-end evaluation -------------------------------------------------------------- *)
+
+let parse name s = Fx_xml.Xml_parser.parse_exn ~name s
+
+let movie_collection () =
+  C.build
+    [
+      parse "m1"
+        {|<movie><title>Matrix: Revolutions</title><cast><actor>Reeves</actor><actor>Moss</actor></cast></movie>|};
+      parse "m2"
+        {|<science-fiction><title>Matrix 3</title><actor href="m1">Reeves</actor></science-fiction>|};
+      parse "m3"
+        {|<movie><title>Other</title><follows href="m1"/><cast><actor>Smith</actor></cast></movie>|};
+    ]
+
+let test_topk_by_distance () =
+  let f = Flix.build (movie_collection ()) in
+  let c = Flix.collection f in
+  let start = C.root_of_doc c 0 in
+  let top, _ =
+    Topk.by_distance ~k:3 ~params:Rank.default (Flix.descendants f ~start ~tag:"actor")
+  in
+  check "k results" true (List.length top <= 3 && top <> []);
+  (* best-first, and scores consistent with distances *)
+  let scores = List.map snd top in
+  check "descending" true (List.sort (fun a b -> compare b a) scores = scores)
+
+let test_eval_exact () =
+  let f = Flix.build (movie_collection ()) in
+  let rs = Result.get_ok (Qe.eval_string f "/movie//actor") in
+  (* actors in m1 (2, via cast) and m3 (1), plus the m2 actor reachable
+     through link chains... axes are relaxed by default, so reachable
+     ones count; with structural relaxation everything reachable from a
+     movie root matches. *)
+  check "nonempty" true (rs <> []);
+  List.iter (fun (r : Qe.result) -> check "scores in (0,1]" true (r.score > 0.0 && r.score <= 1.0)) rs
+
+let test_eval_predicate () =
+  let f = Flix.build (movie_collection ()) in
+  let rs = Result.get_ok (Qe.eval_string f {|/movie[title="Matrix: Revolutions"]|}) in
+  check_int "only m1 root" 1 (List.length rs);
+  let c = Flix.collection f in
+  check_int "is m1 root" (C.root_of_doc c 0) (List.hd rs).node
+
+let test_eval_reverse_axes () =
+  let f = Flix.build (movie_collection ()) in
+  let c = Flix.collection f in
+  let opts = { Qe.default with relaxation = { Rel.default with relax_axes = false } } in
+  (* Every actor's parent cast, then the movie above it. *)
+  let rs = Result.get_ok (Qe.eval_string ~options:opts f "//actor/parent::cast/ancestor::movie") in
+  let movie_roots =
+    List.filter (fun (r : Qe.result) -> C.tag_name c (C.tag c).(r.node) = "movie")
+      rs
+  in
+  check "found enclosing movies" true (List.length movie_roots >= 2);
+  (* actors reached through href links have no cast parent there *)
+  let rs2 = Result.get_ok (Qe.eval_string ~options:opts f "//title/parent::science-fiction") in
+  check_int "sf parent" 1 (List.length rs2)
+
+let test_eval_exact_distances () =
+  let f = Flix.build (movie_collection ()) in
+  let opts = { Qe.default with exact_distances = true } in
+  let approx = Result.get_ok (Qe.eval_string f "/movie//actor") in
+  let exact = Result.get_ok (Qe.eval_string ~options:opts f "/movie//actor") in
+  (* Same result sets; exact scores can only be >= the approximate ones
+     (shorter or equal distances). *)
+  let nodes rs = List.sort_uniq compare (List.map (fun (r : Qe.result) -> r.node) rs) in
+  check "same sets" true (nodes approx = nodes exact);
+  List.iter
+    (fun (r : Qe.result) ->
+      let a = List.find (fun (x : Qe.result) -> x.node = r.node) approx in
+      check "exact score >= approx score" true (r.score >= a.score -. 1e-9))
+    exact
+
+let test_eval_attribute_predicate () =
+  let c = Fx_workload.Dblp_gen.collection { Fx_workload.Dblp_gen.default with n_docs = 30 } in
+  let f = Flix.build c in
+  (* Look one publication up by its key attribute. *)
+  let root = C.root_of_doc c 12 in
+  let key = Option.get (Fx_xml.Xml_types.attr (C.element c root) "key") in
+  let expr = Printf.sprintf {|//*[@key=%S]|} key in
+  let rs = Result.get_ok (Qe.eval_string f expr) in
+  check "key found" true (List.exists (fun (r : Qe.result) -> r.node = root) rs);
+  (* Mismatching value: empty. *)
+  let rs2 = Result.get_ok (Qe.eval_string f {|//*[@key="no/such/key"]|}) in
+  check_int "no match" 0 (List.length rs2)
+
+let test_eval_with_ontology () =
+  let f = Flix.build (movie_collection ()) in
+  let opts = Qe.with_ontology (Lazy.force Ont.movies) in
+  let no_ont = Result.get_ok (Qe.eval_string f "/movie") in
+  let with_ont = Result.get_ok (Qe.eval_string ~options:opts f "/movie") in
+  (* ontology adds the science-fiction root *)
+  check "ontology adds results" true (List.length with_ont > List.length no_ont);
+  (* the semantic match scores below the exact ones *)
+  let c = Flix.collection f in
+  let sf_root = C.root_of_doc c 1 in
+  let sf = List.find (fun (r : Qe.result) -> r.node = sf_root) with_ont in
+  check "discounted" true (sf.score < 1.0)
+
+let test_eval_scores_decay_with_depth () =
+  let f = Flix.build (movie_collection ()) in
+  let rs = Result.get_ok (Qe.eval_string f "/movie//actor") in
+  let c = Flix.collection f in
+  (* direct cast actors of m1 (depth 2) score above the linked one. *)
+  let m1_actor = List.find (fun (r : Qe.result) -> C.doc_of_node c r.node = 0) rs in
+  List.iter
+    (fun (r : Qe.result) ->
+      if C.doc_of_node c r.node <> 0 then check "deeper scores less" true (r.score <= m1_actor.score))
+    rs
+
+let test_eval_relative_with_context () =
+  let f = Flix.build (movie_collection ()) in
+  let c = Flix.collection f in
+  let m1_root = C.root_of_doc c 0 in
+  let rs = Result.get_ok (Qe.eval_string ~context:[ m1_root ] f ".//actor") in
+  check "finds actors" true (List.length rs >= 2)
+
+let test_eval_parse_error_propagates () =
+  let f = Flix.build (movie_collection ()) in
+  check "error" true (Result.is_error (Qe.eval_string f "/movie["))
+
+let test_top_k_e2e () =
+  let f = Flix.build (movie_collection ()) in
+  let rs = Result.get_ok (Qe.top_k ~k:2 f "/movie//actor") in
+  check_int "k" 2 (List.length rs);
+  (match rs with
+  | a :: b :: _ -> check "sorted" true (a.score >= b.score)
+  | _ -> Alcotest.fail "k results")
+
+(* Cross-check the evaluator against a naive interpreter on the DBLP
+   collection with unrelaxed axes: /inproceedings/author etc. *)
+let test_eval_vs_naive_on_dblp () =
+  let c = Fx_workload.Dblp_gen.collection { Fx_workload.Dblp_gen.default with n_docs = 60 } in
+  let f = Flix.build c in
+  let opts = { Qe.default with relaxation = { Rel.default with relax_axes = false } } in
+  let naive_child_path tags =
+    (* walk tree edges from roots *)
+    let g = C.graph c in
+    let rec go nodes = function
+      | [] -> nodes
+      | t :: rest ->
+          let w = C.tag_id c t in
+          let next =
+            List.concat_map
+              (fun u ->
+                Fx_graph.Digraph.fold_succ g u
+                  (fun acc v -> if Some (C.tag c).(v) = w then v :: acc else acc)
+                  [])
+              nodes
+          in
+          go (List.sort_uniq compare next) rest
+    in
+    let roots = List.init (C.n_docs c) (fun d -> C.root_of_doc c d) in
+    match tags with
+    | first :: rest ->
+        let w = C.tag_id c first in
+        go (List.filter (fun r -> Some (C.tag c).(r) = w) roots) rest
+    | [] -> []
+  in
+  List.iter
+    (fun (expr, tags) ->
+      let got =
+        Result.get_ok (Qe.eval_string ~options:opts f expr)
+        |> List.map (fun (r : Qe.result) -> r.node)
+        |> List.sort_uniq compare
+      in
+      let expected = naive_child_path tags in
+      check (expr ^ " matches naive") true (got = expected))
+    [
+      ("/article/author", [ "article"; "author" ]);
+      ("/inproceedings/title", [ "inproceedings"; "title" ]);
+      ("/article/title/i", [ "article"; "title"; "i" ]);
+    ]
+
+let () =
+  Alcotest.run "fx_query"
+    [
+      ( "xpath",
+        [
+          Alcotest.test_case "absolute" `Quick test_xpath_absolute;
+          Alcotest.test_case "relative" `Quick test_xpath_relative;
+          Alcotest.test_case "leading //" `Quick test_xpath_leading_descendant;
+          Alcotest.test_case "wildcard" `Quick test_xpath_wildcard;
+          Alcotest.test_case "predicates" `Quick test_xpath_predicates;
+          Alcotest.test_case "attribute predicate" `Quick test_xpath_attribute_predicate;
+          Alcotest.test_case "reverse axes" `Quick test_xpath_reverse_axes;
+          Alcotest.test_case "dotted relative" `Quick test_xpath_dotted_relative;
+          Alcotest.test_case "errors" `Quick test_xpath_errors;
+          Alcotest.test_case "roundtrip" `Quick test_xpath_roundtrip;
+          Alcotest.test_case "relax_axes" `Quick test_xpath_relax_axes;
+        ] );
+      ( "ontology",
+        [
+          Alcotest.test_case "expand" `Quick test_ontology_expand;
+          Alcotest.test_case "transitive" `Quick test_ontology_transitive;
+          Alcotest.test_case "best path" `Quick test_ontology_best_path;
+          Alcotest.test_case "bad weight" `Quick test_ontology_bad_weight;
+        ] );
+      ( "relaxation",
+        [
+          Alcotest.test_case "with ontology" `Quick test_relaxation;
+          Alcotest.test_case "without ontology" `Quick test_relaxation_no_ontology;
+        ] );
+      ( "ranking",
+        [
+          Alcotest.test_case "decay" `Quick test_ranking_decay;
+          Alcotest.test_case "combine/cut/rank" `Quick test_ranking_combine_cut_rank;
+        ] );
+      ( "topk",
+        [
+          Alcotest.test_case "early stop" `Quick test_topk_early_stop;
+          Alcotest.test_case "exhausts when needed" `Quick test_topk_exhausts_when_needed;
+          Alcotest.test_case "by_distance" `Quick test_topk_by_distance;
+          Alcotest.test_case "bad k" `Quick test_topk_bad_k;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "exact" `Quick test_eval_exact;
+          Alcotest.test_case "predicate" `Quick test_eval_predicate;
+          Alcotest.test_case "reverse axes e2e" `Quick test_eval_reverse_axes;
+          Alcotest.test_case "exact distances option" `Quick test_eval_exact_distances;
+          Alcotest.test_case "attribute predicate e2e" `Quick test_eval_attribute_predicate;
+          Alcotest.test_case "ontology" `Quick test_eval_with_ontology;
+          Alcotest.test_case "depth decay" `Quick test_eval_scores_decay_with_depth;
+          Alcotest.test_case "relative context" `Quick test_eval_relative_with_context;
+          Alcotest.test_case "parse errors" `Quick test_eval_parse_error_propagates;
+          Alcotest.test_case "top-k end to end" `Quick test_top_k_e2e;
+          Alcotest.test_case "matches naive interpreter" `Quick test_eval_vs_naive_on_dblp;
+        ] );
+    ]

@@ -1,0 +1,433 @@
+(* Tests for the storage substrate: the pager with its LRU buffer pool
+   and the heap file, including persistence across reopen and corrupt-
+   input handling. *)
+
+module Pager = Fx_store.Pager
+module Heap = Fx_store.Heap_file
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let with_temp_file f =
+  let path = Filename.temp_file "fxstore" ".pg" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* --- pager --------------------------------------------------------------- *)
+
+let test_pager_basic () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      check_int "no pages" 0 (Pager.n_pages p);
+      let pg = Pager.append_page p in
+      check_int "first page" 0 pg;
+      Pager.write p ~page:pg ~offset:10 (Bytes.of_string "hello");
+      check_str "readback" "hello" (Bytes.to_string (Pager.read p ~page:pg ~offset:10 ~len:5));
+      Pager.close p)
+
+let test_pager_persistence () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      let a = Pager.append_page p in
+      let b = Pager.append_page p in
+      Pager.write p ~page:a ~offset:0 (Bytes.of_string "page-a");
+      Pager.write p ~page:b ~offset:64 (Bytes.of_string "page-b");
+      Pager.close p;
+      let p2 = Pager.create ~page_size:128 path in
+      check_int "pages recovered" 2 (Pager.n_pages p2);
+      check_str "a persisted" "page-a" (Bytes.to_string (Pager.read p2 ~page:a ~offset:0 ~len:6));
+      check_str "b persisted" "page-b" (Bytes.to_string (Pager.read p2 ~page:b ~offset:64 ~len:6));
+      Pager.close p2)
+
+let test_pager_pool_eviction () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      (* Pool of 2 pages: touching 3 pages in rotation must evict and
+         write back dirty pages correctly. *)
+      let p = Pager.create ~pool_pages:2 ~page_size:128 path in
+      let pages = List.init 3 (fun _ -> Pager.append_page p) in
+      List.iteri
+        (fun i pg -> Pager.write p ~page:pg ~offset:0 (Bytes.of_string (Printf.sprintf "v%d" i)))
+        pages;
+      Pager.reset_stats p;
+      (* Everything must read back despite the tiny pool. *)
+      List.iteri
+        (fun i pg ->
+          check_str "value survives eviction"
+            (Printf.sprintf "v%d" i)
+            (Bytes.to_string (Pager.read p ~page:pg ~offset:0 ~len:2)))
+        pages;
+      let s = Pager.stats p in
+      check "some misses" true (s.physical_reads > 0);
+      check_int "logical = 3" 3 s.logical_reads;
+      Pager.close p)
+
+let test_pager_cold_vs_warm () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      let pg = Pager.append_page p in
+      Pager.write p ~page:pg ~offset:0 (Bytes.of_string "x");
+      Pager.flush p;
+      Pager.drop_pool p;
+      Pager.reset_stats p;
+      ignore (Pager.read p ~page:pg ~offset:0 ~len:1);
+      check_int "cold miss" 1 (Pager.stats p).physical_reads;
+      ignore (Pager.read p ~page:pg ~offset:0 ~len:1);
+      check_int "warm hit" 1 (Pager.stats p).physical_reads;
+      check_int "two logical" 2 (Pager.stats p).logical_reads;
+      Pager.close p)
+
+let test_pager_bounds () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      let pg = Pager.append_page p in
+      Alcotest.check_raises "offset overflow"
+        (Invalid_argument "Pager.write: out of page bounds") (fun () ->
+          Pager.write p ~page:pg ~offset:120 (Bytes.of_string "0123456789"));
+      Alcotest.check_raises "page out of range" (Invalid_argument "Pager: page out of range")
+        (fun () -> ignore (Pager.read p ~page:7 ~offset:0 ~len:1));
+      Pager.close p)
+
+let test_pager_rejects_mismatch () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      Pager.close p;
+      match Pager.create ~page_size:256 path with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "page-size mismatch accepted")
+
+let test_pager_rejects_garbage () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc (String.make 128 'z');
+      close_out oc;
+      match Pager.create ~page_size:128 path with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "garbage header accepted")
+
+(* --- heap file -------------------------------------------------------------- *)
+
+let test_heap_roundtrip () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      let h = Heap.create p in
+      let records = [ "alpha"; String.make 500 'b'; "gamma"; String.make 1000 'd' ] in
+      let handles = List.map (Heap.append h) records in
+      List.iter2 (fun r hd -> check_str "roundtrip" r (Heap.read h hd)) records handles;
+      check_int "payload" (List.fold_left (fun a r -> a + String.length r) 0 records)
+        (Heap.size_bytes h);
+      Pager.close p)
+
+let test_heap_reopen () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      let h = Heap.create p in
+      let h1 = Heap.append h "first" in
+      let h2 = Heap.append h (String.make 300 'x') in
+      Pager.close p;
+      let p2 = Pager.create ~page_size:128 path in
+      let h' = Heap.create p2 in
+      check_str "first persisted" "first" (Heap.read h' h1);
+      check_str "second persisted" (String.make 300 'x') (Heap.read h' h2);
+      check "last handle recovered" true (Heap.last_handle h' = Some h2);
+      (* Appending after reopen continues at the cursor. *)
+      let h3 = Heap.append h' "third" in
+      check "append after reopen" true (h3 > h2);
+      check_str "third" "third" (Heap.read h' h3);
+      Pager.close p2)
+
+let test_heap_bad_handles () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      let h = Heap.create p in
+      ignore (Heap.append h "data");
+      let expect_corrupt f =
+        match f () with
+        | exception Fx_util.Codec.Corrupt _ -> ()
+        | _ -> Alcotest.fail "expected Corrupt"
+      in
+      expect_corrupt (fun () -> Heap.read h (-1));
+      expect_corrupt (fun () -> Heap.read h 100_000);
+      (* Offset pointing into the middle of the payload: length prefix is
+         garbage ("ata…" bytes) or overruns. *)
+      expect_corrupt (fun () -> Heap.read h 5);
+      Pager.close p)
+
+(* --- b+tree ------------------------------------------------------------------ *)
+
+module Btree = Fx_store.Btree
+module IntMap = Map.Make (Int)
+
+let test_btree_basic () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:256 path in
+      let t = Btree.create p in
+      check "empty find" true (Btree.find t 5 = None);
+      Btree.insert t ~key:5 ~value:50;
+      Btree.insert t ~key:1 ~value:10;
+      Btree.insert t ~key:9 ~value:90;
+      check "find 5" true (Btree.find t 5 = Some 50);
+      check "find 1" true (Btree.find t 1 = Some 10);
+      check "miss" true (Btree.find t 2 = None);
+      check_int "length" 3 (Btree.length t);
+      Btree.insert t ~key:5 ~value:55;
+      check "overwrite" true (Btree.find t 5 = Some 55);
+      check_int "length stable" 3 (Btree.length t);
+      Alcotest.(check (list (pair int int))) "range" [ (1, 10); (5, 55) ]
+        (Btree.range t ~lo:0 ~hi:5);
+      Pager.close p)
+
+let test_btree_splits () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      (* Page size 256 -> leaf capacity ~14: a thousand keys forces many
+         splits and several levels. *)
+      let p = Pager.create ~page_size:256 path in
+      let t = Btree.create p in
+      let n = 1000 in
+      (* insert in shuffled order *)
+      let keys = Array.init n (fun i -> i) in
+      let rng = Fx_util.Rng.create 17 in
+      Fx_util.Rng.shuffle rng keys;
+      Array.iter (fun k -> Btree.insert t ~key:k ~value:(7 * k)) keys;
+      check_int "length" n (Btree.length t);
+      check "grew levels" true (Btree.height t >= 3);
+      for k = 0 to n - 1 do
+        check "find all" true (Btree.find t k = Some (7 * k))
+      done;
+      Alcotest.(check (list (pair int int))) "range scan"
+        (List.init 11 (fun i -> (100 + i, 7 * (100 + i))))
+        (Btree.range t ~lo:100 ~hi:110);
+      check_int "full scan" n (List.length (Btree.range t ~lo:0 ~hi:max_int));
+      Pager.close p)
+
+let test_btree_sequential_orders () =
+  (* Ascending and descending insertion orders are the classic split
+     worst cases; both must produce correct trees. *)
+  List.iter
+    (fun descending ->
+      with_temp_file (fun path ->
+          Sys.remove path;
+          let p = Pager.create ~page_size:256 path in
+          let t = Btree.create p in
+          let n = 600 in
+          for i = 0 to n - 1 do
+            let k = if descending then n - 1 - i else i in
+            Btree.insert t ~key:k ~value:(k * 3)
+          done;
+          check_int "length" n (Btree.length t);
+          for k = 0 to n - 1 do
+            check "present" true (Btree.find t k = Some (k * 3))
+          done;
+          check_int "ordered scan" n (List.length (Btree.range t ~lo:0 ~hi:n));
+          let scanned = Btree.range t ~lo:0 ~hi:n in
+          check "ascending keys" true (List.sort compare scanned = scanned);
+          Pager.close p))
+    [ false; true ]
+
+let test_btree_persistence () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:256 path in
+      let t = Btree.create p in
+      for k = 0 to 499 do
+        Btree.insert t ~key:(2 * k) ~value:k
+      done;
+      Pager.close p;
+      let p2 = Pager.create ~page_size:256 path in
+      let t2 = Btree.create p2 in
+      check_int "length recovered" 500 (Btree.length t2);
+      check "find after reopen" true (Btree.find t2 700 = Some 350);
+      check "odd keys absent" true (Btree.find t2 701 = None);
+      (* inserts continue to work after reopen *)
+      Btree.insert t2 ~key:701 ~value:(-1);
+      check "insert after reopen" true (Btree.find t2 701 = Some (-1));
+      Pager.close p2)
+
+let prop_btree_vs_map =
+  Helpers.qtest ~count:30 "btree ≡ Map oracle (insert/find/range)"
+    QCheck.(list (pair (int_bound 500) (int_bound 10_000)))
+    (fun pairs ->
+      with_temp_file (fun path ->
+          Sys.remove path;
+          let p = Pager.create ~page_size:256 path in
+          let t = Btree.create p in
+          let oracle =
+            List.fold_left
+              (fun m (k, v) ->
+                Btree.insert t ~key:k ~value:v;
+                IntMap.add k v m)
+              IntMap.empty pairs
+          in
+          let ok_finds =
+            List.for_all (fun (k, _) -> Btree.find t k = IntMap.find_opt k oracle) pairs
+            && Btree.find t 501 = None
+            && Btree.length t = IntMap.cardinal oracle
+          in
+          let expected_range =
+            IntMap.fold
+              (fun k v acc -> if k >= 100 && k <= 400 then (k, v) :: acc else acc)
+              oracle []
+            |> List.rev
+          in
+          let ok_range = Btree.range t ~lo:100 ~hi:400 = expected_range in
+          Pager.close p;
+          ok_finds && ok_range))
+
+(* --- disk labels ----------------------------------------------------------------- *)
+
+let test_disk_labels_roundtrip () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let g = Helpers.small_graph () in
+      let labels = Fx_index.Two_hop.build g in
+      Fx_index.Disk_labels.save ~path labels;
+      let disk = Fx_index.Disk_labels.open_ path in
+      check_int "nodes" 8 (Fx_index.Disk_labels.n_nodes disk);
+      List.iter
+        (fun (u, v) ->
+          check "same distance" true
+            (Fx_index.Disk_labels.distance disk u v = Fx_index.Two_hop.distance labels u v))
+        (Helpers.all_pairs 8);
+      Fx_index.Disk_labels.close disk)
+
+let test_disk_labels_cold_warm_stats () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let g = Helpers.small_graph () in
+      Fx_index.Disk_labels.save ~path (Fx_index.Two_hop.build g);
+      let disk = Fx_index.Disk_labels.open_ ~pool_pages:4 path in
+      Fx_index.Disk_labels.drop_pool disk;
+      Fx_index.Disk_labels.reset_stats disk;
+      ignore (Fx_index.Disk_labels.distance disk 0 7);
+      let cold = (Fx_index.Disk_labels.stats disk).physical_reads in
+      check "cold probe reads pages" true (cold > 0);
+      ignore (Fx_index.Disk_labels.distance disk 0 7);
+      let after = (Fx_index.Disk_labels.stats disk).physical_reads in
+      check "warm probe cached" true (after = cold);
+      Fx_index.Disk_labels.close disk)
+
+let prop_disk_labels_random =
+  Helpers.qtest ~count:20 "disk labels = in-memory labels on random digraphs"
+    (Helpers.digraph_arb ~max_n:12 ())
+    (fun (n, edges) ->
+      with_temp_file (fun path ->
+          Sys.remove path;
+          let g = Fx_graph.Digraph.of_edges ~n edges in
+          let labels = Fx_index.Two_hop.build g in
+          Fx_index.Disk_labels.save ~page_size:128 ~path labels;
+          let disk = Fx_index.Disk_labels.open_ ~pool_pages:2 ~page_size:128 path in
+          let ok =
+            List.for_all
+              (fun (u, v) ->
+                Fx_index.Disk_labels.distance disk u v = Fx_index.Two_hop.distance labels u v)
+              (Helpers.all_pairs n)
+          in
+          Fx_index.Disk_labels.close disk;
+          ok))
+
+(* --- disk hopi -------------------------------------------------------------------- *)
+
+let with_temp_prefix f =
+  let path = Filename.temp_file "fxhopi" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".labels"; path ^ ".tags" ])
+    (fun () -> f path)
+
+let test_disk_hopi_full () =
+  with_temp_prefix (fun path ->
+      let dg =
+        { Fx_index.Path_index.graph = Helpers.small_graph (); tag = [| 0; 1; 1; 2; 1; 0; 2; 1 |] }
+      in
+      let hopi = Fx_index.Hopi.build dg in
+      Fx_index.Disk_hopi.save ~page_size:256 ~path dg hopi;
+      let disk = Fx_index.Disk_hopi.open_ ~page_size:256 ~path () in
+      check_int "nodes" 8 (Fx_index.Disk_hopi.n_nodes disk);
+      List.iter
+        (fun (u, v) ->
+          check "distance matches memory" true
+            (Fx_index.Disk_hopi.distance disk u v = Fx_index.Hopi.distance hopi u v))
+        (Helpers.all_pairs 8);
+      for x = 0 to 7 do
+        List.iter
+          (fun want ->
+            check "descendants match memory" true
+              (Fx_index.Disk_hopi.descendants_by_tag disk x want
+              = Fx_index.Hopi.descendants_by_tag hopi x want))
+          [ None; Some 0; Some 1; Some 2; Some 99 ]
+      done;
+      Fx_index.Disk_hopi.drop_pools disk;
+      check "still answers after pool drop" true
+        (Fx_index.Disk_hopi.reachable disk 0 7);
+      Fx_index.Disk_hopi.close disk)
+
+let prop_disk_hopi_random =
+  Helpers.qtest ~count:15 "disk HOPI = memory HOPI on random digraphs"
+    (Helpers.digraph_arb ~max_n:10 ())
+    (fun (n, edges) ->
+      with_temp_prefix (fun path ->
+          let dg = Helpers.data_graph_of (n, edges) ~tag_seed:3 in
+          let hopi = Fx_index.Hopi.build dg in
+          Fx_index.Disk_hopi.save ~page_size:256 ~path dg hopi;
+          let disk = Fx_index.Disk_hopi.open_ ~page_size:256 ~pool_pages:2 ~path () in
+          let ok =
+            List.for_all
+              (fun u ->
+                Fx_index.Disk_hopi.descendants_by_tag disk u (Some 1)
+                = Fx_index.Hopi.descendants_by_tag hopi u (Some 1))
+              (List.init n (fun i -> i))
+          in
+          Fx_index.Disk_hopi.close disk;
+          ok))
+
+let () =
+  Alcotest.run "fx_store"
+    [
+      ( "pager",
+        [
+          Alcotest.test_case "basic" `Quick test_pager_basic;
+          Alcotest.test_case "persistence" `Quick test_pager_persistence;
+          Alcotest.test_case "pool eviction" `Quick test_pager_pool_eviction;
+          Alcotest.test_case "cold vs warm" `Quick test_pager_cold_vs_warm;
+          Alcotest.test_case "bounds" `Quick test_pager_bounds;
+          Alcotest.test_case "page size mismatch" `Quick test_pager_rejects_mismatch;
+          Alcotest.test_case "garbage header" `Quick test_pager_rejects_garbage;
+        ] );
+      ( "heap_file",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_heap_roundtrip;
+          Alcotest.test_case "reopen" `Quick test_heap_reopen;
+          Alcotest.test_case "bad handles" `Quick test_heap_bad_handles;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basic" `Quick test_btree_basic;
+          Alcotest.test_case "splits and levels" `Quick test_btree_splits;
+          Alcotest.test_case "sequential insert orders" `Quick test_btree_sequential_orders;
+          Alcotest.test_case "persistence" `Quick test_btree_persistence;
+          prop_btree_vs_map;
+        ] );
+      ( "disk_labels",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_disk_labels_roundtrip;
+          Alcotest.test_case "cold/warm stats" `Quick test_disk_labels_cold_warm_stats;
+          prop_disk_labels_random;
+        ] );
+      ( "disk_hopi",
+        [
+          Alcotest.test_case "full deployment" `Quick test_disk_hopi_full;
+          prop_disk_hopi_random;
+        ] );
+    ]

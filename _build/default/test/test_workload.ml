@@ -1,0 +1,258 @@
+(* Tests for the synthetic workload generators: determinism, structural
+   properties matching the paper's collections, and query generation. *)
+
+module C = Fx_xml.Collection
+module X = Fx_xml.Xml_types
+module Dblp = Fx_workload.Dblp_gen
+module Web = Fx_workload.Web_gen
+module Inex = Fx_workload.Inex_gen
+module Zipf = Fx_workload.Zipf
+module Qg = Fx_workload.Query_gen
+module Rng = Fx_util.Rng
+module Traversal = Fx_graph.Traversal
+module H = Helpers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check "same stream" true (Rng.int64 a = Rng.int64 b)
+  done;
+  let c = Rng.create 43 in
+  check "different seed differs" true (Rng.int64 (Rng.create 42) <> Rng.int64 c)
+
+let test_rng_ranges () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 7 in
+    check "int range" true (x >= 0 && x < 7);
+    let f = Rng.float r in
+    check "float range" true (f >= 0.0 && f < 1.0);
+    let e = Rng.exponential r in
+    check "exp positive" true (e >= 0.0)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound <= 0") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* --- zipf ------------------------------------------------------------------ *)
+
+let test_zipf_skew () =
+  let z = Zipf.create 100 in
+  let r = Rng.create 9 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let k = Zipf.sample z r in
+    check "in range" true (k >= 0 && k < 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  check "rank 0 most popular" true (counts.(0) > counts.(10));
+  check "heavy head" true (counts.(0) + counts.(1) + counts.(2) > 3000 / 2)
+
+let test_zipf_bad () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n <= 0") (fun () ->
+      ignore (Zipf.create 0))
+
+(* --- dblp generator ----------------------------------------------------------- *)
+
+let test_dblp_shape () =
+  let c = Dblp.collection Dblp.default in
+  check_int "docs" 600 (C.n_docs c);
+  check_int "no intra links" 0 (C.n_intra_links c);
+  check "links resolved" true (C.dangling_refs c = []);
+  (* Paper shape: ~27 elements/doc, ~4 links/doc. *)
+  let elems_per_doc = float_of_int (C.n_nodes c) /. 600.0 in
+  check "elements per doc plausible" true (elems_per_doc > 12.0 && elems_per_doc < 40.0);
+  let links_per_doc = float_of_int (C.n_inter_links c) /. 600.0 in
+  check "links per doc plausible" true (links_per_doc > 1.5 && links_per_doc < 8.0)
+
+let test_dblp_deterministic () =
+  let d1 = Dblp.generate Dblp.default and d2 = Dblp.generate Dblp.default in
+  check "same docs" true (List.for_all2 X.equal_document d1 d2);
+  let d3 = Dblp.generate { Dblp.default with seed = 8 } in
+  check "different seed differs" false
+    (List.for_all2 X.equal_document d1 d3)
+
+let test_dblp_citations_backward () =
+  let c = Dblp.collection { Dblp.default with n_docs = 200 } in
+  List.iter
+    (fun (l : C.link) ->
+      check "inter" true l.inter;
+      check "cites point backward" true (C.doc_of_node c l.dst < C.doc_of_node c l.src);
+      check "cites point at roots" true
+        (l.dst = C.root_of_doc c (C.doc_of_node c l.dst)))
+    (C.links c)
+
+let test_dblp_documents_are_parseable_xml () =
+  let docs = Dblp.generate { Dblp.default with n_docs = 20 } in
+  List.iter
+    (fun d ->
+      let s = Fx_xml.Xml_print.to_string d in
+      match Fx_xml.Xml_parser.parse ~name:d.X.name s with
+      | Ok d2 -> check "roundtrip" true (X.equal_element d.root d2.root)
+      | Error e -> Alcotest.failf "generated doc unparseable: %s" (Fx_xml.Xml_parser.error_to_string e))
+    docs
+
+let test_dblp_has_expected_tags () =
+  let c = Dblp.collection { Dblp.default with n_docs = 100 } in
+  List.iter
+    (fun t -> check (t ^ " present") true (C.tag_id c t <> None))
+    [ "article"; "inproceedings"; "author"; "title"; "year"; "cite"; "ee" ]
+
+(* --- web generator --------------------------------------------------------------- *)
+
+let test_web_shape () =
+  let c = Web.collection Web.default in
+  check_int "docs" (40 + 25) (C.n_docs c);
+  check "has intra links" true (C.n_intra_links c > 0);
+  check "has inter links" true (C.n_inter_links c > 0);
+  check "no dangling" true (C.dangling_refs c = [])
+
+let test_web_tree_cluster_is_tree () =
+  let p = { Web.default with n_dense_docs = 0; bridges = 0 } in
+  let c = Web.collection p in
+  check "tree cluster forms a forest" true (Traversal.is_forest (C.graph c))
+
+let test_web_dense_cluster_cyclic () =
+  let p = { Web.default with n_tree_docs = 0; bridges = 0 } in
+  let c = Web.collection p in
+  check "dense cluster is not a forest" false (Traversal.is_forest (C.graph c))
+
+let test_web_bridge_connects () =
+  let c = Web.collection { Web.default with bridges = 2 } in
+  (* Some dense-document node must reach some tree-document node. *)
+  let g = C.graph c in
+  let dense_root = C.root_of_doc c 40 in
+  let dist = Traversal.bfs_distances g dense_root in
+  let reaches_tree = ref false in
+  Array.iteri
+    (fun v d ->
+      if d > 0 && C.doc_of_node c v < 40 then reaches_tree := true)
+    dist;
+  check "bridge crossed" true !reaches_tree
+
+(* --- inex generator --------------------------------------------------------------- *)
+
+let test_inex_shape () =
+  let c = Inex.collection Inex.default in
+  check_int "docs" 100 (C.n_docs c);
+  (* Large documents, hardly any inter-document links. *)
+  check "big documents" true (C.n_nodes c / C.n_docs c > 30);
+  check "isolated" true (C.n_inter_links c < C.n_docs c / 10);
+  check "has intra xrefs" true (C.n_intra_links c > 0);
+  check "no dangling" true (C.dangling_refs c = []);
+  List.iter
+    (fun t -> check (t ^ " present") true (C.tag_id c t <> None))
+    [ "article"; "sec"; "p"; "st"; "fm"; "abs" ]
+
+let test_inex_deterministic () =
+  let a = Inex.generate Inex.default and b = Inex.generate Inex.default in
+  check "deterministic" true (List.for_all2 X.equal_document a b)
+
+let test_inex_documents_parse_back () =
+  List.iter
+    (fun d ->
+      let s = Fx_xml.Xml_print.to_string d in
+      match Fx_xml.Xml_parser.parse ~name:d.X.name s with
+      | Ok d2 -> check "roundtrip" true (X.equal_element d.root d2.root)
+      | Error e ->
+          Alcotest.failf "generated doc unparseable: %s" (Fx_xml.Xml_parser.error_to_string e))
+    (Inex.generate { Inex.default with n_docs = 10 })
+
+(* --- query generator ---------------------------------------------------------------- *)
+
+let test_hub_query () =
+  let c = Dblp.collection Dblp.default in
+  let q = Qg.hub_query c ~tag:"article" in
+  check "hub has many descendants" true (q.n_reachable > 50);
+  check "start is a root" true
+    (q.start = C.root_of_doc c (C.doc_of_node c q.start))
+
+let test_most_cited_root () =
+  let c = Dblp.collection Dblp.default in
+  let hub = Qg.most_cited_root c in
+  let g = C.graph c in
+  for d = 0 to C.n_docs c - 1 do
+    check "max in-degree" true
+      (Fx_graph.Digraph.in_degree g (C.root_of_doc c d)
+      <= Fx_graph.Digraph.in_degree g hub)
+  done
+
+let test_descendant_queries () =
+  let c = Dblp.collection { Dblp.default with n_docs = 300 } in
+  let qs = Qg.descendant_queries c ~seed:3 ~count:5 ~min_results:10 in
+  check "got queries" true (qs <> []);
+  List.iter
+    (fun (q : Qg.query) ->
+      check "min results honoured" true (q.n_reachable >= 10);
+      (* recount ground truth *)
+      let w = Option.get (C.tag_id c q.tag) in
+      let dist = Traversal.bfs_distances (C.graph c) q.start in
+      let n = ref 0 in
+      Array.iteri (fun v d -> if d > 0 && (C.tag c).(v) = w then incr n) dist;
+      check_int "count correct" q.n_reachable !n)
+    qs
+
+let test_connection_pairs () =
+  let c = Dblp.collection { Dblp.default with n_docs = 200 } in
+  let pairs = Qg.connection_pairs c ~seed:4 ~count:20 ~connected_fraction:0.5 in
+  check_int "count" 20 (List.length pairs);
+  List.iter
+    (fun (a, b, d) -> check "ground truth correct" true (Traversal.distance (C.graph c) a b = d))
+    pairs;
+  check "some connected" true (List.exists (fun (_, _, d) -> d <> None) pairs)
+
+let () =
+  Alcotest.run "fx_workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "bad args" `Quick test_zipf_bad;
+        ] );
+      ( "dblp",
+        [
+          Alcotest.test_case "shape" `Quick test_dblp_shape;
+          Alcotest.test_case "deterministic" `Quick test_dblp_deterministic;
+          Alcotest.test_case "citations backward to roots" `Quick test_dblp_citations_backward;
+          Alcotest.test_case "documents parse back" `Quick test_dblp_documents_are_parseable_xml;
+          Alcotest.test_case "expected tags" `Quick test_dblp_has_expected_tags;
+        ] );
+      ( "web",
+        [
+          Alcotest.test_case "shape" `Quick test_web_shape;
+          Alcotest.test_case "tree cluster" `Quick test_web_tree_cluster_is_tree;
+          Alcotest.test_case "dense cluster" `Quick test_web_dense_cluster_cyclic;
+          Alcotest.test_case "bridges" `Quick test_web_bridge_connects;
+        ] );
+      ( "inex",
+        [
+          Alcotest.test_case "shape" `Quick test_inex_shape;
+          Alcotest.test_case "deterministic" `Quick test_inex_deterministic;
+          Alcotest.test_case "documents parse back" `Quick test_inex_documents_parse_back;
+        ] );
+      ( "query_gen",
+        [
+          Alcotest.test_case "hub query" `Quick test_hub_query;
+          Alcotest.test_case "most cited root" `Quick test_most_cited_root;
+          Alcotest.test_case "descendant queries" `Quick test_descendant_queries;
+          Alcotest.test_case "connection pairs" `Quick test_connection_pairs;
+        ] );
+    ]
