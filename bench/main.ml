@@ -19,6 +19,7 @@
      A3 exact    approximate vs exactly-ordered evaluation
      A4 cache    query-result cache on a skewed workload
      A5 ordering HOPI landmark-order ablation
+        serve    query-service throughput / latency at worker counts 1/2/4
         micro    bechamel per-operation latencies
 
    Absolute times are in-memory OCaml, ~1000x below the paper's
@@ -627,6 +628,66 @@ let disk ctx =
       print_endline "pages, so the full block costs orders of magnitude more than in RAM.")
 
 (* ------------------------------------------------------------------ *)
+(* serve: the query service under concurrent client load — throughput
+   and latency percentiles per worker count, plus a JSON line for
+   machine consumption alongside the human-readable table. *)
+
+let serve ctx =
+  header "serve: query-service throughput and latency (8 client threads)";
+  let flix = Flix.build ~config:(MB.Unconnected_hopi { max_size = 5_000 }) ctx.collection in
+  let n_docs = C.n_docs ctx.collection in
+  let n_threads = 8 and per_thread = 200 in
+  let run_one workers =
+    let server =
+      Fx_server.Server.start
+        ~config:{ Fx_server.Server.default_config with workers; queue_capacity = 256 }
+        flix
+    in
+    let port = Fx_server.Server.port server in
+    let lats = Array.make (n_threads * per_thread) 0.0 in
+    let wall = Fx_util.Stopwatch.start () in
+    let threads =
+      List.init n_threads (fun tid ->
+          Thread.create
+            (fun () ->
+              let client = Fx_server.Server_client.connect ~port () in
+              let rng = Fx_util.Rng.create (100 + tid) in
+              for i = 0 to per_thread - 1 do
+                let doc = Fx_workload.Dblp_gen.doc_name (Fx_util.Rng.int rng n_docs) in
+                let sw = Fx_util.Stopwatch.start () in
+                (match
+                   Fx_server.Server_client.descendants client ~doc ~tag:"author" ~k:10 ()
+                 with
+                | Ok _ -> ()
+                | Error e -> Printf.eprintf "bench client error: %s\n%!" e);
+                lats.((tid * per_thread) + i) <- Fx_util.Stopwatch.elapsed_ms sw
+              done;
+              Fx_server.Server_client.close client)
+            ())
+    in
+    List.iter Thread.join threads;
+    let wall_s = Fx_util.Stopwatch.elapsed_ms wall /. 1000.0 in
+    Fx_server.Server.stop server;
+    let all = Array.to_list lats in
+    let total = n_threads * per_thread in
+    let rps = float_of_int total /. wall_s in
+    let p q = Stats.percentile q all in
+    Printf.printf "%-8d %10d %10.0f %10.4f %10.4f %10.4f\n%!" workers total rps (p 50.0)
+      (p 95.0) (p 99.0);
+    Printf.sprintf
+      "{\"workers\":%d,\"requests\":%d,\"rps\":%.1f,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f}"
+      workers total rps (p 50.0) (p 95.0) (p 99.0)
+  in
+  Printf.printf "%-8s %10s %10s %10s %10s %10s\n" "workers" "requests" "req/s" "p50 [ms]"
+    "p95 [ms]" "p99 [ms]";
+  let rows = List.map run_one [ 1; 2; 4 ] in
+  Printf.printf "\nserve-json: {\"bench\":\"serve\",\"docs\":%d,\"rows\":[%s]}\n" n_docs
+    (String.concat "," rows);
+  print_newline ();
+  print_endline "expectation: req/s scales with worker domains until the acceptor or";
+  print_endline "client threads saturate; tail latencies grow with queue pressure."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite: one Test.make per table/figure-defining
    operation. *)
 
@@ -701,7 +762,7 @@ let micro ctx =
 let usage () =
   print_endline
     "usage: main.exe [all|table1|figure5|errors|connect|multi|hybrid|psweep|exact|cache|\n\
-    \                 ordering|micro] [--docs N] [--seed N]";
+    \                 ordering|serve|micro] [--docs N] [--seed N]";
   exit 1
 
 let () =
@@ -713,7 +774,7 @@ let () =
     | a :: rest
       when List.mem a
              [ "all"; "table1"; "figure5"; "errors"; "connect"; "multi"; "hybrid"; "inex";
-               "psweep"; "disk"; "exact"; "cache"; "ordering"; "micro" ] ->
+               "psweep"; "disk"; "exact"; "cache"; "ordering"; "serve"; "micro" ] ->
         parse a docs seed rest
     | _ -> usage ()
   in
@@ -736,6 +797,7 @@ let () =
     | "exact" -> exact_ablation ctx
     | "cache" -> cache_ablation ctx
     | "ordering" -> ordering_ablation ctx
+    | "serve" -> serve ctx
     | "all" ->
         table1 ctx;
         figure5 ctx;
@@ -749,6 +811,7 @@ let () =
         exact_ablation ctx;
         cache_ablation ctx;
         ordering_ablation ctx;
+        serve ctx;
         micro ctx
     | _ -> usage ()
   end

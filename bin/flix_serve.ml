@@ -1,0 +1,120 @@
+(* flix_serve — stand up the concurrent FliX query service.
+
+     dune exec bin/flix_serve.exe                       # 600-doc DBLP, port 7070
+     dune exec bin/flix_serve.exe -- --docs 6210 --workers 8
+     dune exec bin/flix_serve.exe -- --xml-dir /tmp/dblp --port 7071
+
+   Then talk the line protocol, e.g.:
+
+     $ nc 127.0.0.1 7070
+     PING
+     PONG
+     DESCENDANTS dblp_0000 - author 5
+     ITEM 12 1 0
+     ...
+     DONE 5
+     METRICS
+     LINES 123
+     ... *)
+
+module C = Fx_xml.Collection
+module Flix = Fx_flix.Flix
+module Server = Fx_server.Server
+
+let usage () =
+  print_endline
+    "usage: flix_serve [--port N] [--host A] [--workers N] [--queue N]\n\
+    \                  [--deadline-ms F] [--docs N | --xml-dir DIR] [--seed N]";
+  exit 1
+
+type source = Generate of int | Xml_dir of string
+
+let load_xml_dir dir =
+  let files =
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter (fun f -> Filename.check_suffix f ".xml")
+  in
+  if files = [] then failwith (Printf.sprintf "no .xml files in %s" dir);
+  let docs =
+    List.filter_map
+      (fun f ->
+        let path = Filename.concat dir f in
+        let ic = open_in_bin path in
+        let body = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let name = Filename.remove_extension f in
+        match Fx_xml.Xml_parser.parse ~name body with
+        | Ok d -> Some d
+        | Error e ->
+            Printf.eprintf "warning: skipped %s: %s\n" f
+              (Fx_xml.Xml_parser.error_to_string e);
+            None)
+      files
+  in
+  C.build docs
+
+let () =
+  let cfg = ref { Server.default_config with port = 7070 } in
+  let source = ref (Generate 600) in
+  let seed = ref 7 in
+  let rec parse = function
+    | [] -> ()
+    | "--port" :: v :: rest ->
+        cfg := { !cfg with port = int_of_string v };
+        parse rest
+    | "--host" :: v :: rest ->
+        cfg := { !cfg with host = v };
+        parse rest
+    | "--workers" :: v :: rest ->
+        cfg := { !cfg with workers = int_of_string v };
+        parse rest
+    | "--queue" :: v :: rest ->
+        cfg := { !cfg with queue_capacity = int_of_string v };
+        parse rest
+    | "--deadline-ms" :: v :: rest ->
+        cfg := { !cfg with deadline_ms = float_of_string v };
+        parse rest
+    | "--docs" :: v :: rest ->
+        source := Generate (int_of_string v);
+        parse rest
+    | "--xml-dir" :: v :: rest ->
+        source := Xml_dir v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | _ -> usage ()
+  in
+  (try parse (List.tl (Array.to_list Sys.argv)) with
+  | Failure _ -> usage ());
+  let collection =
+    match !source with
+    | Generate n_docs ->
+        Printf.printf "generating synthetic DBLP collection (%d docs, seed %d)...\n%!"
+          n_docs !seed;
+        Fx_workload.Dblp_gen.collection
+          { Fx_workload.Dblp_gen.default with n_docs; seed = !seed }
+    | Xml_dir dir ->
+        Printf.printf "loading XML documents from %s...\n%!" dir;
+        load_xml_dir dir
+  in
+  Printf.printf "collection: %s\n%!" (C.stats collection);
+  Printf.printf "building FliX index...\n%!";
+  let flix, build_s = Fx_util.Stopwatch.time_ns (fun () -> Flix.build collection) in
+  Printf.printf "built in %.2f s (%.2f MB)\n%!"
+    (Int64.to_float build_s /. 1e9)
+    (float_of_int (Flix.index_size_bytes flix) /. 1048576.0);
+  let server = Server.start ~config:!cfg flix in
+  Printf.printf "serving on %s:%d (%d workers, queue %d, deadline %.0f ms)\n%!"
+    !cfg.host (Server.port server) !cfg.workers !cfg.queue_capacity !cfg.deadline_ms;
+  Printf.printf "verbs: PING | STATS | METRICS | DESCENDANTS | CONNECTED | EVALUATE\n%!";
+  (* Serve until interrupted; the acceptor and workers do all the work.
+     The main thread idles in short interruptible naps — a handler set
+     on a thread parked in Condition.wait would never run. *)
+  let quit = Atomic.make false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set quit true));
+  while not (Atomic.get quit) do
+    Thread.delay 0.2
+  done;
+  Printf.printf "\nshutting down...\n%!";
+  Server.stop server

@@ -1,0 +1,76 @@
+(* End-to-end demo of the concurrent query service: build a small DBLP
+   collection, serve it on an ephemeral port, drive it with concurrent
+   clients, then scrape the metrics.
+
+     dune exec examples/query_service.exe *)
+
+module C = Fx_xml.Collection
+module Flix = Fx_flix.Flix
+module Server = Fx_server.Server
+module Client = Fx_server.Server_client
+module Dblp = Fx_workload.Dblp_gen
+
+let () =
+  let collection = Dblp.collection { Dblp.default with n_docs = 300; seed = 11 } in
+  Printf.printf "collection: %s\n%!" (C.stats collection);
+  let flix = Flix.build collection in
+  let server =
+    Server.start ~config:{ Server.default_config with workers = 4 } flix
+  in
+  let port = Server.port server in
+  Printf.printf "server up on 127.0.0.1:%d with 4 worker domains\n\n%!" port;
+
+  (* One synchronous client: a descendants query with names resolved
+     server-side, rendered with the collection like a direct call. *)
+  let c = Client.connect ~port () in
+  Printf.printf "PING -> %b\n" (Client.ping c);
+  let doc = Dblp.doc_name 0 in
+  (match Client.descendants c ~doc ~tag:"author" ~k:5 () with
+  | Ok (Client.Value (items, timed_out)) ->
+      Printf.printf "DESCENDANTS %s - author 5 -> %d items%s\n" doc
+        (List.length items)
+        (if timed_out then " (timed out)" else "");
+      List.iter
+        (fun (it : Fx_server.Protocol.item) ->
+          Printf.printf "  %s (dist %d)\n" (C.describe collection it.node) it.dist)
+        items
+  | Ok Client.Busy -> print_endline "server busy"
+  | Ok (Client.Server_error e) -> Printf.printf "server error: %s\n" e
+  | Error e -> Printf.printf "transport error: %s\n" e);
+
+  (* The A//B form over the whole collection. *)
+  (match Client.evaluate c ~start_tag:"inproceedings" ~target_tag:"author" ~k:3 () with
+  | Ok (Client.Value (items, _)) ->
+      Printf.printf "\nEVALUATE inproceedings author 3 -> %d items\n" (List.length items)
+  | _ -> print_endline "evaluate failed");
+
+  (* Hammer the pool from four threads, one client each. *)
+  let requests_per_thread = 50 in
+  let threads =
+    List.init 4 (fun tid ->
+        Thread.create
+          (fun () ->
+            let c = Client.connect ~port () in
+            for i = 0 to requests_per_thread - 1 do
+              let doc = Dblp.doc_name ((tid + (4 * i)) mod 300) in
+              ignore (Client.descendants c ~doc ~tag:"author" ~k:10 ())
+            done;
+            Client.close c)
+          ())
+  in
+  List.iter Thread.join threads;
+  Printf.printf "\n4 threads x %d DESCENDANTS requests done; metrics excerpt:\n\n"
+    requests_per_thread;
+  (match Client.metrics c with
+  | Ok (Client.Value lines) ->
+      List.iter
+        (fun l ->
+          if
+            String.length l > 0 && l.[0] <> '#'
+            && (String.length l < 26 || String.sub l 0 26 <> "flix_request_duration_ms_b")
+          then print_endline l)
+        lines
+  | _ -> print_endline "metrics failed");
+  Client.close c;
+  Server.stop server;
+  print_endline "\nserver stopped."

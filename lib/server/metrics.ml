@@ -1,0 +1,125 @@
+let verbs =
+  [ "ping"; "stats"; "metrics"; "sleep"; "descendants"; "connected"; "evaluate"; "other" ]
+
+let n_verbs = List.length verbs
+
+let verb_index verb =
+  let rec go i = function
+    | [] -> n_verbs - 1 (* "other" *)
+    | v :: _ when v = verb -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 verbs
+
+(* Upper bounds in milliseconds; +Inf is implicit as the last slot of
+   each histogram row. Log-spaced to cover sub-ms index probes up to
+   multi-second deadline-bounded scans. *)
+let buckets_ms =
+  [| 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0; 2500.0 |]
+
+let n_buckets = Array.length buckets_ms + 1 (* + the +Inf bucket *)
+
+type t = {
+  requests : int Atomic.t array;          (* per verb *)
+  timeouts : int Atomic.t array;          (* per verb *)
+  rejected : int Atomic.t;
+  errors : int Atomic.t;
+  hist : int Atomic.t array array;        (* per verb, per bucket (non-cumulative) *)
+  obs_count : int Atomic.t array;         (* per verb *)
+  (* duration sums as integer nanoseconds: Atomic has no float fetch-add *)
+  obs_sum_ns : int Atomic.t array;
+}
+
+let atomic_row n = Array.init n (fun _ -> Atomic.make 0)
+
+let create () =
+  {
+    requests = atomic_row n_verbs;
+    timeouts = atomic_row n_verbs;
+    rejected = Atomic.make 0;
+    errors = Atomic.make 0;
+    hist = Array.init n_verbs (fun _ -> atomic_row n_buckets);
+    obs_count = atomic_row n_verbs;
+    obs_sum_ns = atomic_row n_verbs;
+  }
+
+let incr a = Atomic.incr a
+
+let incr_requests t ~verb = incr t.requests.(verb_index verb)
+let incr_rejected t = incr t.rejected
+let incr_timeouts t ~verb = incr t.timeouts.(verb_index verb)
+let incr_errors t = incr t.errors
+
+let bucket_of ms =
+  let rec go i =
+    if i >= Array.length buckets_ms then i else if ms <= buckets_ms.(i) then i else go (i + 1)
+  in
+  go 0
+
+let observe_ms t ~verb ms =
+  let i = verb_index verb in
+  incr t.hist.(i).(bucket_of ms);
+  incr t.obs_count.(i);
+  ignore (Atomic.fetch_and_add t.obs_sum_ns.(i) (int_of_float (ms *. 1e6)))
+
+let requests_total t ~verb = Atomic.get t.requests.(verb_index verb)
+let rejected_total t = Atomic.get t.rejected
+let timeouts_total t ~verb = Atomic.get t.timeouts.(verb_index verb)
+let errors_total t = Atomic.get t.errors
+let observations t ~verb = Atomic.get t.obs_count.(verb_index verb)
+
+(* --- rendering ------------------------------------------------------ *)
+
+let le_label i =
+  if i >= Array.length buckets_ms then "+Inf"
+  else
+    let b = buckets_ms.(i) in
+    if Float.is_integer b then Printf.sprintf "%.0f" b else Printf.sprintf "%g" b
+
+let render t =
+  let line fmt = Printf.ksprintf (fun s -> s) fmt in
+  let per_verb name row =
+    List.concat
+      (List.mapi
+         (fun i verb -> [ line "%s{verb=\"%s\"} %d" name verb (Atomic.get row.(i)) ])
+         verbs)
+  in
+  [
+    "# HELP flix_requests_total Requests received, by verb.";
+    "# TYPE flix_requests_total counter";
+  ]
+  @ per_verb "flix_requests_total" t.requests
+  @ [
+      "# HELP flix_rejected_total Requests rejected by admission control (BUSY).";
+      "# TYPE flix_rejected_total counter";
+      line "flix_rejected_total %d" (Atomic.get t.rejected);
+      "# HELP flix_timeouts_total Requests cut off by their deadline, by verb.";
+      "# TYPE flix_timeouts_total counter";
+    ]
+  @ per_verb "flix_timeouts_total" t.timeouts
+  @ [
+      "# HELP flix_errors_total Malformed or failed requests answered with ERR.";
+      "# TYPE flix_errors_total counter";
+      line "flix_errors_total %d" (Atomic.get t.errors);
+      "# HELP flix_request_duration_ms Request service time, by verb.";
+      "# TYPE flix_request_duration_ms histogram";
+    ]
+  @ List.concat
+      (List.mapi
+         (fun vi verb ->
+           let row = t.hist.(vi) in
+           let cumulative = ref 0 in
+           let buckets =
+             List.init n_buckets (fun bi ->
+                 cumulative := !cumulative + Atomic.get row.(bi);
+                 line "flix_request_duration_ms_bucket{verb=\"%s\",le=\"%s\"} %d" verb
+                   (le_label bi) !cumulative)
+           in
+           buckets
+           @ [
+               line "flix_request_duration_ms_sum{verb=\"%s\"} %.6f" verb
+                 (float_of_int (Atomic.get t.obs_sum_ns.(vi)) /. 1e6);
+               line "flix_request_duration_ms_count{verb=\"%s\"} %d" verb
+                 (Atomic.get t.obs_count.(vi));
+             ])
+         verbs)

@@ -1,0 +1,46 @@
+(** Server observability: lock-free counters and fixed-bucket latency
+    histograms, rendered in Prometheus text exposition format.
+
+    All mutation is [Atomic] so workers on different domains and the
+    per-connection threads can record without coordination; [render]
+    reads a consistent-enough snapshot (Prometheus scrapes tolerate
+    per-series skew). *)
+
+type t
+
+val create : unit -> t
+
+val verbs : string list
+(** The known verb labels, in rendering order. Unknown verbs are folded
+    into ["other"] rather than dropped. *)
+
+val incr_requests : t -> verb:string -> unit
+(** Count one received request ([flix_requests_total{verb=...}]). *)
+
+val incr_rejected : t -> unit
+(** Count one admission-control rejection ([flix_rejected_total]). *)
+
+val incr_timeouts : t -> verb:string -> unit
+(** Count one deadline expiry ([flix_timeouts_total{verb=...}]). *)
+
+val incr_errors : t -> unit
+(** Count one [ERR] response ([flix_errors_total]). *)
+
+val observe_ms : t -> verb:string -> float -> unit
+(** Record one request duration into the verb's histogram
+    ([flix_request_duration_ms]). *)
+
+val requests_total : t -> verb:string -> int
+val rejected_total : t -> int
+val timeouts_total : t -> verb:string -> int
+val errors_total : t -> int
+val observations : t -> verb:string -> int
+(** Raw counter reads for tests and the bench harness. *)
+
+val buckets_ms : float array
+(** Histogram bucket upper bounds in milliseconds (exclusive of the
+    implicit [+Inf] bucket). *)
+
+val render : t -> string list
+(** Prometheus text format, one line per entry — [# HELP]/[# TYPE]
+    comments, counters, and cumulative histogram buckets. *)

@@ -1,0 +1,211 @@
+type request =
+  | Ping
+  | Stats
+  | Metrics
+  | Sleep of int
+  | Descendants of {
+      doc : string;
+      anchor : string option;
+      tag : string option;
+      k : int;
+      max_dist : int option;
+    }
+  | Connected of { a : int; b : int; max_dist : int option }
+  | Evaluate of {
+      start_tag : string;
+      target_tag : string;
+      k : int;
+      max_dist : int option;
+    }
+
+type item = { node : int; dist : int; meta : int }
+
+type response =
+  | Pong
+  | Ok_done
+  | Busy
+  | Err of string
+  | Dist of int option
+  | Items of { items : item list; timed_out : bool }
+  | Lines of string list
+
+let verb = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Sleep _ -> "sleep"
+  | Descendants _ -> "descendants"
+  | Connected _ -> "connected"
+  | Evaluate _ -> "evaluate"
+
+let pool_bound = function
+  | Ping | Metrics -> false
+  | Stats | Sleep _ | Descendants _ | Connected _ | Evaluate _ -> true
+
+(* --- requests ------------------------------------------------------- *)
+
+let opt_field = function None -> "-" | Some s -> s
+let parse_opt_field = function "-" -> None | s -> Some s
+
+let int_of ~what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s must be an integer, got %S" what s)
+
+let ( let* ) = Result.bind
+
+(* [k] is a result cap: accept any positive count. *)
+let positive ~what n =
+  if n > 0 then Ok n else Error (Printf.sprintf "%s must be positive" what)
+
+let non_negative ~what n =
+  if n >= 0 then Ok n else Error (Printf.sprintf "%s must be >= 0" what)
+
+let parse_max_dist = function
+  | [] -> Ok None
+  | [ s ] ->
+      let* d = int_of ~what:"max_dist" s in
+      let* d = non_negative ~what:"max_dist" d in
+      Ok (Some d)
+  | _ -> Error "trailing tokens after max_dist"
+
+let parse_request line =
+  let tokens =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  match tokens with
+  | [] -> Error "empty request"
+  | cmd :: args -> (
+      match (String.uppercase_ascii cmd, args) with
+      | "PING", [] -> Ok Ping
+      | "STATS", [] -> Ok Stats
+      | "METRICS", [] -> Ok Metrics
+      | "SLEEP", [ ms ] ->
+          let* ms = int_of ~what:"ms" ms in
+          let* ms = non_negative ~what:"ms" ms in
+          Ok (Sleep ms)
+      | "DESCENDANTS", doc :: anchor :: tag :: k :: rest ->
+          let* k = int_of ~what:"k" k in
+          let* k = positive ~what:"k" k in
+          let* max_dist = parse_max_dist rest in
+          Ok
+            (Descendants
+               {
+                 doc;
+                 anchor = parse_opt_field anchor;
+                 tag = parse_opt_field tag;
+                 k;
+                 max_dist;
+               })
+      | "CONNECTED", a :: b :: rest ->
+          let* a = int_of ~what:"a" a in
+          let* b = int_of ~what:"b" b in
+          let* max_dist = parse_max_dist rest in
+          Ok (Connected { a; b; max_dist })
+      | "EVALUATE", start_tag :: target_tag :: k :: rest ->
+          let* k = int_of ~what:"k" k in
+          let* k = positive ~what:"k" k in
+          let* max_dist = parse_max_dist rest in
+          Ok (Evaluate { start_tag; target_tag; k; max_dist })
+      | ("PING" | "STATS" | "METRICS" | "SLEEP" | "DESCENDANTS" | "CONNECTED" | "EVALUATE"), _
+        ->
+          Error (Printf.sprintf "wrong number of arguments for %s" cmd)
+      | _ -> Error (Printf.sprintf "unknown verb %S" cmd))
+
+let request_line r =
+  let md = function None -> "" | Some d -> " " ^ string_of_int d in
+  match r with
+  | Ping -> "PING"
+  | Stats -> "STATS"
+  | Metrics -> "METRICS"
+  | Sleep ms -> Printf.sprintf "SLEEP %d" ms
+  | Descendants { doc; anchor; tag; k; max_dist } ->
+      Printf.sprintf "DESCENDANTS %s %s %s %d%s" doc (opt_field anchor)
+        (opt_field tag) k (md max_dist)
+  | Connected { a; b; max_dist } -> Printf.sprintf "CONNECTED %d %d%s" a b (md max_dist)
+  | Evaluate { start_tag; target_tag; k; max_dist } ->
+      Printf.sprintf "EVALUATE %s %s %d%s" start_tag target_tag k (md max_dist)
+
+(* --- responses ------------------------------------------------------ *)
+
+let response_lines = function
+  | Pong -> [ "PONG" ]
+  | Ok_done -> [ "OK" ]
+  | Busy -> [ "BUSY" ]
+  | Err msg ->
+      (* The message must stay on one line to keep the framing intact. *)
+      [ "ERR " ^ String.map (function '\n' | '\r' -> ' ' | c -> c) msg ]
+  | Dist None -> [ "NODIST" ]
+  | Dist (Some d) -> [ Printf.sprintf "DIST %d" d ]
+  | Items { items; timed_out } ->
+      List.map
+        (fun { node; dist; meta } -> Printf.sprintf "ITEM %d %d %d" node dist meta)
+        items
+      @ [ Printf.sprintf "%s %d" (if timed_out then "TIMEOUT" else "DONE")
+            (List.length items) ]
+  | Lines payload ->
+      Printf.sprintf "LINES %d" (List.length payload) :: payload
+
+let read_response read_line =
+  (* One line of pushback so the first ITEM/DONE line can be re-examined
+     by the item-stream loop. *)
+  let pending = ref None in
+  let read_line () =
+    match !pending with
+    | Some l ->
+        pending := None;
+        Some l
+    | None -> read_line ()
+  in
+  let rec items acc =
+    match read_line () with
+    | None -> Error "connection closed mid-response"
+    | Some line -> (
+        match String.split_on_char ' ' line with
+        | [ "ITEM"; node; dist; meta ] -> (
+            match
+              (int_of_string_opt node, int_of_string_opt dist, int_of_string_opt meta)
+            with
+            | Some node, Some dist, Some meta -> items ({ node; dist; meta } :: acc)
+            | _ -> Error (Printf.sprintf "malformed ITEM line %S" line))
+        | [ "DONE"; n ] when int_of_string_opt n = Some (List.length acc) ->
+            Ok (Items { items = List.rev acc; timed_out = false })
+        | [ "TIMEOUT"; n ] when int_of_string_opt n = Some (List.length acc) ->
+            Ok (Items { items = List.rev acc; timed_out = true })
+        | ("DONE" | "TIMEOUT") :: _ ->
+            Error (Printf.sprintf "trailer count mismatch in %S" line)
+        | _ -> Error (Printf.sprintf "unexpected line %S in item stream" line))
+  in
+  let rec raw_lines n acc =
+    if n = 0 then Ok (Lines (List.rev acc))
+    else
+      match read_line () with
+      | None -> Error "connection closed mid-payload"
+      | Some line -> raw_lines (n - 1) (line :: acc)
+  in
+  match read_line () with
+  | None -> Error "connection closed"
+  | Some line -> (
+      match String.split_on_char ' ' line with
+      | [ "PONG" ] -> Ok Pong
+      | [ "OK" ] -> Ok Ok_done
+      | [ "BUSY" ] -> Ok Busy
+      | "ERR" :: _ ->
+          let msg =
+            if String.length line > 4 then String.sub line 4 (String.length line - 4)
+            else ""
+          in
+          Ok (Err msg)
+      | [ "NODIST" ] -> Ok (Dist None)
+      | [ "DIST"; d ] -> (
+          match int_of_string_opt d with
+          | Some d -> Ok (Dist (Some d))
+          | None -> Error (Printf.sprintf "malformed DIST line %S" line))
+      | [ "LINES"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> raw_lines n []
+          | _ -> Error (Printf.sprintf "malformed LINES header %S" line))
+      | ("ITEM" | "DONE" | "TIMEOUT") :: _ ->
+          pending := Some line;
+          items []
+      | _ -> Error (Printf.sprintf "unexpected response line %S" line))

@@ -1,0 +1,77 @@
+(** The line-oriented wire protocol of the FliX query service.
+
+    Requests are single lines of space-separated tokens; [-] stands for
+    an absent optional field. Responses are one or more lines:
+
+    {v
+    request                                          response
+    -------------------------------------------------------------------
+    PING                                             PONG
+    SLEEP <ms>                                       OK | TIMEOUT 0
+    DESCENDANTS <doc> <anchor|-> <tag|-> <k> [max]   ITEM*, DONE <n> | TIMEOUT <n>
+    CONNECTED <a> <b> [max]                          DIST <d> | NODIST
+    EVALUATE <start_tag> <target_tag> <k> [max]      ITEM*, DONE <n> | TIMEOUT <n>
+    STATS                                            LINES <n> then n raw lines
+    METRICS                                          LINES <n> then n raw lines
+    (any, queue full)                                BUSY
+    (malformed)                                      ERR <message>
+    v}
+
+    Each [ITEM <node> <dist> <meta>] line carries one {!Pee.item}; the
+    [DONE]/[TIMEOUT] trailer carries the item count, [TIMEOUT] marking a
+    partial result cut off by the request deadline. [SLEEP] is a
+    diagnostic verb: it occupies a worker for the given number of
+    milliseconds — tests use it to saturate the pool deterministically. *)
+
+type request =
+  | Ping
+  | Stats
+  | Metrics
+  | Sleep of int  (** milliseconds *)
+  | Descendants of {
+      doc : string;
+      anchor : string option;
+      tag : string option;
+      k : int;
+      max_dist : int option;
+    }
+  | Connected of { a : int; b : int; max_dist : int option }
+  | Evaluate of {
+      start_tag : string;
+      target_tag : string;
+      k : int;
+      max_dist : int option;
+    }
+
+type item = { node : int; dist : int; meta : int }
+
+type response =
+  | Pong
+  | Ok_done                                        (** [SLEEP] completed *)
+  | Busy                                           (** admission control *)
+  | Err of string
+  | Dist of int option
+  | Items of { items : item list; timed_out : bool }
+  | Lines of string list                           (** [STATS] / [METRICS] payload *)
+
+val verb : request -> string
+(** Lower-case verb name, the metrics label ("ping", "descendants", ...). *)
+
+val pool_bound : request -> bool
+(** Whether the request must go through the worker pool. [Ping] and
+    [Metrics] are answered inline so the observability plane stays
+    responsive on a saturated server. *)
+
+val parse_request : string -> (request, string) result
+(** Parse one request line. The error string is human-readable and is
+    sent back verbatim as [ERR <message>]. *)
+
+val request_line : request -> string
+(** Render a request; [parse_request (request_line r) = Ok r]. *)
+
+val response_lines : response -> string list
+(** Render a response as wire lines, in order. *)
+
+val read_response : (unit -> string option) -> (response, string) result
+(** [read_response read_line] parses one full response by pulling lines
+    from [read_line] ([None] = connection closed). *)

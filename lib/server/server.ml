@@ -1,0 +1,297 @@
+module Flix = Fx_flix.Flix
+module Pee = Fx_flix.Pee
+module RS = Fx_flix.Result_stream
+module Collection = Fx_xml.Collection
+module Stopwatch = Fx_util.Stopwatch
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  deadline_ms : float;
+  max_results : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    queue_capacity = 64;
+    deadline_ms = 2000.0;
+    max_results = 10_000;
+  }
+
+(* A job travels from the connection thread to a worker domain and its
+   response travels back through the mailbox — a one-shot cell so the
+   connection thread can write responses in request order. *)
+type mailbox = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable resp : Protocol.response option;
+}
+
+type job = { req : Protocol.request; deadline_ns : int64; reply : mailbox }
+
+type t = {
+  cfg : config;
+  flix : Flix.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  metrics : Metrics.t;
+  queue : job Work_queue.t;
+  mutable workers : unit Domain.t list;
+  mutable acceptor : Thread.t option;
+  running : bool Atomic.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_lock : Mutex.t;
+}
+
+(* --- evaluation (worker side) --------------------------------------- *)
+
+let expired deadline_ns = Stopwatch.now_ns () > deadline_ns
+
+(* Pull up to [k] items, checking the deadline after each one: a query
+   that finds anything always returns at least its first item, and a
+   zero deadline still times out deterministically. *)
+let pull_items ~deadline_ns ~k stream =
+  let rec go acc n =
+    if n >= k then (List.rev acc, false)
+    else
+      match RS.next stream with
+      | None -> (List.rev acc, false)
+      | Some (it : Pee.item) ->
+          let acc =
+            { Protocol.node = it.node; dist = it.dist; meta = it.meta } :: acc
+          in
+          if expired deadline_ns then (List.rev acc, true) else go acc (n + 1)
+  in
+  go [] 0
+
+(* Tag names resolve like Flix.tag_arg: unknown tag -> the PEE's
+   "match nothing" sentinel, not an error — heterogeneous collections
+   routinely lack a tag. *)
+let tag_arg coll = function
+  | None -> None
+  | Some name -> Some (Option.value ~default:(-1) (Collection.tag_id coll name))
+
+let evaluate t pee (job : job) : Protocol.response =
+  let coll = Flix.collection t.flix in
+  let k_cap k = min k t.cfg.max_results in
+  match job.req with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
+  | Protocol.Stats ->
+      Protocol.Lines (String.split_on_char '\n' (Flix.report t.flix))
+  | Protocol.Sleep ms ->
+      (* Sleep in short slices so the deadline can cut it off — the
+         diagnostic stand-in for a long-running query. *)
+      let rec nap remaining =
+        if expired job.deadline_ns then Protocol.Items { items = []; timed_out = true }
+        else if remaining <= 0 then Protocol.Ok_done
+        else begin
+          let slice = min remaining 5 in
+          Thread.delay (float_of_int slice /. 1000.0);
+          nap (remaining - slice)
+        end
+      in
+      nap ms
+  | Protocol.Connected { a; b; max_dist } ->
+      let n = Collection.n_nodes coll in
+      if a < 0 || a >= n || b < 0 || b >= n then
+        Protocol.Err (Printf.sprintf "node id out of range [0, %d)" n)
+      else Protocol.Dist (Pee.connected ?max_dist pee a b)
+  | Protocol.Descendants { doc; anchor; tag; k; max_dist } -> (
+      match Flix.node_of t.flix ~doc ~anchor with
+      | None ->
+          Protocol.Err
+            (Printf.sprintf "unknown document or anchor %s%s" doc
+               (match anchor with None -> "" | Some a -> "#" ^ a))
+      | Some start ->
+          let stream =
+            Pee.descendants ?tag:(tag_arg coll tag) ?max_dist pee ~start
+          in
+          let items, timed_out =
+            pull_items ~deadline_ns:job.deadline_ns ~k:(k_cap k) stream
+          in
+          Protocol.Items { items; timed_out })
+  | Protocol.Evaluate { start_tag; target_tag; k; max_dist } ->
+      let starts = Collection.find_by_tag coll start_tag in
+      let stream =
+        Pee.descendants_multi
+          ?tag:(tag_arg coll (Some target_tag))
+          ?max_dist pee ~starts
+      in
+      let items, timed_out =
+        pull_items ~deadline_ns:job.deadline_ns ~k:(k_cap k) stream
+      in
+      Protocol.Items { items; timed_out }
+
+let worker_loop t () =
+  (* A private evaluator per domain: the underlying indexes are shared
+     and immutable; the PEE's own statistics counters are not. *)
+  let pee = Pee.create (Flix.built t.flix) in
+  let rec loop () =
+    match Work_queue.pop t.queue with
+    | None -> ()
+    | Some job ->
+        let resp =
+          try evaluate t pee job
+          with exn -> Protocol.Err ("internal: " ^ Printexc.to_string exn)
+        in
+        Mutex.lock job.reply.m;
+        job.reply.resp <- Some resp;
+        Condition.signal job.reply.c;
+        Mutex.unlock job.reply.m;
+        loop ()
+  in
+  loop ()
+
+(* --- connection handling (thread side) ------------------------------ *)
+
+let write_response oc resp =
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (Protocol.response_lines resp);
+  flush oc
+
+let await mb =
+  Mutex.lock mb.m;
+  while mb.resp = None do
+    Condition.wait mb.c mb.m
+  done;
+  let r = Option.get mb.resp in
+  Mutex.unlock mb.m;
+  r
+
+let dispatch t (req : Protocol.request) : Protocol.response =
+  if not (Protocol.pool_bound req) then
+    (* Inline plane: PING and METRICS must work on a saturated server. *)
+    match req with
+    | Protocol.Ping -> Protocol.Pong
+    | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
+    | _ -> assert false
+  else
+    let deadline_ns =
+      Int64.add (Stopwatch.now_ns ())
+        (Int64.of_float (t.cfg.deadline_ms *. 1e6))
+    in
+    let reply = { m = Mutex.create (); c = Condition.create (); resp = None } in
+    let job = { req; deadline_ns; reply } in
+    if Work_queue.try_push t.queue job then await reply
+    else begin
+      Metrics.incr_rejected t.metrics;
+      Protocol.Busy
+    end
+
+let handle_request t oc line =
+  match Protocol.parse_request line with
+  | Error msg ->
+      Metrics.incr_errors t.metrics;
+      write_response oc (Protocol.Err msg)
+  | Ok req ->
+      let verb = Protocol.verb req in
+      Metrics.incr_requests t.metrics ~verb;
+      let sw = Stopwatch.start () in
+      let resp = dispatch t req in
+      Metrics.observe_ms t.metrics ~verb (Stopwatch.elapsed_ms sw);
+      (match resp with
+      | Protocol.Items { timed_out = true; _ } -> Metrics.incr_timeouts t.metrics ~verb
+      | Protocol.Err _ -> Metrics.incr_errors t.metrics
+      | _ -> ());
+      write_response oc resp
+
+let conn_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let cleanup () =
+    Mutex.lock t.conns_lock;
+    Hashtbl.remove t.conns fd;
+    Mutex.unlock t.conns_lock;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let rec loop () =
+    match input_line ic with
+    | line ->
+        handle_request t oc line;
+        loop ()
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+  in
+  Fun.protect ~finally:cleanup loop
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        Mutex.lock t.conns_lock;
+        Hashtbl.replace t.conns fd ();
+        Mutex.unlock t.conns_lock;
+        ignore (Thread.create (conn_loop t) fd);
+        loop ()
+    | exception Unix.Unix_error _ -> if Atomic.get t.running then loop () else ()
+    | exception Sys_error _ -> ()
+  in
+  loop ()
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+let start ?(config = default_config) flix =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  (try Unix.bind listen_fd addr
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  Unix.listen listen_fd 64;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let t =
+    {
+      cfg = config;
+      flix;
+      listen_fd;
+      bound_port;
+      metrics = Metrics.create ();
+      queue = Work_queue.create ~capacity:config.queue_capacity;
+      workers = [];
+      acceptor = None;
+      running = Atomic.make true;
+      conns = Hashtbl.create 16;
+      conns_lock = Mutex.create ();
+    }
+  in
+  t.workers <- List.init (max 1 config.workers) (fun _ -> Domain.spawn (worker_loop t));
+  t.acceptor <- Some (Thread.create (accept_loop t) ());
+  t
+
+let port t = t.bound_port
+let metrics t = t.metrics
+let config t = t.cfg
+
+let stop t =
+  if Atomic.compare_and_set t.running true false then begin
+    (* No new connections or jobs; queued jobs still get answered. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Work_queue.close t.queue;
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    t.acceptor <- None;
+    Mutex.lock t.conns_lock;
+    let fds = Hashtbl.fold (fun fd () acc -> fd :: acc) t.conns [] in
+    Mutex.unlock t.conns_lock;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      fds
+  end

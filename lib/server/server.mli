@@ -1,0 +1,49 @@
+(** The concurrent FliX query service.
+
+    [start flix] binds a TCP socket and serves the {!Protocol} over it.
+    Since {!Fx_flix.Flix.t} is immutable after [build], serving is a
+    shared-read problem: each worker runs on its own OCaml 5 [Domain]
+    with a private {!Fx_flix.Pee} evaluator over the shared index, so
+    queries proceed truly in parallel.
+
+    Request flow: a per-connection thread parses request lines and
+    enqueues jobs onto a bounded {!Work_queue} ([BUSY] when full —
+    admission control); a worker domain evaluates the job under the
+    per-request deadline, aborting result streaming mid-block when the
+    deadline expires ([TIMEOUT] trailer with the partial result); the
+    connection thread writes responses back in request order. [PING]
+    and [METRICS] are answered inline, bypassing the pool, so the
+    observability plane stays responsive on a saturated server.
+
+    Deadlines bound the verbs that stream results ([DESCENDANTS],
+    [EVALUATE]) and [SLEEP]; single-probe verbs ([CONNECTED], [STATS])
+    run to completion — their work is already bounded. *)
+
+type config = {
+  host : string;            (** bind address, default ["127.0.0.1"] *)
+  port : int;               (** 0 picks an ephemeral port; see {!port} *)
+  workers : int;            (** worker domains, default 4 *)
+  queue_capacity : int;     (** admission-control bound, default 64 *)
+  deadline_ms : float;      (** per-request deadline, default 2000. *)
+  max_results : int;        (** hard cap on [k], default 10_000 *)
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> Fx_flix.Flix.t -> t
+(** Binds, listens, and spawns the acceptor thread and worker domains.
+    Returns once the server accepts connections. Raises [Unix_error]
+    when the port cannot be bound. *)
+
+val port : t -> int
+(** The actual bound port — useful with [port = 0]. *)
+
+val metrics : t -> Metrics.t
+val config : t -> config
+
+val stop : t -> unit
+(** Stops accepting, drains queued jobs (every admitted request is
+    answered), joins the worker domains, and closes all connections.
+    Idempotent. *)

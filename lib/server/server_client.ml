@@ -1,0 +1,70 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+type 'a reply = Value of 'a | Busy | Server_error of string
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  match
+    output_string t.oc (Protocol.request_line req);
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost on send"
+  | () ->
+      let read_line () =
+        match input_line t.ic with
+        | line -> Some line
+        | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> None
+      in
+      Protocol.read_response read_line
+
+(* Collapse the transport/protocol/server error planes into the [reply]
+   shape each typed accessor wants. *)
+let typed t req extract =
+  match request t req with
+  | Error e -> Error e
+  | Ok Protocol.Busy -> Ok Busy
+  | Ok (Protocol.Err msg) -> Ok (Server_error msg)
+  | Ok resp -> (
+      match extract resp with
+      | Some v -> Ok (Value v)
+      | None -> Error "unexpected response type")
+
+let ping t =
+  match request t Protocol.Ping with Ok Protocol.Pong -> true | _ -> false
+
+let sleep t ms =
+  typed t (Protocol.Sleep ms) (function
+    | Protocol.Ok_done -> Some true
+    | Protocol.Items { items = []; timed_out = true } -> Some false
+    | _ -> None)
+
+let items_reply = function
+  | Protocol.Items { items; timed_out } -> Some (items, timed_out)
+  | _ -> None
+
+let descendants t ~doc ?anchor ?tag ?max_dist ~k () =
+  typed t (Protocol.Descendants { doc; anchor; tag; k; max_dist }) items_reply
+
+let evaluate t ~start_tag ~target_tag ?max_dist ~k () =
+  typed t (Protocol.Evaluate { start_tag; target_tag; k; max_dist }) items_reply
+
+let connected t ?max_dist a b =
+  typed t (Protocol.Connected { a; b; max_dist }) (function
+    | Protocol.Dist d -> Some d
+    | _ -> None)
+
+let lines_reply = function Protocol.Lines l -> Some l | _ -> None
+let stats t = typed t Protocol.Stats lines_reply
+let metrics t = typed t Protocol.Metrics lines_reply

@@ -1,0 +1,56 @@
+(** Blocking client for the FliX query service — the counterpart of
+    {!Server} used by the examples, the tests, and the bench harness.
+
+    One request is in flight per client at a time; use one client per
+    thread for concurrent load. All calls return [Error _] on protocol
+    violations or transport failures; server-side [ERR] and [BUSY]
+    surface as dedicated variants so callers can distinguish semantic
+    rejection from a broken connection. *)
+
+type t
+
+type 'a reply =
+  | Value of 'a
+  | Busy            (** admission control rejected the request *)
+  | Server_error of string  (** the server answered [ERR <msg>] *)
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Raises [Unix.Unix_error] when the connection fails. *)
+
+val close : t -> unit
+
+val ping : t -> bool
+(** [true] on [PONG]; [false] on any failure (never raises). *)
+
+val sleep : t -> int -> (bool reply, string) result
+(** Diagnostic verb; [Value true] when the nap completed, [Value false]
+    when the deadline cut it short. *)
+
+val descendants :
+  t ->
+  doc:string ->
+  ?anchor:string ->
+  ?tag:string ->
+  ?max_dist:int ->
+  k:int ->
+  unit ->
+  ((Protocol.item list * bool) reply, string) result
+(** The items and whether the stream was cut off by the deadline. *)
+
+val evaluate :
+  t ->
+  start_tag:string ->
+  target_tag:string ->
+  ?max_dist:int ->
+  k:int ->
+  unit ->
+  ((Protocol.item list * bool) reply, string) result
+
+val connected :
+  t -> ?max_dist:int -> int -> int -> (int option reply, string) result
+
+val stats : t -> (string list reply, string) result
+val metrics : t -> (string list reply, string) result
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Escape hatch: send any request and read one response. *)

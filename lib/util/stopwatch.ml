@@ -1,8 +1,19 @@
-type t = { t0 : float }
+(* Every clock read goes through [now_ns] so the choice of clock is
+   guarded in exactly one place. The monotonic clock (a tiny C stub from
+   bechamel) survives wall-clock adjustments — NTP steps must not bend
+   server latency histograms or bench timings. If the stub is ever
+   unavailable at runtime we degrade to gettimeofday, accepting its
+   wall-clock semantics. *)
+let now_ns =
+  match Monotonic_clock.now () with
+  | (_ : int64) -> Monotonic_clock.now
+  | exception _ -> fun () -> Int64.of_float (Unix.gettimeofday () *. 1e9)
 
-let start () = { t0 = Unix.gettimeofday () }
-let elapsed_ns t = Int64.of_float ((Unix.gettimeofday () -. t.t0) *. 1e9)
-let elapsed_ms t = (Unix.gettimeofday () -. t.t0) *. 1e3
+type t = { t0 : int64 }
+
+let start () = { t0 = now_ns () }
+let elapsed_ns t = Int64.sub (now_ns ()) t.t0
+let elapsed_ms t = Int64.to_float (elapsed_ns t) /. 1e6
 
 let time_ns f =
   let w = start () in

@@ -1,10 +1,17 @@
-(** Wall-clock timing for the benchmark harness. *)
+(** Monotonic timing for the benchmark harness and the query service.
+
+    Reads a monotonic clock, so intervals survive wall-clock
+    adjustments; falls back to [Unix.gettimeofday] only when no
+    monotonic source is available (guarded in one place). *)
 
 type t
+
+val now_ns : unit -> int64
+(** Raw monotonic timestamp — only differences are meaningful. *)
 
 val start : unit -> t
 val elapsed_ns : t -> int64
 val elapsed_ms : t -> float
 
 val time_ns : (unit -> 'a) -> 'a * int64
-(** [time_ns f] runs [f] once and reports its wall-clock duration. *)
+(** [time_ns f] runs [f] once and reports its monotonic duration. *)

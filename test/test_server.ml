@@ -1,0 +1,457 @@
+(* The query-service subsystem: wire protocol round-trips, the bounded
+   work queue, metrics accounting, and a live server driven by
+   concurrent clients — results cross-checked byte-for-byte against
+   direct Flix calls, with deterministic BUSY and TIMEOUT provocation. *)
+
+module P = Fx_server.Protocol
+module Metrics = Fx_server.Metrics
+module WQ = Fx_server.Work_queue
+module Server = Fx_server.Server
+module Client = Fx_server.Server_client
+module Flix = Fx_flix.Flix
+module Pee = Fx_flix.Pee
+module RS = Fx_flix.Result_stream
+module Dblp = Fx_workload.Dblp_gen
+
+(* --- protocol ------------------------------------------------------- *)
+
+let sample_requests =
+  [
+    P.Ping;
+    P.Stats;
+    P.Metrics;
+    P.Sleep 250;
+    P.Descendants { doc = "dblp_0001"; anchor = None; tag = None; k = 10; max_dist = None };
+    P.Descendants
+      {
+        doc = "dblp_0002";
+        anchor = Some "sec3";
+        tag = Some "author";
+        k = 5;
+        max_dist = Some 4;
+      };
+    P.Connected { a = 3; b = 99; max_dist = None };
+    P.Connected { a = 0; b = 1; max_dist = Some 7 };
+    P.Evaluate { start_tag = "inproceedings"; target_tag = "author"; k = 3; max_dist = None };
+    P.Evaluate { start_tag = "article"; target_tag = "cite"; k = 100; max_dist = Some 2 };
+  ]
+
+let request_roundtrip () =
+  List.iter
+    (fun r ->
+      match P.parse_request (P.request_line r) with
+      | Ok r' -> Alcotest.(check bool) (P.request_line r) true (r = r')
+      | Error e -> Alcotest.failf "%s failed to parse: %s" (P.request_line r) e)
+    sample_requests
+
+let request_case_and_whitespace () =
+  Alcotest.(check bool) "lower-case verb" true (P.parse_request "ping" = Ok P.Ping);
+  Alcotest.(check bool) "padded" true
+    (P.parse_request "  CONNECTED  1   2 " = Ok (P.Connected { a = 1; b = 2; max_dist = None }))
+
+let malformed_requests () =
+  List.iter
+    (fun line ->
+      match P.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" line)
+    [
+      "";
+      "   ";
+      "FROBNICATE";
+      "PING extra";
+      "SLEEP";
+      "SLEEP abc";
+      "SLEEP -1";
+      "DESCENDANTS onlydoc";
+      "DESCENDANTS d - - 0";          (* k must be positive *)
+      "DESCENDANTS d - - ten";
+      "DESCENDANTS d - - 5 -1";       (* negative max_dist *)
+      "DESCENDANTS d - - 5 3 junk";
+      "CONNECTED 1";
+      "CONNECTED a b";
+      "EVALUATE a b";
+    ]
+
+let feeder lines =
+  let rest = ref lines in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | l :: tl ->
+        rest := tl;
+        Some l
+
+let response_roundtrip () =
+  let samples =
+    [
+      P.Pong;
+      P.Ok_done;
+      P.Busy;
+      P.Err "unknown verb \"FROB\"";
+      P.Dist None;
+      P.Dist (Some 4);
+      P.Items { items = []; timed_out = false };
+      P.Items { items = []; timed_out = true };
+      P.Items
+        {
+          items = [ { P.node = 1; dist = 0; meta = 2 }; { P.node = 9; dist = 3; meta = 0 } ];
+          timed_out = false;
+        };
+      P.Lines [];
+      P.Lines [ "a b c"; ""; "# comment" ];
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.read_response (feeder (P.response_lines r)) with
+      | Ok r' -> Alcotest.(check bool) (String.concat "|" (P.response_lines r)) true (r = r')
+      | Error e -> Alcotest.failf "response failed to re-read: %s" e)
+    samples
+
+let truncated_response () =
+  (match P.read_response (feeder [ "ITEM 1 2 3" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "item stream without trailer should error");
+  (match P.read_response (feeder [ "LINES 3"; "only one" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short LINES payload should error");
+  match P.read_response (feeder [ "ITEM 1 2 3"; "DONE 7" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailer count mismatch should error"
+
+(* --- work queue ----------------------------------------------------- *)
+
+let queue_bounds () =
+  let q = WQ.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (WQ.try_push q 1);
+  Alcotest.(check bool) "push 2" true (WQ.try_push q 2);
+  Alcotest.(check bool) "full" false (WQ.try_push q 3);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (WQ.pop q);
+  Alcotest.(check bool) "room again" true (WQ.try_push q 4);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (WQ.pop q);
+  Alcotest.(check (option int)) "fifo 4" (Some 4) (WQ.pop q);
+  WQ.close q;
+  Alcotest.(check bool) "closed rejects" false (WQ.try_push q 5);
+  Alcotest.(check (option int)) "closed drained" None (WQ.pop q)
+
+let queue_cross_domain () =
+  let q = WQ.create ~capacity:64 in
+  let seen = Atomic.make 0 in
+  let consumers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec go acc =
+              match WQ.pop q with
+              | None -> acc
+              | Some x -> go (acc + x)
+            in
+            let s = go 0 in
+            ignore (Atomic.fetch_and_add seen s)))
+  in
+  for i = 1 to 200 do
+    while not (WQ.try_push q i) do
+      Thread.yield ()
+    done
+  done;
+  WQ.close q;
+  List.iter Domain.join consumers;
+  Alcotest.(check int) "all delivered exactly once" (200 * 201 / 2) (Atomic.get seen)
+
+(* --- metrics -------------------------------------------------------- *)
+
+let metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr_requests m ~verb:"descendants";
+  Metrics.incr_requests m ~verb:"descendants";
+  Metrics.incr_requests m ~verb:"nonsense";
+  Metrics.incr_rejected m;
+  Metrics.incr_timeouts m ~verb:"sleep";
+  Metrics.observe_ms m ~verb:"descendants" 0.3;
+  Metrics.observe_ms m ~verb:"descendants" 40.0;
+  Metrics.observe_ms m ~verb:"descendants" 99999.0;
+  Alcotest.(check int) "requests" 2 (Metrics.requests_total m ~verb:"descendants");
+  Alcotest.(check int) "other fold" 1 (Metrics.requests_total m ~verb:"nonsense");
+  Alcotest.(check int) "rejected" 1 (Metrics.rejected_total m);
+  Alcotest.(check int) "timeouts" 1 (Metrics.timeouts_total m ~verb:"sleep");
+  Alcotest.(check int) "observations" 3 (Metrics.observations m ~verb:"descendants");
+  let text = String.concat "\n" (Metrics.render m) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring.String.is_infix ~affix:needle text))
+    [
+      "flix_requests_total{verb=\"descendants\"} 2";
+      "flix_rejected_total 1";
+      "flix_timeouts_total{verb=\"sleep\"} 1";
+      (* 0.3 ms lands in le=0.5; cumulative buckets include it upward. *)
+      "flix_request_duration_ms_bucket{verb=\"descendants\",le=\"0.5\"} 1";
+      "flix_request_duration_ms_bucket{verb=\"descendants\",le=\"50\"} 2";
+      (* the +Inf bucket equals the observation count *)
+      "flix_request_duration_ms_bucket{verb=\"descendants\",le=\"+Inf\"} 3";
+      "flix_request_duration_ms_count{verb=\"descendants\"} 3";
+    ]
+
+(* --- live server ---------------------------------------------------- *)
+
+let shared_collection = lazy (Dblp.collection { Dblp.default with n_docs = 200; seed = 5 })
+let shared_flix = lazy (Flix.build (Lazy.force shared_collection))
+
+let with_server ?config f =
+  let server = Server.start ?config (Lazy.force shared_flix) in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let render resp = String.concat "\n" (P.response_lines resp)
+
+(* What the server must answer for DESCENDANTS <doc> - <tag> <k>,
+   computed with a direct Flix call. *)
+let direct_descendants flix ~doc ~tag ~k =
+  match Flix.node_of flix ~doc ~anchor:None with
+  | None -> Alcotest.failf "test bug: unknown doc %s" doc
+  | Some start ->
+      let items =
+        Flix.descendants ~tag flix ~start
+        |> RS.take k
+        |> List.map (fun (it : Pee.item) ->
+               { P.node = it.node; dist = it.dist; meta = it.meta })
+      in
+      render (P.Items { items; timed_out = false })
+
+let ping_and_errors () =
+  with_server (fun server ->
+      let port = Server.port server in
+      let c = Client.connect ~port () in
+      Alcotest.(check bool) "ping" true (Client.ping c);
+      (* A malformed line must yield ERR, not kill the connection. *)
+      (match Client.request c P.Ping with Ok P.Pong -> () | _ -> Alcotest.fail "ping 2");
+      (match
+         Client.descendants c ~doc:"no_such_doc" ~k:3 ()
+       with
+      | Ok (Client.Server_error _) -> ()
+      | other ->
+          Alcotest.failf "unknown doc should be a server error, got %s"
+            (match other with
+            | Ok (Client.Value _) -> "items"
+            | Ok Client.Busy -> "busy"
+            | Error e -> "transport error: " ^ e
+            | Ok (Client.Server_error _) -> assert false));
+      Alcotest.(check bool) "alive after ERR" true (Client.ping c);
+      let m = Server.metrics server in
+      Alcotest.(check bool) "errors counted" true (Metrics.errors_total m >= 1);
+      Client.close c)
+
+let raw_malformed_lines () =
+  with_server (fun server ->
+      let port = Server.port server in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      List.iter
+        (fun junk ->
+          output_string oc (junk ^ "\n");
+          flush oc;
+          let reply = input_line ic in
+          Alcotest.(check bool)
+            (Printf.sprintf "%S -> ERR" junk)
+            true
+            (String.length reply >= 3 && String.sub reply 0 3 = "ERR"))
+        [ "FROBNICATE"; "DESCENDANTS"; "CONNECTED one two"; "SLEEP -5"; "" ];
+      (* The connection and server both survive the abuse. *)
+      output_string oc "PING\n";
+      flush oc;
+      Alcotest.(check string) "still serving" "PONG" (input_line ic);
+      Unix.close fd)
+
+let concurrent_clients () =
+  with_server
+    ~config:{ Server.default_config with workers = 4 }
+    (fun server ->
+      let port = Server.port server in
+      let flix = Lazy.force shared_flix in
+      let n_threads = 6 and per_thread = 25 in
+      let failures = Atomic.make 0 in
+      let total = Atomic.make 0 in
+      let threads =
+        List.init n_threads (fun tid ->
+            Thread.create
+              (fun () ->
+                let c = Client.connect ~port () in
+                for i = 0 to per_thread - 1 do
+                  let doc = Dblp.doc_name ((tid + (n_threads * i) * 7) mod 200) in
+                  let got =
+                    match Client.descendants c ~doc ~tag:"author" ~k:10 () with
+                    | Ok (Client.Value (items, timed_out)) ->
+                        render (P.Items { items; timed_out })
+                    | other ->
+                        Printf.sprintf "failure: %s"
+                          (match other with
+                          | Error e -> e
+                          | Ok Client.Busy -> "BUSY"
+                          | Ok (Client.Server_error e) -> "ERR " ^ e
+                          | Ok (Client.Value _) -> assert false)
+                  in
+                  let want = direct_descendants flix ~doc ~tag:"author" ~k:10 in
+                  ignore (Atomic.fetch_and_add total 1);
+                  if got <> want then ignore (Atomic.fetch_and_add failures 1)
+                done;
+                Client.close c)
+              ())
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "all requests answered" (n_threads * per_thread)
+        (Atomic.get total);
+      Alcotest.(check int) "every response byte-identical to direct Flix" 0
+        (Atomic.get failures);
+      let m = Server.metrics server in
+      Alcotest.(check int) "metrics counted every request" (n_threads * per_thread)
+        (Metrics.requests_total m ~verb:"descendants");
+      Alcotest.(check int) "metrics observed every request" (n_threads * per_thread)
+        (Metrics.observations m ~verb:"descendants"))
+
+let deadline_timeout () =
+  (* deadline 0: the deadline is already expired after the first pulled
+     item, so any query with results returns a partial result marked
+     TIMEOUT — deterministically. *)
+  with_server
+    ~config:{ Server.default_config with workers = 2; deadline_ms = 0.0 }
+    (fun server ->
+      let port = Server.port server in
+      let c = Client.connect ~port () in
+      (match Client.descendants c ~doc:(Dblp.doc_name 0) ~k:10_000 () with
+      | Ok (Client.Value (items, timed_out)) ->
+          Alcotest.(check bool) "timed out" true timed_out;
+          Alcotest.(check bool) "partial, not empty" true (List.length items >= 1);
+          Alcotest.(check bool) "partial, not complete" true (List.length items < 20)
+      | _ -> Alcotest.fail "expected a partial TIMEOUT result");
+      (match Client.sleep c 1000 with
+      | Ok (Client.Value false) -> ()
+      | _ -> Alcotest.fail "sleep under a 0ms deadline must time out");
+      (* The server survives; the metrics saw the timeouts. *)
+      Alcotest.(check bool) "alive after timeouts" true (Client.ping c);
+      let m = Server.metrics server in
+      Alcotest.(check int) "descendants timeout counted" 1
+        (Metrics.timeouts_total m ~verb:"descendants");
+      Alcotest.(check int) "sleep timeout counted" 1
+        (Metrics.timeouts_total m ~verb:"sleep");
+      Client.close c)
+
+let admission_busy () =
+  (* One worker, queue of one: a running SLEEP plus a queued SLEEP leave
+     no room — the third concurrent request must bounce with BUSY. *)
+  with_server
+    ~config:
+      { Server.default_config with workers = 1; queue_capacity = 1; deadline_ms = 10_000.0 }
+    (fun server ->
+      let port = Server.port server in
+      let results = Array.make 2 (Ok Client.Busy) in
+      let sleeper i =
+        Thread.create
+          (fun () ->
+            let c = Client.connect ~port () in
+            results.(i) <- Client.sleep c 600;
+            Client.close c)
+          ()
+      in
+      let t1 = sleeper 0 in
+      Thread.delay 0.15;
+      (* worker busy with t1's nap *)
+      let t2 = sleeper 1 in
+      Thread.delay 0.15;
+      (* t2's nap waits in the queue: it is full now *)
+      let c = Client.connect ~port () in
+      (match Client.sleep c 10 with
+      | Ok Client.Busy -> ()
+      | other ->
+          Alcotest.failf "expected BUSY, got %s"
+            (match other with
+            | Ok (Client.Value b) -> Printf.sprintf "Value %b" b
+            | Ok (Client.Server_error e) -> "ERR " ^ e
+            | Error e -> "transport error: " ^ e
+            | Ok Client.Busy -> assert false));
+      (* PING bypasses the pool and still works while saturated. *)
+      Alcotest.(check bool) "inline plane alive" true (Client.ping c);
+      List.iter Thread.join [ t1; t2 ];
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok (Client.Value true) -> ()
+          | _ -> Alcotest.failf "queued sleep %d should have completed" i)
+        results;
+      (* After the naps drain, the pool accepts work again. *)
+      (match Client.sleep c 1 with
+      | Ok (Client.Value true) -> ()
+      | _ -> Alcotest.fail "server should accept work after saturation clears");
+      let m = Server.metrics server in
+      Alcotest.(check int) "rejection counted" 1 (Metrics.rejected_total m);
+      Client.close c)
+
+let stats_and_metrics_verbs () =
+  with_server (fun server ->
+      let port = Server.port server in
+      let c = Client.connect ~port () in
+      (match Client.stats c with
+      | Ok (Client.Value lines) ->
+          Alcotest.(check bool) "stats nonempty" true (List.length lines > 0);
+          Alcotest.(check bool) "stats mentions FliX" true
+            (List.exists (fun l -> Astring.String.is_infix ~affix:"FliX" l) lines)
+      | _ -> Alcotest.fail "STATS failed");
+      (match Client.metrics c with
+      | Ok (Client.Value lines) ->
+          Alcotest.(check bool) "metrics mention stats request" true
+            (List.mem "flix_requests_total{verb=\"stats\"} 1" lines)
+      | _ -> Alcotest.fail "METRICS failed");
+      Client.close c)
+
+let connected_matches_direct () =
+  with_server (fun server ->
+      let port = Server.port server in
+      let flix = Lazy.force shared_flix in
+      let c = Client.connect ~port () in
+      let roots =
+        List.init 20 (fun i ->
+            Option.get (Flix.node_of flix ~doc:(Dblp.doc_name (i * 9)) ~anchor:None))
+      in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              let want = Flix.connected flix a b in
+              match Client.connected c a b with
+              | Ok (Client.Value got) ->
+                  Alcotest.(check (option int))
+                    (Printf.sprintf "connected %d %d" a b)
+                    want got
+              | _ -> Alcotest.failf "connected %d %d failed" a b)
+            roots)
+        (List.filteri (fun i _ -> i < 5) roots);
+      Client.close c)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick request_roundtrip;
+          Alcotest.test_case "case and whitespace" `Quick request_case_and_whitespace;
+          Alcotest.test_case "malformed requests" `Quick malformed_requests;
+          Alcotest.test_case "response round-trip" `Quick response_roundtrip;
+          Alcotest.test_case "truncated responses" `Quick truncated_response;
+        ] );
+      ( "work-queue",
+        [
+          Alcotest.test_case "bounds and fifo" `Quick queue_bounds;
+          Alcotest.test_case "cross-domain delivery" `Quick queue_cross_domain;
+        ] );
+      ("metrics", [ Alcotest.test_case "counters and render" `Quick metrics_counters ]);
+      ( "service",
+        [
+          Alcotest.test_case "ping and error plane" `Quick ping_and_errors;
+          Alcotest.test_case "raw malformed lines" `Quick raw_malformed_lines;
+          Alcotest.test_case "concurrent clients vs direct" `Quick concurrent_clients;
+          Alcotest.test_case "deadline timeout" `Quick deadline_timeout;
+          Alcotest.test_case "admission control BUSY" `Quick admission_busy;
+          Alcotest.test_case "stats and metrics verbs" `Quick stats_and_metrics_verbs;
+          Alcotest.test_case "connected matches direct" `Quick connected_matches_direct;
+        ] );
+    ]
