@@ -11,6 +11,8 @@ type config = {
   queue_capacity : int;
   deadline_ms : float;
   max_results : int;
+  max_line_bytes : int;
+  max_connections : int;
 }
 
 let default_config =
@@ -21,6 +23,8 @@ let default_config =
     queue_capacity = 64;
     deadline_ms = 2000.0;
     max_results = 10_000;
+    max_line_bytes = 8192;
+    max_connections = 1024;
   }
 
 (* A job travels from the connection thread to a worker domain and its
@@ -80,6 +84,13 @@ let evaluate t pee (job : job) : Protocol.response =
   let coll = Flix.collection t.flix in
   let k_cap k = min k t.cfg.max_results in
   match job.req with
+  | (Protocol.Stats | Protocol.Connected _) when expired job.deadline_ns ->
+      (* Expired while queued: answer TIMEOUT up front rather than burn
+         worker time on a full answer the deadline policy has already
+         cut — under overload that work only amplifies the backlog. The
+         streaming verbs (and SLEEP) below check per item and keep their
+         at-least-one-item guarantee. *)
+      Protocol.Items { items = []; timed_out = true }
   | Protocol.Ping -> Protocol.Pong
   | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
   | Protocol.Stats ->
@@ -204,6 +215,29 @@ let handle_request t oc line =
       | _ -> ());
       write_response oc resp
 
+(* Read one request line while buffering at most [max_bytes]: a client
+   cannot exhaust memory by streaming an endless line (input_line would
+   buffer it whole). Past the cap the rest of the line is read and
+   discarded so the framing stays intact and the connection survives
+   with an ERR, like any other malformed request. *)
+let read_request_line ic ~max_bytes =
+  let buf = Buffer.create 128 in
+  let rec go overflowed =
+    match input_char ic with
+    | '\n' -> if overflowed then `Overflow else `Line (Buffer.contents buf)
+    | c ->
+        if overflowed || Buffer.length buf >= max_bytes then go true
+        else begin
+          Buffer.add_char buf c;
+          go false
+        end
+    | exception End_of_file ->
+        if overflowed then `Overflow
+        else if Buffer.length buf = 0 then `Eof
+        else `Line (Buffer.contents buf)
+  in
+  go false
+
 let conn_loop t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
@@ -213,27 +247,74 @@ let conn_loop t fd =
     Mutex.unlock t.conns_lock;
     (try Unix.close fd with Unix.Unix_error _ -> ())
   in
-  let rec loop () =
-    match input_line ic with
-    | line ->
-        handle_request t oc line;
-        loop ()
-    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+  let serve () =
+    let rec loop () =
+      match read_request_line ic ~max_bytes:t.cfg.max_line_bytes with
+      | `Eof -> ()
+      | `Overflow ->
+          Metrics.incr_errors t.metrics;
+          write_response oc
+            (Protocol.Err
+               (Printf.sprintf "request line exceeds %d bytes"
+                  t.cfg.max_line_bytes));
+          loop ()
+      | `Line line ->
+          handle_request t oc line;
+          loop ()
+    in
+    (* The try must wrap the whole loop body, not just the read: with
+       SIGPIPE ignored, a client that vanishes mid-response surfaces as
+       EPIPE/ECONNRESET (Sys_error or Unix_error) from write_response's
+       flush, and that too must fall through to cleanup, not escape the
+       thread. *)
+    try loop () with End_of_file | Sys_error _ | Unix.Unix_error _ -> ()
   in
-  Fun.protect ~finally:cleanup loop
+  Fun.protect ~finally:cleanup serve
+
+(* Acceptor-side admission: threads and fds are one-per-connection, so
+   without a cap a client herd could exhaust both even though the work
+   queue itself is bounded. *)
+let over_conn_cap t =
+  Mutex.lock t.conns_lock;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_lock;
+  n >= t.cfg.max_connections
+
+let reject_connection fd =
+  let busy = Bytes.of_string "BUSY\n" in
+  (try ignore (Unix.write fd busy 0 (Bytes.length busy))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop t () =
   let rec loop () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true
-         with Unix.Unix_error _ -> ());
-        Mutex.lock t.conns_lock;
-        Hashtbl.replace t.conns fd ();
-        Mutex.unlock t.conns_lock;
-        ignore (Thread.create (conn_loop t) fd);
-        loop ()
-    | exception Unix.Unix_error _ -> if Atomic.get t.running then loop () else ()
+        if over_conn_cap t then begin
+          Metrics.incr_rejected t.metrics;
+          reject_connection fd;
+          loop ()
+        end
+        else begin
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          Mutex.lock t.conns_lock;
+          Hashtbl.replace t.conns fd ();
+          Mutex.unlock t.conns_lock;
+          ignore (Thread.create (conn_loop t) fd);
+          loop ()
+        end
+    | exception Unix.Unix_error (err, _, _) ->
+        if Atomic.get t.running then begin
+          (* EINTR is benign; under fd exhaustion (EMFILE/ENFILE) accept
+             fails persistently, so back off instead of busy-spinning at
+             100% CPU until connections drain. *)
+          (match err with
+          | Unix.EINTR -> ()
+          | Unix.EMFILE | Unix.ENFILE -> Thread.delay 0.05
+          | _ -> Thread.delay 0.01);
+          loop ()
+        end
     | exception Sys_error _ -> ()
   in
   loop ()
@@ -241,6 +322,12 @@ let accept_loop t () =
 (* --- lifecycle ------------------------------------------------------ *)
 
 let start ?(config = default_config) flix =
+  (* A client that closes before its response is fully written must
+     surface as EPIPE on the write — the default SIGPIPE disposition
+     would terminate the whole process. Invalid_argument covers
+     platforms without SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in

@@ -17,7 +17,17 @@
 
     Deadlines bound the verbs that stream results ([DESCENDANTS],
     [EVALUATE]) and [SLEEP]; single-probe verbs ([CONNECTED], [STATS])
-    run to completion — their work is already bounded. *)
+    run to completion once started — their work is already bounded —
+    but a job whose deadline expired while it sat in the queue is
+    answered [TIMEOUT 0] without being evaluated, so an overloaded
+    worker pool does not amplify its own backlog.
+
+    Resource limits: request lines are buffered up to [max_line_bytes]
+    (overflow answers [ERR] with the rest of the line discarded), and
+    at most [max_connections] connections are live at once (excess
+    connections are answered [BUSY] and closed by the acceptor).
+    [start] ignores [SIGPIPE] process-wide so a disconnecting client
+    surfaces as a per-connection write error, not a fatal signal. *)
 
 type config = {
   host : string;            (** bind address, default ["127.0.0.1"] *)
@@ -26,6 +36,8 @@ type config = {
   queue_capacity : int;     (** admission-control bound, default 64 *)
   deadline_ms : float;      (** per-request deadline, default 2000. *)
   max_results : int;        (** hard cap on [k], default 10_000 *)
+  max_line_bytes : int;     (** request-line buffer cap, default 8192 *)
+  max_connections : int;    (** live-connection cap, default 1024 *)
 }
 
 val default_config : config

@@ -263,6 +263,83 @@ let raw_malformed_lines () =
       Alcotest.(check string) "still serving" "PONG" (input_line ic);
       Unix.close fd)
 
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let oversized_line () =
+  with_server
+    ~config:{ Server.default_config with max_line_bytes = 64 }
+    (fun server ->
+      let port = Server.port server in
+      let fd = raw_connect port in
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      (* Far past the cap: the server must answer ERR without buffering
+         the whole line, and the connection must keep its framing. *)
+      output_string oc (String.make 100_000 'A');
+      output_string oc "\nPING\n";
+      flush oc;
+      let reply = input_line ic in
+      Alcotest.(check bool) "overflow -> ERR" true
+        (String.length reply >= 3 && String.sub reply 0 3 = "ERR");
+      Alcotest.(check string) "framing survives overflow" "PONG" (input_line ic);
+      Unix.close fd;
+      Alcotest.(check bool) "overflow counted as error" true
+        (Metrics.errors_total (Server.metrics server) >= 1))
+
+let connection_cap () =
+  with_server
+    ~config:{ Server.default_config with max_connections = 1 }
+    (fun server ->
+      let port = Server.port server in
+      let c1 = Client.connect ~port () in
+      (* The ping round-trip guarantees the acceptor registered c1. *)
+      Alcotest.(check bool) "first client served" true (Client.ping c1);
+      let fd = raw_connect port in
+      let ic = Unix.in_channel_of_descr fd in
+      Alcotest.(check string) "over cap -> BUSY" "BUSY" (input_line ic);
+      (match input_line ic with
+      | exception End_of_file -> ()
+      | line -> Alcotest.failf "rejected connection should close, got %S" line);
+      Unix.close fd;
+      Alcotest.(check bool) "cap rejection counted" true
+        (Metrics.rejected_total (Server.metrics server) >= 1);
+      Client.close c1;
+      (* Once c1's slot frees (its thread notices EOF asynchronously),
+         new connections are admitted again. *)
+      let rec retry n =
+        if n = 0 then Alcotest.fail "connection slot never freed"
+        else
+          let c = Client.connect ~port () in
+          let ok = Client.ping c in
+          Client.close c;
+          if not ok then begin
+            Thread.delay 0.02;
+            retry (n - 1)
+          end
+      in
+      retry 100)
+
+let disconnect_mid_response () =
+  (* Clients that send a streaming request and vanish before reading
+     the reply: each write then hits EPIPE/ECONNRESET. With SIGPIPE
+     ignored this must close just that connection, not the process. *)
+  with_server (fun server ->
+      let port = Server.port server in
+      for _ = 1 to 5 do
+        let fd = raw_connect port in
+        let oc = Unix.out_channel_of_descr fd in
+        output_string oc "EVALUATE inproceedings author 10000\n";
+        flush oc;
+        Unix.close fd
+      done;
+      Thread.delay 0.2;
+      let c = Client.connect ~port () in
+      Alcotest.(check bool) "server survives disconnects" true (Client.ping c);
+      Client.close c)
+
 let concurrent_clients () =
   with_server
     ~config:{ Server.default_config with workers = 4 }
@@ -448,6 +525,9 @@ let () =
         [
           Alcotest.test_case "ping and error plane" `Quick ping_and_errors;
           Alcotest.test_case "raw malformed lines" `Quick raw_malformed_lines;
+          Alcotest.test_case "oversized request line" `Quick oversized_line;
+          Alcotest.test_case "connection cap" `Quick connection_cap;
+          Alcotest.test_case "disconnect mid-response" `Quick disconnect_mid_response;
           Alcotest.test_case "concurrent clients vs direct" `Quick concurrent_clients;
           Alcotest.test_case "deadline timeout" `Quick deadline_timeout;
           Alcotest.test_case "admission control BUSY" `Quick admission_busy;
