@@ -18,13 +18,27 @@ type t = {
    index answers identically, so an old instance can be reused. The
    out/in link arrays are NOT part of the digest — they live on the meta
    document, not in the index — but the node set pins the global ids so
-   the link sets L_i are recomputed by the registry anyway. *)
+   the link sets L_i are recomputed by the registry anyway.
+
+   FNV-1a-style fold over the node ids, tags, and edges: explicit and
+   deterministic across runs, where Hashtbl.hash would sample the deep
+   structure polymorphically (FL003) and truncate to 30 bits. *)
+let fnv_basis = 0x3f29ce484222325
+let fnv_prime = 0x100000001b3
+let fnv_mix h x = (h lxor x) * fnv_prime
+
 let digest (m : Meta_document.t) =
-  Hashtbl.hash
-    ( Array.length m.Meta_document.nodes,
-      m.Meta_document.nodes,
-      Fx_graph.Digraph.edges m.Meta_document.graph,
-      m.Meta_document.tag )
+  let h = ref fnv_basis in
+  let add x = h := fnv_mix !h x in
+  add (Array.length m.Meta_document.nodes);
+  Array.iter add m.Meta_document.nodes;
+  Array.iter add m.Meta_document.tag;
+  List.iter
+    (fun (u, v) ->
+      add u;
+      add v)
+    (Fx_graph.Digraph.edges m.Meta_document.graph);
+  !h land max_int
 
 let equal_structure (a : Meta_document.t) (b : Meta_document.t) =
   a.Meta_document.nodes = b.Meta_document.nodes
@@ -142,7 +156,7 @@ let strategy_histogram t =
       Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
     t.indexes;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
 
 let report t =
   let buf = Buffer.create 256 in

@@ -1,0 +1,12 @@
+(** Logging source for the framework.
+
+    The single sanctioned output path for library code (FL005): nothing
+    under [lib/] writes to stdout/stderr directly; it logs here and the
+    application decides by installing (or not installing) a [Logs]
+    reporter. Silent by default. *)
+
+val src : Logs.src
+(** The ["flix"] source, for applications that want to set its level
+    independently ([Logs.Src.set_level]). *)
+
+include Logs.LOG

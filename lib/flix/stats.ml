@@ -54,7 +54,7 @@ let mean = function
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let percentile p xs =
-  match List.sort compare xs with
+  match List.sort Float.compare xs with
   | [] -> invalid_arg "Stats.percentile: empty"
   | sorted ->
       let n = List.length sorted in

@@ -14,6 +14,11 @@ let check_endpoint n u =
   if u < 0 || u >= n then
     invalid_arg (Printf.sprintf "Digraph: node %d out of range [0,%d)" u n)
 
+(* Lexicographic on (src, dst) without the polymorphic-compare detour
+   through the tuple representation (FL003). *)
+let compare_edge (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
+
 (* Build one CSR direction by counting sort on the key extracted by [key],
    storing the value extracted by [value]. *)
 let csr_of ~n ~key ~value edges =
@@ -35,7 +40,7 @@ let csr_of ~n ~key ~value edges =
     let lo = off.(i) and hi = off.(i + 1) in
     if hi - lo > 1 then begin
       let row = Array.sub dst lo (hi - lo) in
-      Array.sort compare row;
+      Array.sort Int.compare row;
       Array.blit row 0 dst lo (hi - lo)
     end
   done;
@@ -45,7 +50,7 @@ let dedup_sorted_edges edges =
   let m = Array.length edges in
   if m = 0 then edges
   else begin
-    Array.sort compare edges;
+    Array.sort compare_edge edges;
     let count = ref 1 in
     for i = 1 to m - 1 do
       if edges.(i) <> edges.(i - 1) then incr count
@@ -162,7 +167,7 @@ let reverse g =
 
 let induced g nodes =
   let nodes = Array.copy nodes in
-  Array.sort compare nodes;
+  Array.sort Int.compare nodes;
   Array.iteri
     (fun i u ->
       check_endpoint g.n u;

@@ -53,6 +53,6 @@ let n_pairs t = Array.fold_left (fun acc ts -> acc + Array.length ts) 0 t.target
 let reach_set t u =
   let ts = t.targets.(u) and ds = t.dists.(u) in
   let pairs = Array.to_list (Array.mapi (fun i v -> (v, ds.(i))) ts) in
-  List.stable_sort (fun (_, d1) (_, d2) -> compare d1 d2) pairs
+  List.stable_sort (fun (_, d1) (_, d2) -> Int.compare d1 d2) pairs
 
 let size_bytes t = 8 * n_pairs t

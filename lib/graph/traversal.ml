@@ -88,7 +88,7 @@ let descendants g u =
   for v = Digraph.n_nodes g - 1 downto 0 do
     if dist.(v) >= 0 then acc := (v, dist.(v)) :: !acc
   done;
-  List.stable_sort (fun (_, d1) (_, d2) -> compare d1 d2) !acc
+  List.stable_sort (fun (_, d1) (_, d2) -> Int.compare d1 d2) !acc
 
 let descendants_by_tag g ~tag u t =
   let all = descendants g u in

@@ -40,7 +40,7 @@ let refine_blocks ?rounds ?(forward = false) (dg : Path_index.data_graph) =
     let counter = ref 0 in
     for v = 0 to n - 1 do
       let neighbours = fold_dir g v (fun acc u -> block.(u) :: acc) [] in
-      let key = (block.(v), List.sort_uniq compare neighbours) in
+      let key = (block.(v), List.sort_uniq Int.compare neighbours) in
       let id =
         match Hashtbl.find_opt signature key with
         | Some id -> id
@@ -275,7 +275,7 @@ let eval_label_path t labels ~tag_id =
         List.fold_left (fun bs label -> step_blocks (tag_id label) bs) start rest
       in
       List.concat_map (fun b -> Array.to_list t.extents.(b)) final
-      |> List.sort_uniq compare
+      |> List.sort_uniq Int.compare
 
 let entries t = Array.length t.block + Digraph.n_edges t.summary + t.n_blocks
 let size_bytes t = 8 * entries t

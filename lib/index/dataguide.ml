@@ -24,7 +24,9 @@ let group_by_tag (dg : Path_index.data_graph) nodes =
       let cur = Option.value ~default:[] (Hashtbl.find_opt by_tag w) in
       Hashtbl.replace by_tag w (v :: cur))
     nodes;
-  Hashtbl.fold (fun w vs acc -> (w, Array.of_list (List.sort_uniq compare vs)) :: acc) by_tag []
+  Hashtbl.fold
+    (fun w vs acc -> (w, Array.of_list (List.sort_uniq Int.compare vs)) :: acc)
+    by_tag []
 
 let build ?max_states (dg : Path_index.data_graph) ~roots =
   let g = dg.graph in

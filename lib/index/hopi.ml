@@ -41,8 +41,9 @@ let landmark_order dg ~ordering ~partition_size =
   let nodes = Array.init n (fun i -> i) in
   Array.sort
     (fun a b ->
-      match compare border.(b) border.(a) with
-      | 0 -> compare (w.(b), a) (w.(a), b)
+      match Bool.compare border.(b) border.(a) with
+      | 0 -> (
+          match Float.compare w.(b) w.(a) with 0 -> Int.compare a b | c -> c)
       | c -> c)
     nodes;
   nodes

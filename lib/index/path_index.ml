@@ -35,7 +35,10 @@ let nodes_by_tag dg =
   out
 
 let sort_results rs =
-  List.sort_uniq (fun (v1, d1) (v2, d2) -> compare (d1, v1) (d2, v2)) rs
+  List.sort_uniq
+    (fun (v1, d1) (v2, d2) ->
+      match Int.compare d1 d2 with 0 -> Int.compare v1 v2 | c -> c)
+    rs
 
 let check_instance_agrees a b ~samples =
   List.for_all

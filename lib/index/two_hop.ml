@@ -66,7 +66,10 @@ let default_order g =
     let bwd = Tc_estimate.compute ~rounds:8 ~seed:0x2b0c (Digraph.reverse g) in
     let weight v = Tc_estimate.reach_size fwd v *. Tc_estimate.reach_size bwd v in
     let w = Array.init n weight in
-    Array.sort (fun a b -> compare (w.(b), a) (w.(a), b)) nodes
+    Array.sort
+      (fun a b ->
+        match Float.compare w.(b) w.(a) with 0 -> Int.compare a b | c -> c)
+      nodes
   end;
   nodes
 

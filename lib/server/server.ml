@@ -27,6 +27,14 @@ let default_config =
     max_connections = 1024;
   }
 
+(* Every lock in this module is taken through this wrapper: the critical
+   sections are tiny, but several of them run Hashtbl operations or
+   Condition waits that can raise, and an unlocked-on-raise mutex would
+   wedge the acceptor or a worker forever (FL001). *)
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 (* A job travels from the connection thread to a worker domain and its
    response travels back through the mailbox — a one-shot cell so the
    connection thread can write responses in request order. *)
@@ -148,13 +156,17 @@ let worker_loop t () =
     | None -> ()
     | Some job ->
         let resp =
-          try evaluate t pee job
-          with exn -> Protocol.Err ("internal: " ^ Printexc.to_string exn)
+          try evaluate t pee job with
+          | (Out_of_memory | Stack_overflow) as fatal ->
+              (* Fatal resource exhaustion must not be flattened into an
+                 ERR line (FL004); let it take the domain down so stop/
+                 join surfaces it. *)
+              raise fatal
+          | exn -> Protocol.Err ("internal: " ^ Printexc.to_string exn)
         in
-        Mutex.lock job.reply.m;
-        job.reply.resp <- Some resp;
-        Condition.signal job.reply.c;
-        Mutex.unlock job.reply.m;
+        with_lock job.reply.m (fun () ->
+            job.reply.resp <- Some resp;
+            Condition.signal job.reply.c);
         loop ()
   in
   loop ()
@@ -170,13 +182,11 @@ let write_response oc resp =
   flush oc
 
 let await mb =
-  Mutex.lock mb.m;
-  while mb.resp = None do
-    Condition.wait mb.c mb.m
-  done;
-  let r = Option.get mb.resp in
-  Mutex.unlock mb.m;
-  r
+  with_lock mb.m (fun () ->
+      while mb.resp = None do
+        Condition.wait mb.c mb.m
+      done;
+      Option.get mb.resp)
 
 let dispatch t (req : Protocol.request) : Protocol.response =
   if not (Protocol.pool_bound req) then
@@ -242,9 +252,7 @@ let conn_loop t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let cleanup () =
-    Mutex.lock t.conns_lock;
-    Hashtbl.remove t.conns fd;
-    Mutex.unlock t.conns_lock;
+    with_lock t.conns_lock (fun () -> Hashtbl.remove t.conns fd);
     (try Unix.close fd with Unix.Unix_error _ -> ())
   in
   let serve () =
@@ -275,9 +283,7 @@ let conn_loop t fd =
    without a cap a client herd could exhaust both even though the work
    queue itself is bounded. *)
 let over_conn_cap t =
-  Mutex.lock t.conns_lock;
-  let n = Hashtbl.length t.conns in
-  Mutex.unlock t.conns_lock;
+  let n = with_lock t.conns_lock (fun () -> Hashtbl.length t.conns) in
   n >= t.cfg.max_connections
 
 let reject_connection fd =
@@ -298,9 +304,7 @@ let accept_loop t () =
         else begin
           (try Unix.setsockopt fd Unix.TCP_NODELAY true
            with Unix.Unix_error _ -> ());
-          Mutex.lock t.conns_lock;
-          Hashtbl.replace t.conns fd ();
-          Mutex.unlock t.conns_lock;
+          with_lock t.conns_lock (fun () -> Hashtbl.replace t.conns fd ());
           ignore (Thread.create (conn_loop t) fd);
           loop ()
         end
@@ -374,9 +378,10 @@ let stop t =
     t.workers <- [];
     (match t.acceptor with Some th -> Thread.join th | None -> ());
     t.acceptor <- None;
-    Mutex.lock t.conns_lock;
-    let fds = Hashtbl.fold (fun fd () acc -> fd :: acc) t.conns [] in
-    Mutex.unlock t.conns_lock;
+    let fds =
+      with_lock t.conns_lock (fun () ->
+          Hashtbl.fold (fun fd () acc -> fd :: acc) t.conns [])
+    in
     List.iter
       (fun fd ->
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())

@@ -1,0 +1,4 @@
+(* Fixture: FL004 — a catch-all handler that flattens every exception,
+   including Out_of_memory and Stack_overflow, into a default value. *)
+
+let parse_port s = try int_of_string s with _ -> 0

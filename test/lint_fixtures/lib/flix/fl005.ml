@@ -1,0 +1,4 @@
+(* Fixture: FL005 — library code printing to stdout instead of logging
+   through Log. *)
+
+let announce name = Printf.printf "loaded %s\n" name

@@ -1,0 +1,3 @@
+(* Fixture: FL006 — an implementation in lib/ with no sibling .mli. *)
+
+let answer = 42

@@ -1,0 +1,5 @@
+(* Fixture: a seeded FL005 violation silenced by an inline suppression
+   comment on the line above it — flix_lint must report nothing here. *)
+
+(* flix-lint: allow FL005 — fixture exercising the suppression syntax *)
+let shout s = print_endline s

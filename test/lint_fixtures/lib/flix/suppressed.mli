@@ -1,0 +1,1 @@
+val shout : string -> unit

@@ -1,0 +1,4 @@
+(* Fixture: FL003 — polymorphic Hashtbl.hash on a graph hot path; it
+   traverses the node list structurally on every call. *)
+
+let digest nodes = Hashtbl.hash nodes

@@ -1,0 +1,1 @@
+val digest : int list -> int

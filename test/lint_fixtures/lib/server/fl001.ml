@@ -1,0 +1,11 @@
+(* Fixture: FL001 — raw Mutex.lock with no Fun.protect guard, so a raise
+   from [f] leaves the mutex held forever. Never compiled; only parsed
+   by flix_lint in test_lint.ml. *)
+
+let m = Mutex.create ()
+
+let bad_critical_section f =
+  Mutex.lock m;
+  let r = f () in
+  Mutex.unlock m;
+  r

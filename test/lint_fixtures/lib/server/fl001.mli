@@ -1,0 +1,4 @@
+(* Interface present so the fixture seeds exactly one finding (FL001),
+   not an FL006 as well. *)
+
+val bad_critical_section : (unit -> 'a) -> 'a

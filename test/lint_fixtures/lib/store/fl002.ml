@@ -1,0 +1,6 @@
+(* Fixture: FL002 — module-toplevel mutable state in a library linked
+   into the worker pool; every domain would see this table with no
+   synchronization. *)
+
+let cache = Hashtbl.create 64
+let lookup k = Hashtbl.find_opt cache k

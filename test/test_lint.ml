@@ -1,0 +1,102 @@
+(* Tests for flix_lint (tools/lint/): the fixture tree under
+   test/lint_fixtures seeds exactly one violation per rule plus one
+   suppressed violation; and the real tree must be lint-clean, so the
+   `@lint` gate stays green on every commit. The linter is exercised as
+   a subprocess, exactly as the dune alias and CI run it. *)
+
+let exe = "../tools/lint/flix_lint.exe"
+
+let run args =
+  let cmd = Filename.quote_command exe args in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED n -> n | _ -> 255 in
+  (code, Buffer.contents buf)
+
+let contains hay needle = Astring.String.is_infix ~affix:needle hay
+
+(* (rule, file, 1-based line) for each seeded fixture violation. *)
+let expected =
+  [
+    ("FL001", "lib/server/fl001.ml", 8);
+    ("FL002", "lib/store/fl002.ml", 5);
+    ("FL003", "lib/graph/fl003.ml", 4);
+    ("FL004", "bin/fl004.ml", 4);
+    ("FL005", "lib/flix/fl005.ml", 4);
+    ("FL006", "lib/flix/fl006_no_mli.ml", 1);
+  ]
+
+let test_fixture_findings () =
+  let code, out = run [ "--json"; "--root"; "lint_fixtures"; "lib"; "bin" ] in
+  Alcotest.(check int) "findings make the exit code nonzero" 1 code;
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' out)
+  in
+  Alcotest.(check int)
+    "exactly one finding per seeded rule" (List.length expected)
+    (List.length lines);
+  List.iter
+    (fun (rule, file, line) ->
+      let hit l =
+        contains l (Printf.sprintf {|"rule":"%s"|} rule)
+        && contains l (Printf.sprintf {|"file":"%s"|} file)
+        && contains l (Printf.sprintf {|"line":%d|} line)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s reported at %s:%d" rule file line)
+        true
+        (List.exists hit lines))
+    expected
+
+let test_suppression () =
+  let code, out = run [ "--json"; "--root"; "lint_fixtures"; "lib"; "bin" ] in
+  Alcotest.(check int) "exit" 1 code;
+  Alcotest.(check bool)
+    "suppressed fixture produces no finding" false
+    (contains out "suppressed.ml");
+  (* The human summary still accounts for what was silenced. *)
+  let _, human = run [ "--root"; "lint_fixtures"; "lib"; "bin" ] in
+  Alcotest.(check bool) "summary counts the suppression" true
+    (contains human "(1 suppressed)")
+
+let test_human_format () =
+  let code, out = run [ "--root"; "lint_fixtures"; "lib"; "bin" ] in
+  Alcotest.(check int) "exit" 1 code;
+  Alcotest.(check bool) "compiler-style span" true
+    (contains out "lib/server/fl001.ml:8:");
+  Alcotest.(check bool) "severity and rule id" true (contains out "error[FL001]");
+  Alcotest.(check bool) "fix hint" true (contains out "hint:")
+
+let test_list_rules () =
+  let code, out = run [ "--list-rules" ] in
+  Alcotest.(check int) "exit" 0 code;
+  List.iter
+    (fun (rule, _, _) ->
+      Alcotest.(check bool) (rule ^ " documented") true (contains out rule))
+    expected
+
+(* The shipped tree is lint-clean: run over the build copy of the real
+   sources, the same files `dune build @lint` gates. *)
+let test_tree_is_clean () =
+  let code, out = run [ "--root"; ".."; "lib"; "bin"; "bench" ] in
+  Alcotest.(check string) "no findings" "" (String.concat "\n" (List.filter (fun l -> not (contains l "flix_lint:")) (String.split_on_char '\n' out) |> List.filter (fun l -> String.trim l <> "")));
+  Alcotest.(check int) "clean exit" 0 code
+
+let () =
+  Alcotest.run "flix_lint"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "fixture findings" `Quick test_fixture_findings;
+          Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "human format" `Quick test_human_format;
+          Alcotest.test_case "rule catalogue" `Quick test_list_rules;
+          Alcotest.test_case "real tree lint-clean" `Quick test_tree_is_clean;
+        ] );
+    ]

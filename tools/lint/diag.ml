@@ -1,0 +1,60 @@
+(* Diagnostics for flix_lint.
+
+   A finding carries a stable rule id (FL001..FL006, FL000 for files the
+   parser rejects), a severity, a file:line:col span, a message, and a
+   fix hint. Findings render either human-readable (compiler style, one
+   per paragraph) or as JSON, one object per line, for tooling. *)
+
+type severity = Error | Warning
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  hint : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+(* Stable output order: by position, then rule id for same-site ties. *)
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s","hint":"%s"}|}
+    (json_escape f.rule)
+    (severity_to_string f.severity)
+    (json_escape f.file) f.line f.col (json_escape f.message)
+    (json_escape f.hint)
+
+let to_human f =
+  Printf.sprintf "%s:%d:%d: %s[%s]: %s\n    hint: %s" f.file f.line f.col
+    (severity_to_string f.severity)
+    f.rule f.message f.hint

@@ -1,0 +1,163 @@
+(* flix_lint — repo-specific static analysis for the FliX tree.
+
+   Parses every .ml/.mli under the given roots (default: lib bin bench)
+   with compiler-libs and runs the rule engine in Rules. Exits nonzero
+   when any unsuppressed finding remains, so `dune build @lint` gates
+   the tree.
+
+   Usage: flix_lint [--json] [--root DIR] [--list-rules] [DIR|FILE ...]
+
+   Paths are reported relative to the scan root, which is also how the
+   directory-scoped rules decide what applies where — run it from the
+   repository root (or pass --root) so files appear as lib/..., bin/...,
+   bench/... *)
+
+let usage =
+  "flix_lint [--json] [--root DIR] [--list-rules] [paths...]\n\
+   Static analysis for the FliX tree. Default paths: lib bin bench.\n\
+   Suppress a finding with an inline comment on, or directly above, the\n\
+   offending line:  (* flix-lint: allow FL003 -- reason *)"
+
+(* --- file discovery --------------------------------------------------- *)
+
+let is_source_dir name =
+  String.length name > 0 && name.[0] <> '.' && name.[0] <> '_'
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if is_source_dir entry then walk (Filename.concat path entry) acc
+        else acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+(* Paths come from Filename.concat; normalize so rule scoping and output
+   always see '/'-separated forms. *)
+let normalize path =
+  String.concat "/" (String.split_on_char '\\' path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let with_lexbuf path source f =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Location.input_name := path;
+  f lexbuf
+
+let parse_error_finding file exn =
+  let message =
+    match exn with
+    | Syntaxerr.Error _ -> "syntax error (flix_lint could not parse this file)"
+    | e -> "parse failure: " ^ Printexc.to_string e
+  in
+  let line, col =
+    match Location.error_of_exn exn with
+    | Some (`Ok err) ->
+        let loc = err.Location.main.Location.loc in
+        (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    | _ -> (1, 0)
+  in
+  {
+    Diag.rule = "FL000";
+    severity = Diag.Error;
+    file;
+    line;
+    col;
+    message;
+    hint = "fix the syntax error; flix_lint parses with the 5.x grammar";
+  }
+
+(* --- main -------------------------------------------------------------- *)
+
+let () =
+  let json = ref false in
+  let root = ref "" in
+  let list_rules = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as JSON, one object per line");
+      ("--root", Arg.Set_string root, "DIR chdir to DIR before scanning");
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+    ]
+  in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (id, doc) -> Printf.printf "%s  %s\n" id doc)
+      Rules.descriptions;
+    exit 0
+  end;
+  if !root <> "" then Sys.chdir !root;
+  let roots =
+    match List.rev !roots with
+    | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "bench" ]
+    | rs -> rs
+  in
+  let files =
+    List.sort String.compare
+      (List.concat_map (fun r -> walk r []) roots)
+    |> List.map normalize
+  in
+  let findings = ref [] in
+  let suppressed = ref 0 in
+  let scanned = ref 0 in
+  List.iter
+    (fun file ->
+      incr scanned;
+      let source = read_file file in
+      let sup = Suppress.scan source in
+      let keep (f : Diag.finding) =
+        if Suppress.is_suppressed sup ~rule:f.rule ~line:f.line then ()
+        else findings := f :: !findings
+      in
+      let ctx = { Rules.file; report = keep } in
+      if Filename.check_suffix file ".ml" then begin
+        (match with_lexbuf file source Parse.implementation with
+        | str -> Rules.run_on_structure ctx str
+        | exception exn -> keep (parse_error_finding file exn));
+        (* FL006: implementation files in lib/ carry their contract in a
+           sibling interface; an uncovered .ml leaks its whole namespace. *)
+        if Rules.in_lib file && not (Sys.file_exists (file ^ "i")) then
+          keep
+            {
+              Diag.rule = "FL006";
+              severity = Diag.Error;
+              file;
+              line = 1;
+              col = 0;
+              message = "missing interface: no sibling .mli for this module";
+              hint = "add " ^ file ^ "i (or suppress on line 1 with a reason)";
+            }
+      end
+      else begin
+        (* Interfaces are parse-checked so a broken .mli fails the lint
+           gate with a location instead of surfacing later in the build. *)
+        match with_lexbuf file source Parse.interface with
+        | (_ : Parsetree.signature) -> ()
+        | exception exn -> keep (parse_error_finding file exn)
+      end;
+      suppressed := !suppressed + Suppress.hits sup)
+    files;
+  let findings = List.sort Diag.compare_findings !findings in
+  if !json then List.iter (fun f -> print_endline (Diag.to_json f)) findings
+  else begin
+    List.iter (fun f -> print_endline (Diag.to_human f)) findings;
+    Printf.printf "flix_lint: %d finding%s (%d suppressed) in %d files\n"
+      (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+      !suppressed !scanned
+  end;
+  exit (if findings = [] then 0 else 1)

@@ -1,0 +1,347 @@
+(* The flix_lint rule engine.
+
+   Every rule walks the parsetree (no typing — the checks are syntactic
+   and scoped by directory) and reports findings through the context.
+   Rules:
+
+     FL001 lock-discipline        lib/ bin/ bench/
+     FL002 unsynchronized-shared-state   lib/flix lib/server lib/store
+     FL003 polymorphic-hash-compare      lib/graph lib/index lib/flix
+     FL004 swallow-all-handler    lib/ bin/ bench/
+     FL005 stray-output           lib/ (Log is the sanctioned path)
+     FL006 mli-coverage           lib/ (checked by the driver, not here)
+*)
+
+open Parsetree
+
+type ctx = {
+  file : string; (* normalized path relative to the scan root, '/'-separated *)
+  report : Diag.finding -> unit;
+}
+
+(* --- path scoping ---------------------------------------------------- *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let in_any dirs file = List.exists (fun d -> has_prefix d file) dirs
+let in_lib = in_any [ "lib/" ]
+
+(* Libraries linked into the server's worker pool: shared mutable state
+   at module toplevel is visible to every domain at once. *)
+let in_worker_pool_lib = in_any [ "lib/flix/"; "lib/server/"; "lib/store/" ]
+
+(* Directories on the PPO/HOPI lookup hot path, where polymorphic
+   hashing/comparison costs show up in the paper's Section 4 numbers. *)
+let in_hot_path = in_any [ "lib/graph/"; "lib/index/"; "lib/flix/" ]
+
+(* The one module allowed to talk to the outside world from lib/. *)
+let is_log_module file = file = "lib/flix/log.ml"
+
+(* --- parsetree helpers ----------------------------------------------- *)
+
+let loc_line_col (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let report ctx ~rule ~loc ~message ~hint =
+  let line, col = loc_line_col loc in
+  ctx.report
+    { Diag.rule; severity = Diag.Error; file = ctx.file; line; col; message; hint }
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( try Some (Longident.flatten txt) with _ -> None)
+  | _ -> None
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | p -> p
+
+let ident_is_any e paths =
+  match ident_path e with
+  | Some p -> List.mem (strip_stdlib p) paths
+  | None -> false
+
+(* Fold an iterator over one expression. *)
+let iter_expr iter e = iter.Ast_iterator.expr iter e
+
+(* --- FL001: lock discipline ------------------------------------------ *)
+
+(* A raw [Mutex.lock] is a finding unless it occurs
+     - inside a value binding named like a lock wrapper (with_lock,
+       with_mutex, locked), whose body is the one place the raw pairing
+       is allowed to live, or
+     - as the sequence [Mutex.lock m; Fun.protect ~finally:... f], the
+       exception-safe inline shape the wrappers are built from. *)
+
+let wrapper_names = [ "with_lock"; "with_mutex"; "locked" ]
+
+let is_lock_app e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> ident_is_any f [ [ "Mutex"; "lock" ] ]
+  | _ -> false
+
+let is_protect_app e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> ident_is_any f [ [ "Fun"; "protect" ] ]
+  | _ -> false
+
+let rule_fl001 ctx str =
+  if in_any [ "lib/"; "bin/"; "bench/" ] ctx.file then begin
+    let sanctioned : (Location.t, unit) Hashtbl.t = Hashtbl.create 16 in
+    let wrapper_depth = ref 0 in
+    let expr it e =
+      (match e.pexp_desc with
+      | Pexp_sequence (e1, e2) when is_lock_app e1 && is_protect_app e2 ->
+          Hashtbl.replace sanctioned e1.pexp_loc ()
+      | _ -> ());
+      if is_lock_app e && !wrapper_depth = 0 && not (Hashtbl.mem sanctioned e.pexp_loc)
+      then
+        report ctx ~rule:"FL001" ~loc:e.pexp_loc
+          ~message:
+            "Mutex.lock not guarded by Fun.protect: a raise before the \
+             matching unlock leaves the mutex held forever"
+          ~hint:
+            "use a with_lock wrapper (Fun.protect \
+             ~finally:(fun () -> Mutex.unlock m)), as lib/server/work_queue.ml \
+             does";
+      Ast_iterator.default_iterator.expr it e
+    in
+    let value_binding it vb =
+      let is_wrapper =
+        match vb.pvb_pat.ppat_desc with
+        | Ppat_var { txt; _ } -> List.mem txt wrapper_names
+        | _ -> false
+      in
+      if is_wrapper then begin
+        incr wrapper_depth;
+        Ast_iterator.default_iterator.value_binding it vb;
+        decr wrapper_depth
+      end
+      else Ast_iterator.default_iterator.value_binding it vb
+    in
+    let it = { Ast_iterator.default_iterator with expr; value_binding } in
+    it.structure it str
+  end
+
+(* --- FL002: unsynchronized shared state ------------------------------ *)
+
+(* Module-toplevel bindings that allocate bare mutable state in a
+   library linked into the worker pool. [Atomic.make]/[Mutex.create]/
+   [Condition.create] are fine (they are the synchronization itself) and
+   simply are not in the banned list. *)
+
+let mutable_creators =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Array"; "create_float" ];
+    [ "Weak"; "create" ];
+  ]
+
+(* The expression a toplevel binding ultimately evaluates to. *)
+let rec binding_head e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> binding_head e
+  | Pexp_let (_, _, body) -> binding_head body
+  | Pexp_sequence (_, e2) -> binding_head e2
+  | _ -> e
+
+let rule_fl002 ctx str =
+  if in_worker_pool_lib ctx.file then begin
+    let structure_item it si =
+      (match si.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let head = binding_head vb.pvb_expr in
+              match head.pexp_desc with
+              | Pexp_apply (f, _) when ident_is_any f mutable_creators ->
+                  report ctx ~rule:"FL002" ~loc:head.pexp_loc
+                    ~message:
+                      "module-toplevel mutable state in a library linked into \
+                       the worker pool: every domain sees this value \
+                       unsynchronized"
+                    ~hint:
+                      "wrap it in Atomic.t, guard it with a Mutex owned by \
+                       the same module, or make it per-instance state"
+              | _ -> ())
+            vbs
+      | _ -> ());
+      Ast_iterator.default_iterator.structure_item it si
+    in
+    let it = { Ast_iterator.default_iterator with structure_item } in
+    it.structure it str
+  end
+
+(* --- FL003: polymorphic hash/compare on hot paths --------------------- *)
+
+let poly_idents =
+  [
+    [ "compare" ];
+    [ "Hashtbl"; "hash" ];
+    [ "Hashtbl"; "seeded_hash" ];
+    [ "Hashtbl"; "hash_param" ];
+  ]
+
+let rule_fl003 ctx str =
+  if in_hot_path ctx.file then begin
+    let expr it e =
+      (match e.pexp_desc with
+      | Pexp_ident _ when ident_is_any e poly_idents ->
+          report ctx ~rule:"FL003" ~loc:e.pexp_loc
+            ~message:
+              "polymorphic hash/compare on an index hot path: traverses deep \
+               structure and defeats branch prediction on every probe"
+            ~hint:
+              "use Int.compare/Float.compare or an explicit comparator; hash \
+               node ids with an explicit FNV-style fold"
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.structure it str
+  end
+
+(* --- FL004: swallow-all exception handlers ---------------------------- *)
+
+let rec pat_is_catch_all p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> pat_is_catch_all p
+  | Ppat_or (a, b) -> pat_is_catch_all a || pat_is_catch_all b
+  | _ -> false
+
+let rec pat_mentions_fatal p =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _) -> (
+      match Longident.last txt with
+      | "Out_of_memory" | "Stack_overflow" -> true
+      | _ -> false
+      | exception _ -> false)
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> pat_mentions_fatal p
+  | Ppat_or (a, b) -> pat_mentions_fatal a || pat_mentions_fatal b
+  | _ -> false
+
+let raising_idents =
+  [
+    [ "raise" ];
+    [ "raise_notrace" ];
+    [ "reraise" ];
+    [ "failwith" ];
+    [ "invalid_arg" ];
+    [ "Printexc"; "raise_with_backtrace" ];
+  ]
+
+let expr_contains_raise body =
+  let found = ref false in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident _ when ident_is_any e raising_idents -> found := true
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  iter_expr it body;
+  !found
+
+let rule_fl004 ctx str =
+  if in_any [ "lib/"; "bin/"; "bench/" ] ctx.file then begin
+    let expr it e =
+      (match e.pexp_desc with
+      | Pexp_try (_, cases) ->
+          let fatal_handled =
+            List.exists (fun c -> pat_mentions_fatal c.pc_lhs) cases
+          in
+          if not fatal_handled then
+            List.iter
+              (fun c ->
+                if
+                  pat_is_catch_all c.pc_lhs
+                  && c.pc_guard = None
+                  && not (expr_contains_raise c.pc_rhs)
+                then
+                  report ctx ~rule:"FL004" ~loc:c.pc_lhs.ppat_loc
+                    ~message:
+                      "catch-all exception handler swallows Out_of_memory and \
+                       Stack_overflow without re-raising"
+                    ~hint:
+                      "match specific exceptions, or add '| (Out_of_memory | \
+                       Stack_overflow) as e -> raise e' before the catch-all")
+              cases
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.structure it str
+  end
+
+(* --- FL005: stray output bypassing Log -------------------------------- *)
+
+let print_idents =
+  [
+    [ "print_endline" ];
+    [ "print_string" ];
+    [ "print_newline" ];
+    [ "print_char" ];
+    [ "print_int" ];
+    [ "print_float" ];
+    [ "prerr_endline" ];
+    [ "prerr_string" ];
+    [ "prerr_newline" ];
+    [ "Printf"; "printf" ];
+    [ "Printf"; "eprintf" ];
+    [ "Format"; "printf" ];
+    [ "Format"; "eprintf" ];
+    [ "Format"; "print_string" ];
+  ]
+
+let rule_fl005 ctx str =
+  if in_lib ctx.file && not (is_log_module ctx.file) then begin
+    let expr it e =
+      (match e.pexp_desc with
+      | Pexp_ident _ when ident_is_any e print_idents ->
+          report ctx ~rule:"FL005" ~loc:e.pexp_loc
+            ~message:
+              "direct stdout/stderr output from library code bypasses the Log \
+               source"
+            ~hint:
+              "use Fx_flix.Log (Log.info/Log.warn/...) so the application's \
+               Logs reporter stays in control"
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.structure it str
+  end
+
+(* --- registry --------------------------------------------------------- *)
+
+let structure_rules = [ rule_fl001; rule_fl002; rule_fl003; rule_fl004; rule_fl005 ]
+
+let run_on_structure ctx str =
+  List.iter (fun rule -> rule ctx str) structure_rules
+
+let descriptions =
+  [
+    ( "FL001",
+      "lock-discipline: Mutex.lock must be guarded by Fun.protect or live in \
+       a with_lock wrapper (lib/, bin/, bench/)" );
+    ( "FL002",
+      "unsynchronized-shared-state: no module-toplevel ref/Hashtbl/... in \
+       worker-pool libraries (lib/flix, lib/server, lib/store)" );
+    ( "FL003",
+      "polymorphic-hash-compare: no bare compare/Hashtbl.hash on hot paths \
+       (lib/graph, lib/index, lib/flix)" );
+    ( "FL004",
+      "swallow-all-handler: 'try ... with <catch-all> ->' must re-raise or \
+       handle Out_of_memory/Stack_overflow (lib/, bin/, bench/)" );
+    ("FL005", "stray-output: library code must log through Log, not stdout (lib/)");
+    ("FL006", "mli-coverage: every lib/**/*.ml needs a sibling .mli (lib/)");
+  ]

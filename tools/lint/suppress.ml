@@ -1,0 +1,79 @@
+(* Inline suppression of lint findings.
+
+   A comment of the form
+
+     (* flix-lint: allow FL003 — reason *)
+
+   silences findings of the listed rule on the comment's own line and on
+   the line immediately below, so it can sit either at the end of the
+   offending line or on its own line above it. Several ids may appear in
+   one comment ([allow FL001 FL004 — ...]); the reason text is free-form
+   but encouraged. File-scope rules (FL006) report at line 1, so their
+   suppression goes on the first line of the file. *)
+
+type t = {
+  entries : (string * int, unit) Hashtbl.t; (* (rule, line) -> () *)
+  mutable hits : int; (* findings actually silenced, for the summary *)
+}
+
+let marker = "flix-lint:"
+
+let contains_at hay pos needle =
+  pos + String.length needle <= String.length hay
+  && String.sub hay pos (String.length needle) = needle
+
+let find_substring hay needle =
+  let n = String.length hay in
+  let rec go i = if i >= n then None else if contains_at hay i needle then Some i else go (i + 1) in
+  go 0
+
+(* All FL-followed-by-digits tokens in [line] after [from]. *)
+let rule_ids line from =
+  let n = String.length line in
+  let ids = ref [] in
+  let i = ref from in
+  while !i < n - 2 do
+    if
+      line.[!i] = 'F'
+      && line.[!i + 1] = 'L'
+      && !i + 2 < n
+      && line.[!i + 2] >= '0'
+      && line.[!i + 2] <= '9'
+    then begin
+      let j = ref (!i + 2) in
+      while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do
+        incr j
+      done;
+      ids := String.sub line !i (!j - !i) :: !ids;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !ids
+
+let scan source =
+  let t = { entries = Hashtbl.create 8; hits = 0 } in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match find_substring line marker with
+      | None -> ()
+      | Some pos ->
+          if find_substring line "allow" <> None then
+            List.iter
+              (fun rule ->
+                Hashtbl.replace t.entries (rule, lineno) ();
+                Hashtbl.replace t.entries (rule, lineno + 1) ())
+              (rule_ids line (pos + String.length marker)))
+    lines;
+  t
+
+let is_suppressed t ~rule ~line =
+  if Hashtbl.mem t.entries (rule, line) then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else false
+
+let hits t = t.hits
