@@ -3,6 +3,13 @@
      dune exec bin/flix_serve.exe                       # 600-doc DBLP, port 7070
      dune exec bin/flix_serve.exe -- --docs 6210 --workers 8
      dune exec bin/flix_serve.exe -- --xml-dir /tmp/dblp --port 7071
+     dune exec bin/flix_serve.exe -- --index-dir /var/flix  # persistent serving
+
+   With --index-dir the service runs from a persistent Disk_hopi
+   deployment: if the directory already holds one it is opened and the
+   collection is never touched; otherwise the collection is indexed,
+   saved there, and served from disk — so the next boot skips the
+   build entirely.
 
    Then talk the line protocol, e.g.:
 
@@ -20,11 +27,16 @@
 module C = Fx_xml.Collection
 module Flix = Fx_flix.Flix
 module Server = Fx_server.Server
+module Path_index = Fx_index.Path_index
+module Hopi = Fx_index.Hopi
+module Disk_hopi = Fx_index.Disk_hopi
+module Catalog = Fx_index.Catalog
 
 let usage () =
   print_endline
     "usage: flix_serve [--port N] [--host A] [--workers N] [--queue N]\n\
-    \                  [--deadline-ms F] [--docs N | --xml-dir DIR] [--seed N]";
+    \                  [--deadline-ms F] [--docs N | --xml-dir DIR] [--seed N]\n\
+    \                  [--index-dir DIR] [--pool-pages N]";
   exit 1
 
 type source = Generate of int | Xml_dir of string
@@ -53,10 +65,64 @@ let load_xml_dir dir =
   in
   C.build docs
 
+let load_collection source seed =
+  match source with
+  | Generate n_docs ->
+      Printf.printf "generating synthetic DBLP collection (%d docs, seed %d)...\n%!"
+        n_docs seed;
+      Fx_workload.Dblp_gen.collection
+        { Fx_workload.Dblp_gen.default with n_docs; seed }
+  | Xml_dir dir ->
+      Printf.printf "loading XML documents from %s...\n%!" dir;
+      load_xml_dir dir
+
+let catalog_path prefix = prefix ^ ".catalog"
+
+(* Build a global HOPI over the collection and persist it (plus the
+   serving catalog) under [dir], then reopen it as the disk backend. *)
+let build_deployment ~dir ~prefix ~pool_pages source seed =
+  let collection = load_collection source seed in
+  Printf.printf "collection: %s\n%!" (C.stats collection);
+  Printf.printf "building HOPI index...\n%!";
+  let dg = { Path_index.graph = C.graph collection; tag = C.tag collection } in
+  let hopi, build_ns = Fx_util.Stopwatch.time_ns (fun () -> Hopi.build dg) in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Disk_hopi.save ~path:prefix dg hopi;
+  Catalog.save ~path:(catalog_path prefix) (Catalog.of_collection collection);
+  Printf.printf "saved deployment to %s (indexed in %.2f s)\n%!" dir
+    (Int64.to_float build_ns /. 1e9);
+  let disk = Disk_hopi.open_ ?pool_pages ~path:prefix () in
+  (disk, Catalog.load (catalog_path prefix))
+
+let open_deployment ~prefix ~pool_pages () =
+  Printf.printf "opening deployment %s...\n%!" prefix;
+  let catalog = Catalog.load (catalog_path prefix) in
+  let disk = Disk_hopi.open_ ?pool_pages ~path:prefix () in
+  (disk, catalog)
+
+let serve cfg backend =
+  let server = Server.start_backend ~config:cfg backend in
+  Printf.printf "serving on %s:%d (%d workers, queue %d, deadline %.0f ms)\n%!"
+    cfg.Server.host (Server.port server) cfg.Server.workers cfg.Server.queue_capacity
+    cfg.Server.deadline_ms;
+  Printf.printf "verbs: PING | STATS | METRICS | DESCENDANTS | CONNECTED | EVALUATE\n%!";
+  (* Serve until interrupted; the acceptor and workers do all the work.
+     The main thread idles in short interruptible naps — a handler set
+     on a thread parked in Condition.wait would never run. *)
+  let quit = Atomic.make false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set quit true));
+  while not (Atomic.get quit) do
+    Thread.delay 0.2
+  done;
+  Printf.printf "\nshutting down...\n%!";
+  Server.stop server
+
 let () =
   let cfg = ref { Server.default_config with port = 7070 } in
   let source = ref (Generate 600) in
   let seed = ref 7 in
+  let index_dir = ref None in
+  let pool_pages = ref None in
   let rec parse = function
     | [] -> ()
     | "--port" :: v :: rest ->
@@ -83,38 +149,51 @@ let () =
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
         parse rest
+    | "--index-dir" :: v :: rest ->
+        index_dir := Some v;
+        parse rest
+    | "--pool-pages" :: v :: rest ->
+        pool_pages := Some (int_of_string v);
+        parse rest
     | _ -> usage ()
   in
   (try parse (List.tl (Array.to_list Sys.argv)) with
   | Failure _ -> usage ());
-  let collection =
-    match !source with
-    | Generate n_docs ->
-        Printf.printf "generating synthetic DBLP collection (%d docs, seed %d)...\n%!"
-          n_docs !seed;
-        Fx_workload.Dblp_gen.collection
-          { Fx_workload.Dblp_gen.default with n_docs; seed = !seed }
-    | Xml_dir dir ->
-        Printf.printf "loading XML documents from %s...\n%!" dir;
-        load_xml_dir dir
-  in
-  Printf.printf "collection: %s\n%!" (C.stats collection);
-  Printf.printf "building FliX index...\n%!";
-  let flix, build_s = Fx_util.Stopwatch.time_ns (fun () -> Flix.build collection) in
-  Printf.printf "built in %.2f s (%.2f MB)\n%!"
-    (Int64.to_float build_s /. 1e9)
-    (float_of_int (Flix.index_size_bytes flix) /. 1048576.0);
-  let server = Server.start ~config:!cfg flix in
-  Printf.printf "serving on %s:%d (%d workers, queue %d, deadline %.0f ms)\n%!"
-    !cfg.host (Server.port server) !cfg.workers !cfg.queue_capacity !cfg.deadline_ms;
-  Printf.printf "verbs: PING | STATS | METRICS | DESCENDANTS | CONNECTED | EVALUATE\n%!";
-  (* Serve until interrupted; the acceptor and workers do all the work.
-     The main thread idles in short interruptible naps — a handler set
-     on a thread parked in Condition.wait would never run. *)
-  let quit = Atomic.make false in
-  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set quit true));
-  while not (Atomic.get quit) do
-    Thread.delay 0.2
-  done;
-  Printf.printf "\nshutting down...\n%!";
-  Server.stop server
+  match !index_dir with
+  | Some dir -> (
+      (* Persistent serving. A mangled or half-written store must come
+         back as one diagnostic line, not an uncaught backtrace. *)
+      let prefix = Filename.concat dir "index" in
+      match
+        if Sys.file_exists (catalog_path prefix) then
+          open_deployment ~prefix ~pool_pages:!pool_pages ()
+        else build_deployment ~dir ~prefix ~pool_pages:!pool_pages !source !seed
+      with
+      | exception Fx_util.Codec.Corrupt msg ->
+          Printf.eprintf "flix_serve: corrupt index store under %s: %s\n" dir msg;
+          exit 1
+      | exception Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "flix_serve: cannot use index dir %s: %s (%s %s)\n" dir
+            (Unix.error_message err) fn arg;
+          exit 1
+      | exception Sys_error msg ->
+          Printf.eprintf "flix_serve: cannot use index dir %s: %s\n" dir msg;
+          exit 1
+      | exception Invalid_argument msg ->
+          Printf.eprintf "flix_serve: cannot use index dir %s: %s\n" dir msg;
+          exit 1
+      | disk, catalog ->
+          Printf.printf "deployment: %d nodes, %d documents, %d tag names\n%!"
+            (Catalog.n_nodes catalog) (Catalog.n_docs catalog) (Catalog.n_tags catalog);
+          Fun.protect
+            ~finally:(fun () -> Disk_hopi.close disk)
+            (fun () -> serve !cfg (Server.On_disk { hopi = disk; catalog })))
+  | None ->
+      let collection = load_collection !source !seed in
+      Printf.printf "collection: %s\n%!" (C.stats collection);
+      Printf.printf "building FliX index...\n%!";
+      let flix, build_s = Fx_util.Stopwatch.time_ns (fun () -> Flix.build collection) in
+      Printf.printf "built in %.2f s (%.2f MB)\n%!"
+        (Int64.to_float build_s /. 1e9)
+        (float_of_int (Flix.index_size_bytes flix) /. 1048576.0);
+      serve !cfg (Server.In_memory flix)

@@ -65,6 +65,16 @@ let ancestors_by_tag t x want =
       done);
   Path_index.sort_results !acc
 
+let nodes_by_tag t tag =
+  if tag < 0 then []
+  else begin
+    let acc = ref [] in
+    Btree.iter_range t.tags ~lo:(tag_key ~tag ~node:0)
+      ~hi:(tag_key ~tag ~node:((1 lsl shift) - 1))
+      (fun _ node -> acc := node :: !acc);
+    List.rev !acc
+  end
+
 let restricted_descendants t x set =
   let acc = ref [] in
   Fx_graph.Bitset.iter set (fun v ->

@@ -23,6 +23,13 @@ val descendants_by_tag : t -> int -> int option -> (int * int) list
     element (the wildcard query). *)
 
 val ancestors_by_tag : t -> int -> int option -> (int * int) list
+(** Like {!descendants_by_tag}, probing [distance node x]. *)
+
+val nodes_by_tag : t -> int -> int list
+(** Every node with the given tag id, ascending — one tag-directory
+    range scan. Empty for an id the deployment does not know (negative
+    ids included, so an unresolved tag name never probes the B-tree). *)
+
 val restricted_descendants : t -> int -> Fx_graph.Bitset.t -> (int * int) list
 val restricted_ancestors : t -> int -> Fx_graph.Bitset.t -> (int * int) list
 

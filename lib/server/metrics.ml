@@ -28,7 +28,15 @@ type t = {
   obs_count : int Atomic.t array;         (* per verb *)
   (* duration sums as integer nanoseconds: Atomic has no float fetch-add *)
   obs_sum_ns : int Atomic.t array;
+  (* extra gauge/counter sources (e.g. buffer-pool stats) appended to
+     [render]; the list is tiny and rarely touched, so a plain mutex *)
+  mutable collectors : (unit -> string list) list;
+  collectors_lock : Mutex.t;
 }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let atomic_row n = Array.init n (fun _ -> Atomic.make 0)
 
@@ -41,7 +49,12 @@ let create () =
     hist = Array.init n_verbs (fun _ -> atomic_row n_buckets);
     obs_count = atomic_row n_verbs;
     obs_sum_ns = atomic_row n_verbs;
+    collectors = [];
+    collectors_lock = Mutex.create ();
   }
+
+let register_collector t f =
+  with_lock t.collectors_lock (fun () -> t.collectors <- t.collectors @ [ f ])
 
 let incr a = Atomic.incr a
 
@@ -123,3 +136,5 @@ let render t =
                  (Atomic.get t.obs_count.(vi));
              ])
          verbs)
+  @ (let collectors = with_lock t.collectors_lock (fun () -> t.collectors) in
+     List.concat_map (fun f -> f ()) collectors)

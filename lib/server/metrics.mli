@@ -41,6 +41,13 @@ val buckets_ms : float array
 (** Histogram bucket upper bounds in milliseconds (exclusive of the
     implicit [+Inf] bucket). *)
 
+val register_collector : t -> (unit -> string list) -> unit
+(** Register an extra metrics source — e.g. the buffer-pool counters of
+    a disk deployment — whose lines [render] appends after the built-in
+    series, in registration order. The callback runs on whichever
+    thread serves METRICS, so it must be thread-safe. *)
+
 val render : t -> string list
 (** Prometheus text format, one line per entry — [# HELP]/[# TYPE]
-    comments, counters, and cumulative histogram buckets. *)
+    comments, counters, cumulative histogram buckets, then the output
+    of every registered collector. *)

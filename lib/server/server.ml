@@ -3,6 +3,8 @@ module Pee = Fx_flix.Pee
 module RS = Fx_flix.Result_stream
 module Collection = Fx_xml.Collection
 module Stopwatch = Fx_util.Stopwatch
+module Disk_hopi = Fx_index.Disk_hopi
+module Catalog = Fx_index.Catalog
 
 type config = {
   host : string;
@@ -46,9 +48,18 @@ type mailbox = {
 
 type job = { req : Protocol.request; deadline_ns : int64; reply : mailbox }
 
+(* What the worker pool evaluates against. [In_memory] is the original
+   regime: shared immutable indexes, a private PEE per domain.
+   [On_disk] serves straight from a persistent {!Disk_hopi} deployment —
+   the thread-safe pager lets every domain share one handle, and the
+   catalog resolves document/anchor/tag names without the collection. *)
+type backend =
+  | In_memory of Flix.t
+  | On_disk of { hopi : Disk_hopi.t; catalog : Catalog.t }
+
 type t = {
   cfg : config;
-  flix : Flix.t;
+  backend : backend;
   listen_fd : Unix.file_descr;
   bound_port : int;
   metrics : Metrics.t;
@@ -88,8 +99,22 @@ let tag_arg coll = function
   | None -> None
   | Some name -> Some (Option.value ~default:(-1) (Collection.tag_id coll name))
 
-let evaluate t pee (job : job) : Protocol.response =
-  let coll = Flix.collection t.flix in
+(* Sleep in short slices so the deadline can cut it off — the
+   diagnostic stand-in for a long-running query. *)
+let nap ~deadline_ns ms =
+  let rec go remaining =
+    if expired deadline_ns then Protocol.Items { items = []; timed_out = true }
+    else if remaining <= 0 then Protocol.Ok_done
+    else begin
+      let slice = min remaining 5 in
+      Thread.delay (float_of_int slice /. 1000.0);
+      go (remaining - slice)
+    end
+  in
+  go ms
+
+let evaluate_memory t flix pee (job : job) : Protocol.response =
+  let coll = Flix.collection flix in
   let k_cap k = min k t.cfg.max_results in
   match job.req with
   | (Protocol.Stats | Protocol.Connected _) when expired job.deadline_ns ->
@@ -102,27 +127,15 @@ let evaluate t pee (job : job) : Protocol.response =
   | Protocol.Ping -> Protocol.Pong
   | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
   | Protocol.Stats ->
-      Protocol.Lines (String.split_on_char '\n' (Flix.report t.flix))
-  | Protocol.Sleep ms ->
-      (* Sleep in short slices so the deadline can cut it off — the
-         diagnostic stand-in for a long-running query. *)
-      let rec nap remaining =
-        if expired job.deadline_ns then Protocol.Items { items = []; timed_out = true }
-        else if remaining <= 0 then Protocol.Ok_done
-        else begin
-          let slice = min remaining 5 in
-          Thread.delay (float_of_int slice /. 1000.0);
-          nap (remaining - slice)
-        end
-      in
-      nap ms
+      Protocol.Lines (String.split_on_char '\n' (Flix.report flix))
+  | Protocol.Sleep ms -> nap ~deadline_ns:job.deadline_ns ms
   | Protocol.Connected { a; b; max_dist } ->
       let n = Collection.n_nodes coll in
       if a < 0 || a >= n || b < 0 || b >= n then
         Protocol.Err (Printf.sprintf "node id out of range [0, %d)" n)
       else Protocol.Dist (Pee.connected ?max_dist pee a b)
   | Protocol.Descendants { doc; anchor; tag; k; max_dist } -> (
-      match Flix.node_of t.flix ~doc ~anchor with
+      match Flix.node_of flix ~doc ~anchor with
       | None ->
           Protocol.Err
             (Printf.sprintf "unknown document or anchor %s%s" doc
@@ -147,16 +160,156 @@ let evaluate t pee (job : job) : Protocol.response =
       in
       Protocol.Items { items; timed_out }
 
+(* --- disk-backed evaluation ----------------------------------------- *)
+
+let unknown_doc_err doc anchor =
+  Protocol.Err
+    (Printf.sprintf "unknown document or anchor %s%s" doc
+       (match anchor with None -> "" | Some a -> "#" ^ a))
+
+let within_dist max_dist d =
+  match max_dist with None -> true | Some m -> d <= m
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let items_of_pairs ?(timed_out = false) pairs =
+  Protocol.Items
+    {
+      items = List.map (fun (node, dist) -> { Protocol.node; dist; meta = 0 }) pairs;
+      timed_out;
+    }
+
+let disk_report hopi catalog =
+  let module P = Fx_store.Pager in
+  let pager name (s : P.stats) =
+    Printf.sprintf "%s pager: %d logical reads, %d physical reads, %d physical writes"
+      name s.P.logical_reads s.P.physical_reads s.P.physical_writes
+  in
+  let labels, tags = Disk_hopi.stats hopi in
+  [
+    "backend: disk (persistent HOPI deployment)";
+    Printf.sprintf "%d nodes, %d documents, %d tag names" (Catalog.n_nodes catalog)
+      (Catalog.n_docs catalog) (Catalog.n_tags catalog);
+    pager "labels" labels;
+    pager "tags" tags;
+  ]
+
+(* The buffer-pool counters of the shared deployment, as extra
+   Prometheus series on the METRICS endpoint. *)
+let pool_metric_lines hopi () =
+  let module P = Fx_store.Pager in
+  let labels, tags = Disk_hopi.stats hopi in
+  let series name help l g =
+    [
+      Printf.sprintf "# HELP %s %s" name help;
+      Printf.sprintf "# TYPE %s counter" name;
+      Printf.sprintf "%s{file=\"labels\"} %d" name l;
+      Printf.sprintf "%s{file=\"tags\"} %d" name g;
+    ]
+  in
+  series "flix_pager_pool_hits_total"
+    "Page reads served from the buffer pool, by index file."
+    (labels.P.logical_reads - labels.P.physical_reads)
+    (tags.P.logical_reads - tags.P.physical_reads)
+  @ series "flix_pager_pool_misses_total"
+      "Page reads that went to disk, by index file." labels.P.physical_reads
+      tags.P.physical_reads
+  @ series "flix_pager_physical_writes_total"
+      "Physical page writes (write-backs, extensions, header), by index file."
+      labels.P.physical_writes tags.P.physical_writes
+
+(* Unlike the PEE stream, a disk probe computes whole result blocks —
+   there is no per-item deadline cut — so every pool verb answers the
+   queued-expiry TIMEOUT up front, and EVALUATE re-checks the deadline
+   between start nodes. *)
+let evaluate_disk t hopi catalog (job : job) : Protocol.response =
+  let k_cap k = min k t.cfg.max_results in
+  match job.req with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
+  | _ when expired job.deadline_ns -> Protocol.Items { items = []; timed_out = true }
+  | Protocol.Stats -> Protocol.Lines (disk_report hopi catalog)
+  | Protocol.Sleep ms -> nap ~deadline_ns:job.deadline_ns ms
+  | Protocol.Connected { a; b; max_dist } ->
+      let n = Catalog.n_nodes catalog in
+      if a < 0 || a >= n || b < 0 || b >= n then
+        Protocol.Err (Printf.sprintf "node id out of range [0, %d)" n)
+      else
+        Protocol.Dist
+          (match Disk_hopi.distance hopi a b with
+          | Some d when not (within_dist max_dist d) -> None
+          | d -> d)
+  | Protocol.Descendants { doc; anchor; tag; k; max_dist } -> (
+      match Catalog.node_of catalog ~doc ~anchor with
+      | None -> unknown_doc_err doc anchor
+      | Some start -> (
+          (* Unknown tag names match nothing, like the in-memory path's
+             sentinel — and never reach the tag B-tree with a bogus id. *)
+          match Option.map (Catalog.tag_id catalog) tag with
+          | Some None -> items_of_pairs []
+          | (None | Some (Some _)) as resolved ->
+              let want = Option.join resolved in
+              Disk_hopi.descendants_by_tag hopi start want
+              |> List.filter (fun (v, d) ->
+                     not (v = start && d = 0) && within_dist max_dist d)
+              |> take (k_cap k)
+              |> items_of_pairs))
+  | Protocol.Evaluate { start_tag; target_tag; k; max_dist } -> (
+      match Catalog.tag_id catalog target_tag with
+      | None -> items_of_pairs []
+      | Some target ->
+          let starts =
+            match Catalog.tag_id catalog start_tag with
+            | None -> []
+            | Some id -> Disk_hopi.nodes_by_tag hopi id
+          in
+          let rec sweep acc timed = function
+            | [] -> (acc, timed)
+            | _ :: _ when expired job.deadline_ns -> (acc, true)
+            | s :: rest ->
+                let rs =
+                  List.filter
+                    (fun (_, d) -> d > 0 && within_dist max_dist d)
+                    (Disk_hopi.descendants_by_tag hopi s (Some target))
+                in
+                sweep (List.rev_append rs acc) timed rest
+          in
+          let all, timed_out = sweep [] false starts in
+          (* Several starts can reach one node; keep its best distance,
+             like the engine's duplicate elimination. *)
+          let best = Hashtbl.create 64 in
+          List.iter
+            (fun (v, d) ->
+              match Hashtbl.find_opt best v with
+              | Some d' when d' <= d -> ()
+              | _ -> Hashtbl.replace best v d)
+            all;
+          Hashtbl.fold (fun v d acc -> (v, d) :: acc) best []
+          |> List.sort (fun (v1, d1) (v2, d2) ->
+                 match Int.compare d1 d2 with 0 -> Int.compare v1 v2 | c -> c)
+          |> take (k_cap k)
+          |> items_of_pairs ~timed_out)
+
 let worker_loop t () =
-  (* A private evaluator per domain: the underlying indexes are shared
-     and immutable; the PEE's own statistics counters are not. *)
-  let pee = Pee.create (Flix.built t.flix) in
+  let eval =
+    match t.backend with
+    | In_memory flix ->
+        (* A private evaluator per domain: the underlying indexes are
+           shared and immutable; the PEE's own statistics counters are
+           not. *)
+        let pee = Pee.create (Flix.built flix) in
+        evaluate_memory t flix pee
+    | On_disk { hopi; catalog } ->
+        (* The pager under [hopi] is domain-safe, so every worker shares
+           the one deployment handle — and its buffer pool. *)
+        evaluate_disk t hopi catalog
+  in
   let rec loop () =
     match Work_queue.pop t.queue with
     | None -> ()
     | Some job ->
         let resp =
-          try evaluate t pee job with
+          try eval job with
           | (Out_of_memory | Stack_overflow) as fatal ->
               (* Fatal resource exhaustion must not be flattened into an
                  ERR line (FL004); let it take the domain down so stop/
@@ -325,7 +478,7 @@ let accept_loop t () =
 
 (* --- lifecycle ------------------------------------------------------ *)
 
-let start ?(config = default_config) flix =
+let start_backend ?(config = default_config) backend =
   (* A client that closes before its response is fully written must
      surface as EPIPE on the write — the default SIGPIPE disposition
      would terminate the whole process. Invalid_argument covers
@@ -348,7 +501,7 @@ let start ?(config = default_config) flix =
   let t =
     {
       cfg = config;
-      flix;
+      backend;
       listen_fd;
       bound_port;
       metrics = Metrics.create ();
@@ -360,9 +513,15 @@ let start ?(config = default_config) flix =
       conns_lock = Mutex.create ();
     }
   in
+  (match backend with
+  | In_memory _ -> ()
+  | On_disk { hopi; _ } ->
+      Metrics.register_collector t.metrics (pool_metric_lines hopi));
   t.workers <- List.init (max 1 config.workers) (fun _ -> Domain.spawn (worker_loop t));
   t.acceptor <- Some (Thread.create (accept_loop t) ());
   t
+
+let start ?config flix = start_backend ?config (In_memory flix)
 
 let port t = t.bound_port
 let metrics t = t.metrics

@@ -42,12 +42,29 @@ type config = {
 
 val default_config : config
 
+type backend =
+  | In_memory of Fx_flix.Flix.t
+      (** The original regime: shared immutable indexes, a private
+          {!Fx_flix.Pee} evaluator per worker domain. *)
+  | On_disk of { hopi : Fx_index.Disk_hopi.t; catalog : Fx_index.Catalog.t }
+      (** Serve from a persistent {!Fx_index.Disk_hopi} deployment: the
+          thread-safe pager lets every worker domain share one handle
+          (and one buffer pool), and the {!Fx_index.Catalog} resolves
+          document, anchor, and tag names without the collection. The
+          deployment's pool hit/miss counters are exported on the
+          [METRICS] endpoint. *)
+
 type t
 
-val start : ?config:config -> Fx_flix.Flix.t -> t
+val start_backend : ?config:config -> backend -> t
 (** Binds, listens, and spawns the acceptor thread and worker domains.
     Returns once the server accepts connections. Raises [Unix_error]
-    when the port cannot be bound. *)
+    when the port cannot be bound. The backend (and for [On_disk], the
+    deployment handle) must outlive the server; {!stop} does not close
+    it. *)
+
+val start : ?config:config -> Fx_flix.Flix.t -> t
+(** [start flix] is [start_backend (In_memory flix)]. *)
 
 val port : t -> int
 (** The actual bound port — useful with [port = 0]. *)

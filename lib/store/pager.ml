@@ -1,5 +1,15 @@
 (* Header page layout: magic "FXPG1\n" + page size as decimal + '\n',
-   rest zero. Data pages follow, addressed from 0. *)
+   rest zero. Data pages follow, addressed from 0.
+
+   Concurrency: one pager may be shared by every worker domain of the
+   query service, so all mutable state — the LRU pool, [n_pages], the
+   statistics counters, and the fd's file position — lives under one
+   pager-wide mutex. Public operations take the lock exactly once (the
+   mutex is not reentrant); everything below the [--- locked ---] line
+   assumes the lock is held and must not retake it, including the
+   eviction write-back that [Lru.add] can trigger. Callers only ever
+   receive fresh [Bytes] copies, never a pool slot, so no page memory
+   is shared across a lock release. *)
 
 let header_magic = "FXPG1\n"
 
@@ -10,6 +20,7 @@ type slot = { data : Bytes.t; mutable dirty : bool }
 type t = {
   fd : Unix.file_descr;
   page_size : int;
+  lock : Mutex.t;
   mutable n_pages : int;
   pool : (int, slot) Fx_util.Lru.t;
   mutable logical_reads : int;
@@ -18,10 +29,20 @@ type t = {
   mutable closed : bool;
 }
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* --- locked: everything below assumes t.lock is held ----------------- *)
+
 let check_open t = if t.closed then invalid_arg "Pager: already closed"
 
 let file_offset t page = (page + 1) * t.page_size
 
+(* Positioned I/O. OCaml's Unix module exposes no pread/pwrite, so each
+   call is an lseek + read/write pair over the shared file position;
+   every call site holds the pager lock, which makes the pair atomic
+   with respect to the other domains using this fd. *)
 let really_pread fd buf off =
   let len = Bytes.length buf in
   let rec go pos =
@@ -39,18 +60,42 @@ let really_pwrite fd buf off =
   let rec go pos =
     if pos < len then begin
       let k = Unix.write fd buf pos (len - pos) in
+      if k = 0 then invalid_arg "Pager: short write (device full?)";
       go (pos + k)
     end
   in
   ignore (Unix.lseek fd off Unix.SEEK_SET);
   go 0
 
+(* Counts the write only after it succeeds, so a failed write-back
+   (ENOSPC, EBADF) leaves both the dirty flag and the statistics
+   truthful — the page stays resident (see Lru.on_evict) and a later
+   flush can retry it. *)
 let write_back t page (slot : slot) =
   if slot.dirty then begin
-    t.physical_writes <- t.physical_writes + 1;
     really_pwrite t.fd slot.data (file_offset t page);
+    t.physical_writes <- t.physical_writes + 1;
     slot.dirty <- false
   end
+
+let fetch t page =
+  if page < 0 || page >= t.n_pages then invalid_arg "Pager: page out of range";
+  t.logical_reads <- t.logical_reads + 1;
+  match Fx_util.Lru.find t.pool page with
+  | Some slot -> slot
+  | None ->
+      t.physical_reads <- t.physical_reads + 1;
+      let data = Bytes.create t.page_size in
+      really_pread t.fd data (file_offset t page);
+      let slot = { data; dirty = false } in
+      Fx_util.Lru.add t.pool page slot;
+      slot
+
+let flush_pool t =
+  Fx_util.Lru.iter t.pool (fun page slot -> write_back t page slot);
+  Unix.fsync t.fd
+
+(* --- lifecycle -------------------------------------------------------- *)
 
 let create ?(pool_pages = 256) ?(page_size = 4096) path =
   if page_size < 64 then invalid_arg "Pager.create: page_size < 64";
@@ -62,6 +107,7 @@ let create ?(pool_pages = 256) ?(page_size = 4096) path =
       {
         fd;
         page_size;
+        lock = Mutex.create ();
         n_pages = 0;
         pool =
           Fx_util.Lru.create ~capacity:pool_pages
@@ -75,11 +121,13 @@ let create ?(pool_pages = 256) ?(page_size = 4096) path =
   in
   let t = Lazy.force t in
   if file_len = 0 then begin
-    (* Fresh file: write the header page. *)
+    (* Fresh file: write the header page (a real physical write — the
+       store benches must not under-report I/O). *)
     let header = Bytes.make page_size '\000' in
     let tag = Printf.sprintf "%s%d\n" header_magic page_size in
     Bytes.blit_string tag 0 header 0 (String.length tag);
     really_pwrite fd header 0;
+    t.physical_writes <- 1;
     t.n_pages <- 0
   end
   else begin
@@ -112,75 +160,73 @@ let create ?(pool_pages = 256) ?(page_size = 4096) path =
   end;
   t
 
-let page_size t = t.page_size
-let n_pages t = t.n_pages
+(* --- public API: each entry takes the lock exactly once --------------- *)
 
-let fetch t page =
-  if page < 0 || page >= t.n_pages then invalid_arg "Pager: page out of range";
-  t.logical_reads <- t.logical_reads + 1;
-  match Fx_util.Lru.find t.pool page with
-  | Some slot -> slot
-  | None ->
-      t.physical_reads <- t.physical_reads + 1;
-      let data = Bytes.create t.page_size in
-      really_pread t.fd data (file_offset t page);
-      let slot = { data; dirty = false } in
-      Fx_util.Lru.add t.pool page slot;
-      slot
+let page_size t = t.page_size
+let n_pages t = with_lock t.lock (fun () -> t.n_pages)
 
 let append_page t =
-  check_open t;
-  let page = t.n_pages in
-  t.n_pages <- t.n_pages + 1;
-  let slot = { data = Bytes.make t.page_size '\000'; dirty = true } in
-  (* Extend the file immediately so page indexes stay valid even if this
-     page is evicted before being written to. *)
-  really_pwrite t.fd slot.data (file_offset t page);
-  t.physical_writes <- t.physical_writes + 1;
-  slot.dirty <- false;
-  Fx_util.Lru.add t.pool page slot;
-  page
+  with_lock t.lock (fun () ->
+      check_open t;
+      let page = t.n_pages in
+      let slot = { data = Bytes.make t.page_size '\000'; dirty = false } in
+      (* Extend the file before publishing the page index, so a raise
+         here (ENOSPC) leaves [n_pages] consistent with the file and a
+         concurrent reader can never hit a short read. *)
+      really_pwrite t.fd slot.data (file_offset t page);
+      t.physical_writes <- t.physical_writes + 1;
+      t.n_pages <- t.n_pages + 1;
+      Fx_util.Lru.add t.pool page slot;
+      page)
 
 let read t ~page ~offset ~len =
-  check_open t;
-  if offset < 0 || len < 0 || offset + len > t.page_size then
-    invalid_arg "Pager.read: out of page bounds";
-  let slot = fetch t page in
-  Bytes.sub slot.data offset len
+  with_lock t.lock (fun () ->
+      check_open t;
+      if offset < 0 || len < 0 || offset + len > t.page_size then
+        invalid_arg "Pager.read: out of page bounds";
+      let slot = fetch t page in
+      Bytes.sub slot.data offset len)
 
 let write t ~page ~offset buf =
-  check_open t;
-  if offset < 0 || offset + Bytes.length buf > t.page_size then
-    invalid_arg "Pager.write: out of page bounds";
-  let slot = fetch t page in
-  Bytes.blit buf 0 slot.data offset (Bytes.length buf);
-  slot.dirty <- true
+  with_lock t.lock (fun () ->
+      check_open t;
+      if offset < 0 || offset + Bytes.length buf > t.page_size then
+        invalid_arg "Pager.write: out of page bounds";
+      let slot = fetch t page in
+      Bytes.blit buf 0 slot.data offset (Bytes.length buf);
+      slot.dirty <- true)
 
 let flush t =
-  check_open t;
-  Fx_util.Lru.iter t.pool (fun page slot -> write_back t page slot);
-  Unix.fsync t.fd
+  with_lock t.lock (fun () ->
+      check_open t;
+      flush_pool t)
 
 let close t =
-  if not t.closed then begin
-    flush t;
-    t.closed <- true;
-    Unix.close t.fd
-  end
+  with_lock t.lock (fun () ->
+      if not t.closed then begin
+        flush_pool t;
+        t.closed <- true;
+        Unix.close t.fd
+      end)
 
 let stats t =
-  {
-    logical_reads = t.logical_reads;
-    physical_reads = t.physical_reads;
-    physical_writes = t.physical_writes;
-  }
+  with_lock t.lock (fun () ->
+      {
+        logical_reads = t.logical_reads;
+        physical_reads = t.physical_reads;
+        physical_writes = t.physical_writes;
+      })
 
 let reset_stats t =
-  t.logical_reads <- 0;
-  t.physical_reads <- 0;
-  t.physical_writes <- 0
+  with_lock t.lock (fun () ->
+      t.logical_reads <- 0;
+      t.physical_reads <- 0;
+      t.physical_writes <- 0)
 
 let drop_pool t =
-  check_open t;
-  Fx_util.Lru.iter t.pool (fun page slot -> write_back t page slot);
-  Fx_util.Lru.clear t.pool
+  with_lock t.lock (fun () ->
+      check_open t;
+      Fx_util.Lru.iter t.pool (fun page slot -> write_back t page slot);
+      Fx_util.Lru.clear t.pool)
+
+let unsafe_fd t = t.fd

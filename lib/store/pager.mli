@@ -8,7 +8,30 @@
     Pages are fixed-size blocks addressed by index. Reads go through the
     pool; writes mark the cached page dirty and are written back on
     eviction or {!flush}. Not crash-safe (no WAL) — the stores built on
-    it are write-once index snapshots, rebuildable from the collection. *)
+    it are write-once index snapshots, rebuildable from the collection.
+
+    {2 Locking contract}
+
+    A pager is safe to share across OCaml 5 domains: one pager-wide
+    mutex protects the buffer pool, the page count, the statistics
+    counters, and the fd's file position (the lseek + read/write pair
+    behind each positioned I/O runs under it). Every public operation
+    takes the lock exactly once and releases it on any exception; no
+    operation returns pool memory — {!read} hands back a fresh [Bytes]
+    copy — so nothing is shared across a lock release. The structures
+    layered on top ({!Btree}, {!Heap_file}) are therefore safe for
+    concurrent {e readers}; interleaving a writer with readers still
+    needs external coordination, because one logical B-tree or heap
+    operation spans several page operations.
+
+    {2 Error handling}
+
+    A failed dirty-page write-back (ENOSPC, EBADF) raises out of the
+    operation that triggered it — including reads whose pool fill had
+    to evict a dirty page — but never loses the data: the page stays
+    resident and dirty, the statistics stay truthful, and the pager
+    remains usable, so a later {!flush} can retry once the condition
+    clears. *)
 
 type t
 
@@ -24,28 +47,44 @@ val n_pages : t -> int
 (** Data pages currently in the file (the header page is not counted). *)
 
 val append_page : t -> int
-(** Allocate a fresh zeroed page at the end; returns its index. *)
+(** Allocate a fresh zeroed page at the end; returns its index. The
+    file is extended before the index becomes visible, so concurrent
+    readers never observe a page whose backing bytes are missing. *)
 
 val read : t -> page:int -> offset:int -> len:int -> bytes
-(** Read [len] bytes from one page (bounds-checked). *)
+(** Read [len] bytes from one page (bounds-checked). Returns a fresh
+    copy — never a view into the pool. *)
 
 val write : t -> page:int -> offset:int -> bytes -> unit
 (** Write within one page; the page stays dirty in the pool until
-    eviction or {!flush}. *)
+    eviction or {!flush}. The buffer is copied in under the lock. *)
 
 val flush : t -> unit
-(** Write every dirty pooled page back and fsync. *)
+(** Write every dirty pooled page back and fsync. Raises on write-back
+    failure, leaving the failed pages dirty and resident for a retry. *)
 
 val close : t -> unit
-(** {!flush} then close the file descriptor. Using [t] afterwards raises. *)
+(** {!flush} then close the file descriptor. Using [t] afterwards
+    raises. If the final flush fails the pager stays open (and
+    reportable) so the caller can retry or inspect it. *)
 
 type stats = {
   logical_reads : int;   (** page requests *)
   physical_reads : int;  (** requests that missed the pool *)
-  physical_writes : int; (** page write-backs *)
+  physical_writes : int; (** page write-backs, file extensions, and the
+                             fresh-file header write *)
 }
 
 val stats : t -> stats
+(** Pool hits are [logical_reads - physical_reads]; misses are
+    [physical_reads]. The serving layer exports both as Prometheus
+    counters. *)
+
 val reset_stats : t -> unit
 val drop_pool : t -> unit
 (** Flush and empty the pool — a "cold cache" switch for benches. *)
+
+val unsafe_fd : t -> Unix.file_descr
+(** The underlying descriptor — for tests and fault injection (e.g.
+    redirecting it at a full device) only. Reading or writing through
+    it behind the pager's back corrupts the pool's view of the file. *)

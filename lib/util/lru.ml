@@ -60,9 +60,14 @@ let evict t =
   match t.last with
   | None -> ()
   | Some node ->
+      (* Run the eviction callback before unlinking: if the write-back
+         raises (ENOSPC, EBADF) the entry must stay resident — removing
+         it first would silently drop the dirty data with no error
+         surfaced. On a raise the map is left over capacity; the next
+         [add] retries the eviction. *)
+      t.on_evict node.key node.value;
       unlink t node;
-      Hashtbl.remove t.table node.key;
-      t.on_evict node.key node.value
+      Hashtbl.remove t.table node.key
 
 let add t k v =
   (match Hashtbl.find_opt t.table k with
@@ -74,7 +79,12 @@ let add t k v =
       let node = { key = k; value = v; prev = None; next = None } in
       Hashtbl.replace t.table k node;
       push_front t node;
-      if Hashtbl.length t.table > t.capacity then evict t);
+      (* A loop, not a single eviction: a previous eviction that failed
+         leaves a backlog over capacity which drains here once the
+         callback succeeds again. *)
+      while Hashtbl.length t.table > t.capacity do
+        evict t
+      done);
   ()
 
 let mem t k = Hashtbl.mem t.table k

@@ -5,15 +5,20 @@ type ('k, 'v) t
 val create : ?on_evict:('k -> 'v -> unit) -> capacity:int -> unit -> ('k, 'v) t
 (** [on_evict] fires when a capacity overflow pushes the least recently
     used entry out (not on {!remove} or {!clear}) — buffer pools use it
-    to write dirty pages back. Raises [Invalid_argument] when
+    to write dirty pages back. The callback runs {e before} the entry
+    is removed: if it raises, the entry stays resident (the map is
+    temporarily over capacity) and the exception propagates to the
+    {!add} that triggered the eviction, so a failed write-back never
+    silently loses data. Raises [Invalid_argument] when
     [capacity < 1]. *)
 
 val find : ('k, 'v) t -> 'k -> 'v option
 (** Refreshes the entry's recency on a hit. *)
 
 val add : ('k, 'v) t -> 'k -> 'v -> unit
-(** Inserts or replaces; evicts the least recently used entry when the
-    capacity is exceeded. *)
+(** Inserts or replaces; evicts least recently used entries while the
+    capacity is exceeded (normally one, plus any backlog left by an
+    earlier eviction whose [on_evict] raised). *)
 
 val mem : ('k, 'v) t -> 'k -> bool
 (** Does not refresh recency. *)

@@ -172,6 +172,8 @@ let element t v = t.elements.(v)
 
 let node_of_anchor t ~doc ~anchor = Hashtbl.find_opt t.anchor_tbl (doc, anchor)
 
+let anchors t = Hashtbl.fold (fun key node acc -> (key, node) :: acc) t.anchor_tbl []
+
 let find_by_tag t name =
   match tag_id t name with
   | None -> []

@@ -64,6 +64,11 @@ val element : t -> int -> Xml_types.element
 val node_of_anchor : t -> doc:string -> anchor:string -> int option
 (** Global node carrying [id=anchor] in document [doc]. *)
 
+val anchors : t -> ((string * string) * int) list
+(** Every [(doc name, id)] anchor with its global node, in unspecified
+    order — the serving catalog persists these so a disk-backed server
+    can resolve [DESCENDANTS doc#anchor] without the collection. *)
+
 val find_by_tag : t -> string -> int list
 (** All nodes with the given tag, ascending. *)
 

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Smoke test for persistent serving: save a small deployment, boot
+# flix_serve from it (twice — the second boot must reuse the files and
+# skip the index build), drive PING / DESCENDANTS / CONNECTED / METRICS
+# over the wire, and check that a mangled store dies with a one-line
+# error instead of a backtrace.
+#
+# Uses bash's /dev/tcp so it needs no netcat. Run from the repo root:
+#
+#   scripts/smoke_serve.sh [path/to/flix_serve.exe]
+
+set -u
+
+BIN=${1:-_build/default/bin/flix_serve.exe}
+PORT=${SMOKE_PORT:-7461}
+DIR=$(mktemp -d)
+SRV_PID=
+
+fail() {
+  echo "smoke_serve: FAIL: $*" >&2
+  [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null
+  rm -rf "$DIR"
+  exit 1
+}
+
+wait_port() {
+  for _ in $(seq 1 100); do
+    if (exec 9<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+      exec 9<&- 9>&-
+      return 0
+    fi
+    sleep 0.2
+  done
+  return 1
+}
+
+# One request line in, one response out (reads until DONE/DIST/PONG/ERR
+# or, for METRICS, the announced number of lines).
+ask() {
+  local req=$1
+  exec 8<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect for $req"
+  printf '%s\n' "$req" >&8
+  local first
+  IFS= read -r -t 10 first <&8 || fail "no response to $req"
+  echo "$first"
+  case $first in
+    LINES\ *)
+      local n=${first#LINES }
+      for _ in $(seq 1 "$n"); do
+        IFS= read -r -t 10 line <&8 || fail "short LINES body for $req"
+        echo "$line"
+      done
+      ;;
+    ITEM\ *|TIMEOUT\ *)
+      while IFS= read -r -t 10 line <&8; do
+        echo "$line"
+        case $line in DONE\ *) break ;; esac
+      done
+      ;;
+  esac
+  exec 8<&- 8>&-
+}
+
+echo "== first boot: build and save the deployment =="
+"$BIN" --docs 40 --index-dir "$DIR" --port "$PORT" >"$DIR/boot1.log" 2>&1 &
+SRV_PID=$!
+wait_port || { cat "$DIR/boot1.log" >&2; fail "server did not come up"; }
+
+[ "$(ask PING)" = "PONG" ] || fail "PING"
+ask "DESCENDANTS dblp_0000 - author 5" | grep -q "^DONE " || fail "DESCENDANTS"
+ask "CONNECTED 0 3" | grep -q "^DIST " || fail "CONNECTED"
+ask METRICS | grep -q "^flix_pager_pool_hits_total" || fail "pool metrics missing"
+
+kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null
+SRV_PID=
+for f in index.labels index.tags index.catalog; do
+  [ -s "$DIR/$f" ] || fail "deployment file $f missing"
+done
+
+echo "== second boot: reuse the saved deployment =="
+"$BIN" --index-dir "$DIR" --port "$PORT" >"$DIR/boot2.log" 2>&1 &
+SRV_PID=$!
+wait_port || { cat "$DIR/boot2.log" >&2; fail "reused server did not come up"; }
+grep -q "opening deployment" "$DIR/boot2.log" || fail "second boot rebuilt the index"
+
+[ "$(ask PING)" = "PONG" ] || fail "PING after reuse"
+ask "DESCENDANTS dblp_0003 - author 5" | grep -q "^DONE " || fail "DESCENDANTS after reuse"
+
+kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null
+SRV_PID=
+
+echo "== mangled store: one-line error, nonzero exit =="
+echo garbage >"$DIR/index.catalog"
+out=$("$BIN" --index-dir "$DIR" --port "$PORT" 2>&1)
+status=$?
+[ "$status" -ne 0 ] || fail "mangled store accepted (exit 0)"
+echo "$out" | grep -q "corrupt index store" || fail "no diagnostic for mangled store"
+echo "$out" | grep -q "Raised at\|Fatal error" && fail "backtrace leaked for mangled store"
+
+rm -rf "$DIR"
+echo "smoke_serve: OK"

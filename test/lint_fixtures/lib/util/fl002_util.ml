@@ -1,0 +1,5 @@
+(* Fixture: FL002 — the rule also covers lib/util, because the util
+   containers (LRU, codecs) are linked into every worker domain. *)
+
+let memo = Hashtbl.create 16
+let lookup k = Hashtbl.find_opt memo k

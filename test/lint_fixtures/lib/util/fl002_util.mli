@@ -1,0 +1,1 @@
+val lookup : string -> int option

@@ -504,6 +504,114 @@ let connected_matches_direct () =
         (List.filteri (fun i _ -> i < 5) roots);
       Client.close c)
 
+(* --- disk backend ----------------------------------------------------- *)
+
+module Idx = Fx_index
+module C = Fx_xml.Collection
+
+(* Persist a global-HOPI deployment of the shared collection, boot the
+   server on it with [workers] domains, and hand the test the live
+   server plus the in-memory index it must agree with. *)
+let with_disk_server ~workers f =
+  let coll = Lazy.force shared_collection in
+  let dg = { Idx.Path_index.graph = C.graph coll; tag = C.tag coll } in
+  let hopi = Idx.Hopi.build dg in
+  let prefix = Filename.temp_file "fxsrv" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ prefix; prefix ^ ".labels"; prefix ^ ".tags"; prefix ^ ".catalog" ])
+    (fun () ->
+      Idx.Disk_hopi.save ~path:prefix dg hopi;
+      Idx.Catalog.save ~path:(prefix ^ ".catalog") (Idx.Catalog.of_collection coll);
+      let disk = Idx.Disk_hopi.open_ ~path:prefix () in
+      let catalog = Idx.Catalog.load (prefix ^ ".catalog") in
+      Fun.protect
+        ~finally:(fun () -> Idx.Disk_hopi.close disk)
+        (fun () ->
+          let config = { Server.default_config with workers } in
+          let server =
+            Server.start_backend ~config (Server.On_disk { hopi = disk; catalog })
+          in
+          Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server hopi coll)))
+
+let disk_backend_matches_memory () =
+  with_disk_server ~workers:2 (fun server hopi coll ->
+      let port = Server.port server in
+      let k = 10 in
+      (* Ground truth from the in-memory index the deployment froze. *)
+      let truth ~doc ~tag =
+        let d = Option.get (C.doc_of_name coll doc) in
+        let start = C.root_of_doc coll d in
+        let want = C.tag_id coll tag in
+        ( start,
+          Idx.Hopi.descendants_by_tag hopi start want
+          |> List.filter (fun (v, dist) -> not (v = start && dist = 0))
+          |> List.filteri (fun i _ -> i < k)
+          |> List.map (fun (node, dist) -> { P.node; dist; meta = 0 }) )
+      in
+      let docs = List.init 40 (fun i -> Dblp.doc_name (i * 5)) in
+      let expected = List.map (fun doc -> (doc, truth ~doc ~tag:"author")) docs in
+      (* Hammer the two worker domains from four client threads; every
+         answer must be byte-identical to the in-memory truth. *)
+      let failures = Atomic.make 0 in
+      let threads =
+        List.init 4 (fun tid ->
+            Thread.create
+              (fun () ->
+                let c = Client.connect ~port () in
+                for round = 0 to 24 do
+                  let doc, (start, want) =
+                    List.nth expected ((tid + (round * 4)) mod List.length expected)
+                  in
+                  (match Client.descendants c ~doc ~tag:"author" ~k () with
+                  | Ok (Client.Value (items, false)) when items = want -> ()
+                  | _ -> Atomic.incr failures);
+                  match Client.connected c start start with
+                  | Ok (Client.Value (Some 0)) -> ()
+                  | _ -> Atomic.incr failures
+                done;
+                Client.close c)
+              ())
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "all concurrent answers match memory" 0 (Atomic.get failures);
+      (* CONNECTED between distinct docs agrees with the label store. *)
+      let c = Client.connect ~port () in
+      let roots = List.init 12 (fun i -> C.root_of_doc coll (i * 16)) in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              let want = Idx.Hopi.distance hopi a b in
+              match Client.connected c a b with
+              | Ok (Client.Value got) ->
+                  Alcotest.(check (option int))
+                    (Printf.sprintf "connected %d %d" a b)
+                    want got
+              | _ -> Alcotest.failf "connected %d %d failed" a b)
+            roots)
+        (List.filteri (fun i _ -> i < 4) roots);
+      (* The deployment's buffer-pool counters ride the METRICS verb. *)
+      (match Client.metrics c with
+      | Ok (Client.Value lines) ->
+          let has prefix =
+            List.exists (fun l -> Astring.String.is_prefix ~affix:prefix l) lines
+          in
+          Alcotest.(check bool) "pool hits exported" true
+            (has "flix_pager_pool_hits_total{file=\"labels\"}");
+          Alcotest.(check bool) "pool misses exported" true
+            (has "flix_pager_pool_misses_total{file=\"tags\"}")
+      | _ -> Alcotest.fail "METRICS failed");
+      (* STATS reports the disk regime, not the in-memory builder. *)
+      (match Client.stats c with
+      | Ok (Client.Value lines) ->
+          Alcotest.(check bool) "stats mention the disk backend" true
+            (List.exists (fun l -> Astring.String.is_infix ~affix:"disk" l) lines)
+      | _ -> Alcotest.fail "STATS failed");
+      Client.close c)
+
 let () =
   Alcotest.run "server"
     [
@@ -528,6 +636,7 @@ let () =
           Alcotest.test_case "oversized request line" `Quick oversized_line;
           Alcotest.test_case "connection cap" `Quick connection_cap;
           Alcotest.test_case "disconnect mid-response" `Quick disconnect_mid_response;
+          Alcotest.test_case "disk backend" `Quick disk_backend_matches_memory;
           Alcotest.test_case "concurrent clients vs direct" `Quick concurrent_clients;
           Alcotest.test_case "deadline timeout" `Quick deadline_timeout;
           Alcotest.test_case "admission control BUSY" `Quick admission_busy;

@@ -110,6 +110,137 @@ let test_pager_rejects_garbage () =
       | exception Invalid_argument _ -> ()
       | _ -> Alcotest.fail "garbage header accepted")
 
+(* --- pager concurrency and fault injection ------------------------------- *)
+
+(* Hammer one shared pager from 4 domains with mixed reads, rewrites,
+   appends, and flushes, through a pool far smaller than the working
+   set so eviction write-backs race with everything else. Every write
+   fills a whole page with one byte, so any read observing two
+   different bytes in a page proves a torn (unlocked) access. *)
+let test_pager_domain_stress () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let page_size = 128 and n_domains = 4 and base_pages = 16 and rounds = 300 in
+      let p = Pager.create ~pool_pages:4 ~page_size path in
+      for i = 0 to base_pages - 1 do
+        let pg = Pager.append_page p in
+        Pager.write p ~page:pg ~offset:0 (Bytes.make page_size (Char.chr (65 + i)))
+      done;
+      let fill d r = Char.chr (33 + ((d * 31) + r) mod 94) in
+      (* Only domain [d] ever writes pages where [pg mod n_domains = d],
+         so each slot of [final] has exactly one writer. *)
+      let final = Array.make (base_pages + (n_domains * rounds)) None in
+      let n_appended = Array.make n_domains 0 in
+      let work d () =
+        let rng = Fx_util.Rng.create (1000 + d) in
+        for r = 0 to rounds - 1 do
+          let own = (Fx_util.Rng.int rng (base_pages / n_domains) * n_domains) + d in
+          Pager.write p ~page:own ~offset:0 (Bytes.make page_size (fill d r));
+          final.(own) <- Some (fill d r);
+          let q = Fx_util.Rng.int rng base_pages in
+          let b = Pager.read p ~page:q ~offset:0 ~len:page_size in
+          let c0 = Bytes.get b 0 in
+          if not (Bytes.for_all (fun c -> c = c0) b) then
+            failwith (Printf.sprintf "torn read on page %d" q);
+          if r mod 50 = 25 then begin
+            let np = Pager.append_page p in
+            Pager.write p ~page:np ~offset:0 (Bytes.make page_size (fill d (r + 7)));
+            final.(np) <- Some (fill d (r + 7));
+            n_appended.(d) <- n_appended.(d) + 1
+          end;
+          if r mod 97 = 0 then Pager.flush p
+        done
+      in
+      let domains = List.init n_domains (fun d -> Domain.spawn (work d)) in
+      List.iter Domain.join domains;
+      let total = base_pages + Array.fold_left ( + ) 0 n_appended in
+      check_int "page count" total (Pager.n_pages p);
+      let verify pager =
+        for pg = 0 to total - 1 do
+          match final.(pg) with
+          | None -> ()
+          | Some c ->
+              let b = Pager.read pager ~page:pg ~offset:0 ~len:page_size in
+              if not (Bytes.for_all (fun c' -> c' = c) b) then
+                Alcotest.fail (Printf.sprintf "page %d lost its last write" pg)
+        done
+      in
+      verify p;
+      Pager.close p;
+      (* And everything survived the disk round-trip. *)
+      let p2 = Pager.create ~page_size path in
+      check_int "pages persisted" total (Pager.n_pages p2);
+      verify p2;
+      Pager.close p2)
+
+(* Regression for the dirty-evict error path: redirect the pager's fd
+   at /dev/full (reads succeed as zeros, writes fail ENOSPC) so the
+   write-back triggered by an eviction fails. The error must reach the
+   caller, the dirty page must stay resident, and once the "device"
+   recovers a flush must persist it. *)
+let test_pager_dirty_evict_enospc () =
+  if not (Sys.file_exists "/dev/full") then ()
+  else
+    with_temp_file (fun path ->
+        Sys.remove path;
+        let p = Pager.create ~pool_pages:1 ~page_size:128 path in
+        let a = Pager.append_page p in
+        let b = Pager.append_page p in
+        Pager.write p ~page:a ~offset:0 (Bytes.of_string "precious");
+        let real = Unix.dup (Pager.unsafe_fd p) in
+        let full = Unix.openfile "/dev/full" [ Unix.O_RDWR ] 0 in
+        Unix.dup2 full (Pager.unsafe_fd p);
+        Unix.close full;
+        (* Reading [b] must evict dirty [a]; the write-back hits ENOSPC. *)
+        let raised =
+          try
+            ignore (Pager.read p ~page:b ~offset:0 ~len:4);
+            false
+          with Unix.Unix_error (Unix.ENOSPC, _, _) -> true
+        in
+        check "write-back failure propagates" true raised;
+        check_str "dirty page still resident" "precious"
+          (Bytes.to_string (Pager.read p ~page:a ~offset:0 ~len:8));
+        ignore (Pager.stats p);
+        Unix.dup2 real (Pager.unsafe_fd p);
+        Unix.close real;
+        Pager.flush p;
+        Pager.close p;
+        let p2 = Pager.create ~page_size:128 path in
+        check_str "persisted once the device recovered" "precious"
+          (Bytes.to_string (Pager.read p2 ~page:a ~offset:0 ~len:8));
+        Pager.close p2)
+
+(* Same error path via EBADF: the descriptor vanishes under the pager
+   (closed behind its back), flush reports it, the page survives in the
+   pool, and a restored descriptor lets the retry succeed. *)
+let test_pager_flush_after_fd_loss () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      let a = Pager.append_page p in
+      Pager.write p ~page:a ~offset:0 (Bytes.of_string "keep-me");
+      let real = Unix.dup (Pager.unsafe_fd p) in
+      Unix.close (Pager.unsafe_fd p);
+      let raised =
+        try
+          Pager.flush p;
+          false
+        with Unix.Unix_error (Unix.EBADF, _, _) -> true
+      in
+      check "flush reports the dead fd" true raised;
+      check_str "page still resident" "keep-me"
+        (Bytes.to_string (Pager.read p ~page:a ~offset:0 ~len:7));
+      ignore (Pager.stats p);
+      Unix.dup2 real (Pager.unsafe_fd p);
+      Unix.close real;
+      Pager.flush p;
+      Pager.close p;
+      let p2 = Pager.create ~page_size:128 path in
+      check_str "persisted after retry" "keep-me"
+        (Bytes.to_string (Pager.read p2 ~page:a ~offset:0 ~len:7));
+      Pager.close p2)
+
 (* --- heap file -------------------------------------------------------------- *)
 
 let test_heap_roundtrip () =
@@ -404,6 +535,9 @@ let () =
           Alcotest.test_case "bounds" `Quick test_pager_bounds;
           Alcotest.test_case "page size mismatch" `Quick test_pager_rejects_mismatch;
           Alcotest.test_case "garbage header" `Quick test_pager_rejects_garbage;
+          Alcotest.test_case "4-domain stress" `Quick test_pager_domain_stress;
+          Alcotest.test_case "dirty evict ENOSPC" `Quick test_pager_dirty_evict_enospc;
+          Alcotest.test_case "flush after fd loss" `Quick test_pager_flush_after_fd_loss;
         ] );
       ( "heap_file",
         [
