@@ -712,12 +712,72 @@ let serve ctx =
                   (Fx_server.Server.On_disk { hopi = d; catalog }))
               [ 1; 2; 4 ]))
   in
+  (* Sharded rows: the same load through a scatter-gather coordinator
+     over disk-backed shard servers. coord1 isolates the coordinator's
+     fan-out overhead (one shard, no cross-shard links); coord2 adds
+     the 2-shard split with live portal chasing. *)
+  let shard_rows =
+    let module SP = Fx_shard.Shard_plan in
+    let module Coord = Fx_shard.Coordinator in
+    List.map
+      (fun n_shards ->
+        let plan = SP.plan ~n_shards ctx.collection in
+        let deployments =
+          SP.shard_documents plan ctx.collection
+          |> Array.map (fun doc_list ->
+                 let sub = C.build doc_list in
+                 let dg = { Pi.graph = C.graph sub; tag = C.tag sub } in
+                 let hopi = Fx_index.Hopi.build dg in
+                 let prefix = Filename.temp_file "flix_shard" "" in
+                 Fx_index.Disk_hopi.save ~path:prefix dg hopi;
+                 Fx_index.Catalog.save ~path:(prefix ^ ".catalog")
+                   (Fx_index.Catalog.of_collection sub);
+                 let d = Fx_index.Disk_hopi.open_ ~pool_pages:16_384 ~path:prefix () in
+                 (prefix, d, Fx_index.Catalog.load (prefix ^ ".catalog")))
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter
+              (fun (prefix, d, _) ->
+                Fx_index.Disk_hopi.close d;
+                List.iter
+                  (fun p -> try Sys.remove p with Sys_error _ -> ())
+                  [ prefix; prefix ^ ".labels"; prefix ^ ".tags"; prefix ^ ".catalog" ])
+              deployments)
+          (fun () ->
+            let servers =
+              Array.map
+                (fun (_, d, catalog) ->
+                  Fx_server.Server.start_backend
+                    ~config:{ Fx_server.Server.default_config with workers = 2 }
+                    (Fx_server.Server.On_disk { hopi = d; catalog }))
+                deployments
+            in
+            Fun.protect
+              ~finally:(fun () -> Array.iter Fx_server.Server.stop servers)
+              (fun () ->
+                let shards =
+                  Array.to_list servers
+                  |> List.map (fun s -> ("127.0.0.1", Fx_server.Server.port s))
+                in
+                let coord = Coord.create ~plan ~shards () in
+                Fun.protect
+                  ~finally:(fun () -> Coord.close coord)
+                  (fun () ->
+                    run_one
+                      ~backend_name:(Printf.sprintf "coord%d" (SP.n_shards plan))
+                      ~workers:4
+                      (Fx_server.Server.Custom (Coord.backend coord))))))
+      [ 1; 2 ]
+  in
   Printf.printf "\nserve-json: {\"bench\":\"serve\",\"docs\":%d,\"rows\":[%s]}\n" n_docs
-    (String.concat "," (memory_rows @ disk_rows));
+    (String.concat "," (memory_rows @ disk_rows @ shard_rows));
   print_newline ();
   print_endline "expectation: req/s scales with worker domains until the acceptor or";
   print_endline "client threads saturate; the disk rows pay the buffer-pool path on";
-  print_endline "top — warm pools should track the in-memory numbers."
+  print_endline "top — warm pools should track the in-memory numbers. The coord rows";
+  print_endline "add a network hop and shard probes per request: coord1 prices the";
+  print_endline "fan-out machinery alone, coord2 the actual 2-shard distribution."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite: one Test.make per table/figure-defining

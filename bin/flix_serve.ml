@@ -31,12 +31,16 @@ module Path_index = Fx_index.Path_index
 module Hopi = Fx_index.Hopi
 module Disk_hopi = Fx_index.Disk_hopi
 module Catalog = Fx_index.Catalog
+module Shard_plan = Fx_shard.Shard_plan
+module Coordinator = Fx_shard.Coordinator
 
 let usage () =
   print_endline
     "usage: flix_serve [--port N] [--host A] [--workers N] [--queue N]\n\
     \                  [--deadline-ms F] [--docs N | --xml-dir DIR] [--seed N]\n\
-    \                  [--index-dir DIR] [--pool-pages N]";
+    \                  [--index-dir DIR] [--pool-pages N]\n\
+    \       flix_serve --build-shards N --index-dir DIR [--docs N | --xml-dir DIR]\n\
+    \       flix_serve --coordinator --index-dir DIR --shard HOST:PORT [--shard ...]";
   exit 1
 
 type source = Generate of int | Xml_dir of string
@@ -100,8 +104,9 @@ let open_deployment ~prefix ~pool_pages () =
   let disk = Disk_hopi.open_ ?pool_pages ~path:prefix () in
   (disk, catalog)
 
-let serve cfg backend =
+let serve ?(register = fun _ -> ()) cfg backend =
   let server = Server.start_backend ~config:cfg backend in
+  register server;
   Printf.printf "serving on %s:%d (%d workers, queue %d, deadline %.0f ms)\n%!"
     cfg.Server.host (Server.port server) cfg.Server.workers cfg.Server.queue_capacity
     cfg.Server.deadline_ms;
@@ -117,14 +122,121 @@ let serve cfg backend =
   Printf.printf "\nshutting down...\n%!";
   Server.stop server
 
+let manifest_path dir = Filename.concat dir "manifest.shards"
+
+(* Build one disk deployment per shard — each a plain --index-dir
+   directory, DIR/shard<i>/index — plus the coordinator's manifest. *)
+let build_shards ~dir ~n_shards source seed =
+  let collection = load_collection source seed in
+  Printf.printf "collection: %s\n%!" (C.stats collection);
+  let plan = Shard_plan.plan ~n_shards collection in
+  List.iter print_endline (Shard_plan.describe plan);
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Shard_plan.save ~path:(manifest_path dir) plan;
+  let docs = Shard_plan.shard_documents plan collection in
+  Array.iteri
+    (fun s doc_list ->
+      let sub = C.build doc_list in
+      let subdir = Filename.concat dir (Printf.sprintf "shard%d" s) in
+      (try Unix.mkdir subdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let prefix = Filename.concat subdir "index" in
+      let dg = { Path_index.graph = C.graph sub; tag = C.tag sub } in
+      let hopi, build_ns = Fx_util.Stopwatch.time_ns (fun () -> Hopi.build dg) in
+      Disk_hopi.save ~path:prefix dg hopi;
+      Catalog.save ~path:(catalog_path prefix) (Catalog.of_collection sub);
+      Printf.printf "shard %d: %s -> %s (indexed in %.2f s)\n%!" s (C.stats sub) subdir
+        (Int64.to_float build_ns /. 1e9))
+    docs;
+  Printf.printf "wrote %d shard deployments and %s\n%!" (Array.length docs)
+    (manifest_path dir);
+  Printf.printf "serve each shard with: flix_serve --index-dir %s/shard<i>\n%!" dir
+
+let serve_coordinator cfg ~dir ~shards =
+  let plan = Shard_plan.load (manifest_path dir) in
+  List.iter print_endline (Shard_plan.describe plan);
+  if List.length shards <> Shard_plan.n_shards plan then begin
+    Printf.eprintf "flix_serve: plan wants %d shards, got %d --shard addresses\n"
+      (Shard_plan.n_shards plan) (List.length shards);
+    exit 1
+  end;
+  let coord = Coordinator.create ~plan ~shards () in
+  Fun.protect
+    ~finally:(fun () -> Coordinator.close coord)
+    (fun () ->
+      serve cfg
+        (Server.Custom (Coordinator.backend coord))
+        ~register:(fun server ->
+          Fx_server.Metrics.register_collector (Server.metrics server)
+            (Coordinator.metric_lines coord)))
+
+let serve_plain cfg source seed index_dir pool_pages =
+  match index_dir with
+  | Some dir -> (
+      (* Persistent serving. A mangled or half-written store must come
+         back as one diagnostic line, not an uncaught backtrace. *)
+      let prefix = Filename.concat dir "index" in
+      match
+        if Sys.file_exists (catalog_path prefix) then
+          open_deployment ~prefix ~pool_pages ()
+        else build_deployment ~dir ~prefix ~pool_pages source seed
+      with
+      | exception Fx_util.Codec.Corrupt msg ->
+          Printf.eprintf "flix_serve: corrupt index store under %s: %s\n" dir msg;
+          exit 1
+      | exception Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "flix_serve: cannot use index dir %s: %s (%s %s)\n" dir
+            (Unix.error_message err) fn arg;
+          exit 1
+      | exception Sys_error msg ->
+          Printf.eprintf "flix_serve: cannot use index dir %s: %s\n" dir msg;
+          exit 1
+      | exception Invalid_argument msg ->
+          Printf.eprintf "flix_serve: cannot use index dir %s: %s\n" dir msg;
+          exit 1
+      | disk, catalog ->
+          Printf.printf "deployment: %d nodes, %d documents, %d tag names\n%!"
+            (Catalog.n_nodes catalog) (Catalog.n_docs catalog) (Catalog.n_tags catalog);
+          Fun.protect
+            ~finally:(fun () -> Disk_hopi.close disk)
+            (fun () -> serve cfg (Server.On_disk { hopi = disk; catalog })))
+  | None ->
+      let collection = load_collection source seed in
+      Printf.printf "collection: %s\n%!" (C.stats collection);
+      Printf.printf "building FliX index...\n%!";
+      let flix, build_s = Fx_util.Stopwatch.time_ns (fun () -> Flix.build collection) in
+      Printf.printf "built in %.2f s (%.2f MB)\n%!"
+        (Int64.to_float build_s /. 1e9)
+        (float_of_int (Flix.index_size_bytes flix) /. 1048576.0);
+      serve cfg (Server.In_memory flix)
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> failwith "expected HOST:PORT"
+  | Some i ->
+      let host = String.sub s 0 i in
+      let port = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      ((if host = "" then "127.0.0.1" else host), port)
+
 let () =
   let cfg = ref { Server.default_config with port = 7070 } in
   let source = ref (Generate 600) in
   let seed = ref 7 in
   let index_dir = ref None in
   let pool_pages = ref None in
+  let build_n = ref None in
+  let coordinator = ref false in
+  let shard_addrs = ref [] in
   let rec parse = function
     | [] -> ()
+    | "--build-shards" :: v :: rest ->
+        build_n := Some (int_of_string v);
+        parse rest
+    | "--coordinator" :: rest ->
+        coordinator := true;
+        parse rest
+    | "--shard" :: v :: rest ->
+        shard_addrs := parse_host_port v :: !shard_addrs;
+        parse rest
     | "--port" :: v :: rest ->
         cfg := { !cfg with port = int_of_string v };
         parse rest
@@ -159,41 +271,34 @@ let () =
   in
   (try parse (List.tl (Array.to_list Sys.argv)) with
   | Failure _ -> usage ());
-  match !index_dir with
-  | Some dir -> (
-      (* Persistent serving. A mangled or half-written store must come
-         back as one diagnostic line, not an uncaught backtrace. *)
-      let prefix = Filename.concat dir "index" in
-      match
-        if Sys.file_exists (catalog_path prefix) then
-          open_deployment ~prefix ~pool_pages:!pool_pages ()
-        else build_deployment ~dir ~prefix ~pool_pages:!pool_pages !source !seed
-      with
-      | exception Fx_util.Codec.Corrupt msg ->
-          Printf.eprintf "flix_serve: corrupt index store under %s: %s\n" dir msg;
+  match (!build_n, !coordinator, !index_dir) with
+  | Some n, _, Some dir -> (
+      (* Shard building: write the deployments and the manifest, then
+         exit — each shard is served by its own flix_serve process. *)
+      try build_shards ~dir ~n_shards:n !source !seed with
+      | Invalid_argument msg | Sys_error msg ->
+          Printf.eprintf "flix_serve: cannot build shards under %s: %s\n" dir msg;
           exit 1
-      | exception Unix.Unix_error (err, fn, arg) ->
-          Printf.eprintf "flix_serve: cannot use index dir %s: %s (%s %s)\n" dir
+      | Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "flix_serve: cannot build shards under %s: %s (%s %s)\n" dir
             (Unix.error_message err) fn arg;
+          exit 1)
+  | Some _, _, None ->
+      Printf.eprintf "flix_serve: --build-shards needs --index-dir\n";
+      exit 1
+  | None, true, Some dir -> (
+      match serve_coordinator !cfg ~dir ~shards:(List.rev !shard_addrs) with
+      | () -> ()
+      | exception Fx_util.Codec.Corrupt msg ->
+          Printf.eprintf "flix_serve: corrupt shard manifest under %s: %s\n" dir msg;
           exit 1
       | exception Sys_error msg ->
-          Printf.eprintf "flix_serve: cannot use index dir %s: %s\n" dir msg;
+          Printf.eprintf "flix_serve: cannot read shard manifest under %s: %s\n" dir msg;
           exit 1
       | exception Invalid_argument msg ->
-          Printf.eprintf "flix_serve: cannot use index dir %s: %s\n" dir msg;
-          exit 1
-      | disk, catalog ->
-          Printf.printf "deployment: %d nodes, %d documents, %d tag names\n%!"
-            (Catalog.n_nodes catalog) (Catalog.n_docs catalog) (Catalog.n_tags catalog);
-          Fun.protect
-            ~finally:(fun () -> Disk_hopi.close disk)
-            (fun () -> serve !cfg (Server.On_disk { hopi = disk; catalog })))
-  | None ->
-      let collection = load_collection !source !seed in
-      Printf.printf "collection: %s\n%!" (C.stats collection);
-      Printf.printf "building FliX index...\n%!";
-      let flix, build_s = Fx_util.Stopwatch.time_ns (fun () -> Flix.build collection) in
-      Printf.printf "built in %.2f s (%.2f MB)\n%!"
-        (Int64.to_float build_s /. 1e9)
-        (float_of_int (Flix.index_size_bytes flix) /. 1048576.0);
-      serve !cfg (Server.In_memory flix)
+          Printf.eprintf "flix_serve: bad coordinator setup: %s\n" msg;
+          exit 1)
+  | None, true, None ->
+      Printf.eprintf "flix_serve: --coordinator needs --index-dir for the manifest\n";
+      exit 1
+  | None, false, _ -> serve_plain !cfg !source !seed !index_dir !pool_pages

@@ -1,5 +1,8 @@
 let verbs =
-  [ "ping"; "stats"; "metrics"; "sleep"; "descendants"; "connected"; "evaluate"; "other" ]
+  [
+    "ping"; "stats"; "metrics"; "sleep"; "descendants"; "ancestors"; "connected";
+    "evaluate"; "resolve"; "other";
+  ]
 
 let n_verbs = List.length verbs
 

@@ -10,6 +10,8 @@ type request =
       k : int;
       max_dist : int option;
     }
+  | Node_descendants of { node : int; tag : string option; k : int; max_dist : int option }
+  | Ancestors of { node : int; tag : string option; k : int; max_dist : int option }
   | Connected of { a : int; b : int; max_dist : int option }
   | Evaluate of {
       start_tag : string;
@@ -17,6 +19,7 @@ type request =
       k : int;
       max_dist : int option;
     }
+  | Resolve of { doc : string; anchor : string option }
 
 type item = { node : int; dist : int; meta : int }
 
@@ -26,21 +29,31 @@ type response =
   | Busy
   | Err of string
   | Dist of int option
-  | Items of { items : item list; timed_out : bool }
+  | Items of { items : item list; timed_out : bool; partial : bool }
   | Lines of string list
+
+type envelope = { deadline_ms : int option; req : request }
 
 let verb = function
   | Ping -> "ping"
   | Stats -> "stats"
   | Metrics -> "metrics"
   | Sleep _ -> "sleep"
-  | Descendants _ -> "descendants"
+  | Descendants _ | Node_descendants _ -> "descendants"
+  | Ancestors _ -> "ancestors"
   | Connected _ -> "connected"
   | Evaluate _ -> "evaluate"
+  | Resolve _ -> "resolve"
 
 let pool_bound = function
   | Ping | Metrics -> false
-  | Stats | Sleep _ | Descendants _ | Connected _ | Evaluate _ -> true
+  | Stats | Sleep _ | Descendants _ | Node_descendants _ | Ancestors _ | Connected _
+  | Evaluate _ | Resolve _ ->
+      true
+
+let streams_items = function
+  | Descendants _ | Node_descendants _ | Ancestors _ | Evaluate _ -> true
+  | Ping | Stats | Metrics | Sleep _ | Connected _ | Resolve _ -> false
 
 (* --- requests ------------------------------------------------------- *)
 
@@ -69,10 +82,17 @@ let parse_max_dist = function
       Ok (Some d)
   | _ -> Error "trailing tokens after max_dist"
 
-let parse_request line =
-  let tokens =
-    List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim line))
-  in
+(* The shared <node> <tag|-> <k> [max] argument shape of the
+   node-addressed stream verbs. *)
+let parse_node_stream ~make node tag k rest =
+  let* node = int_of ~what:"node" node in
+  let* node = non_negative ~what:"node" node in
+  let* k = int_of ~what:"k" k in
+  let* k = positive ~what:"k" k in
+  let* max_dist = parse_max_dist rest in
+  Ok (make ~node ~tag:(parse_opt_field tag) ~k ~max_dist)
+
+let parse_tokens tokens =
   match tokens with
   | [] -> Error "empty request"
   | cmd :: args -> (
@@ -97,6 +117,12 @@ let parse_request line =
                  k;
                  max_dist;
                })
+      | "NDESCENDANTS", node :: tag :: k :: rest ->
+          parse_node_stream node tag k rest ~make:(fun ~node ~tag ~k ~max_dist ->
+              Node_descendants { node; tag; k; max_dist })
+      | "ANCESTORS", node :: tag :: k :: rest ->
+          parse_node_stream node tag k rest ~make:(fun ~node ~tag ~k ~max_dist ->
+              Ancestors { node; tag; k; max_dist })
       | "CONNECTED", a :: b :: rest ->
           let* a = int_of ~what:"a" a in
           let* b = int_of ~what:"b" b in
@@ -107,10 +133,29 @@ let parse_request line =
           let* k = positive ~what:"k" k in
           let* max_dist = parse_max_dist rest in
           Ok (Evaluate { start_tag; target_tag; k; max_dist })
-      | ("PING" | "STATS" | "METRICS" | "SLEEP" | "DESCENDANTS" | "CONNECTED" | "EVALUATE"), _
-        ->
+      | "RESOLVE", [ doc; anchor ] ->
+          Ok (Resolve { doc; anchor = parse_opt_field anchor })
+      | ( ( "PING" | "STATS" | "METRICS" | "SLEEP" | "DESCENDANTS" | "NDESCENDANTS"
+          | "ANCESTORS" | "CONNECTED" | "EVALUATE" | "RESOLVE" ),
+          _ ) ->
           Error (Printf.sprintf "wrong number of arguments for %s" cmd)
       | _ -> Error (Printf.sprintf "unknown verb %S" cmd))
+
+let tokenize line =
+  List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim line))
+
+let parse_envelope line =
+  match tokenize line with
+  | cmd :: ms :: rest when String.uppercase_ascii cmd = "DEADLINE" ->
+      let* ms = int_of ~what:"deadline ms" ms in
+      let* ms = non_negative ~what:"deadline ms" ms in
+      let* req = parse_tokens rest in
+      Ok { deadline_ms = Some ms; req }
+  | tokens ->
+      let* req = parse_tokens tokens in
+      Ok { deadline_ms = None; req }
+
+let parse_request line = Result.map (fun e -> e.req) (parse_envelope line)
 
 let request_line r =
   let md = function None -> "" | Some d -> " " ^ string_of_int d in
@@ -122,11 +167,27 @@ let request_line r =
   | Descendants { doc; anchor; tag; k; max_dist } ->
       Printf.sprintf "DESCENDANTS %s %s %s %d%s" doc (opt_field anchor)
         (opt_field tag) k (md max_dist)
+  | Node_descendants { node; tag; k; max_dist } ->
+      Printf.sprintf "NDESCENDANTS %d %s %d%s" node (opt_field tag) k (md max_dist)
+  | Ancestors { node; tag; k; max_dist } ->
+      Printf.sprintf "ANCESTORS %d %s %d%s" node (opt_field tag) k (md max_dist)
   | Connected { a; b; max_dist } -> Printf.sprintf "CONNECTED %d %d%s" a b (md max_dist)
   | Evaluate { start_tag; target_tag; k; max_dist } ->
       Printf.sprintf "EVALUATE %s %s %d%s" start_tag target_tag k (md max_dist)
+  | Resolve { doc; anchor } -> Printf.sprintf "RESOLVE %s %s" doc (opt_field anchor)
+
+let envelope_line ?deadline_ms r =
+  match deadline_ms with
+  | None -> request_line r
+  | Some ms -> Printf.sprintf "DEADLINE %d %s" ms (request_line r)
 
 (* --- responses ------------------------------------------------------ *)
+
+let item_line { node; dist; meta } = Printf.sprintf "ITEM %d %d %d" node dist meta
+
+let items_trailer ~count ~timed_out ~partial =
+  let word = if timed_out then "TIMEOUT" else if partial then "PARTIAL" else "DONE" in
+  Printf.sprintf "%s %d" word count
 
 let response_lines = function
   | Pong -> [ "PONG" ]
@@ -137,16 +198,27 @@ let response_lines = function
       [ "ERR " ^ String.map (function '\n' | '\r' -> ' ' | c -> c) msg ]
   | Dist None -> [ "NODIST" ]
   | Dist (Some d) -> [ Printf.sprintf "DIST %d" d ]
-  | Items { items; timed_out } ->
-      List.map
-        (fun { node; dist; meta } -> Printf.sprintf "ITEM %d %d %d" node dist meta)
-        items
-      @ [ Printf.sprintf "%s %d" (if timed_out then "TIMEOUT" else "DONE")
-            (List.length items) ]
+  | Items { items; timed_out; partial } ->
+      List.map item_line items
+      @ [ items_trailer ~count:(List.length items) ~timed_out ~partial ]
   | Lines payload ->
       Printf.sprintf "LINES %d" (List.length payload) :: payload
 
-let read_response read_line =
+type trailer = { count : int; timed_out : bool; partial : bool }
+
+let trailer_of_line line =
+  match String.split_on_char ' ' line with
+  | [ word; n ] -> (
+      match (word, int_of_string_opt n) with
+      | "DONE", Some count -> Some { count; timed_out = false; partial = false }
+      | "TIMEOUT", Some count -> Some { count; timed_out = true; partial = false }
+      | "PARTIAL", Some count -> Some { count; timed_out = false; partial = true }
+      | _ -> None)
+  | _ -> None
+
+(* The generic response reader, parameterized over item delivery so the
+   buffering and the streaming entry points share one parser. *)
+let read_response_gen read_line ~on_item ~items_value =
   (* One line of pushback so the first ITEM/DONE line can be re-examined
      by the item-stream loop. *)
   let pending = ref None in
@@ -157,7 +229,7 @@ let read_response read_line =
         Some l
     | None -> read_line ()
   in
-  let rec items acc =
+  let rec items n =
     match read_line () with
     | None -> Error "connection closed mid-response"
     | Some line -> (
@@ -166,14 +238,15 @@ let read_response read_line =
             match
               (int_of_string_opt node, int_of_string_opt dist, int_of_string_opt meta)
             with
-            | Some node, Some dist, Some meta -> items ({ node; dist; meta } :: acc)
+            | Some node, Some dist, Some meta ->
+                on_item { node; dist; meta };
+                items (n + 1)
             | _ -> Error (Printf.sprintf "malformed ITEM line %S" line))
-        | [ "DONE"; n ] when int_of_string_opt n = Some (List.length acc) ->
-            Ok (Items { items = List.rev acc; timed_out = false })
-        | [ "TIMEOUT"; n ] when int_of_string_opt n = Some (List.length acc) ->
-            Ok (Items { items = List.rev acc; timed_out = true })
-        | ("DONE" | "TIMEOUT") :: _ ->
-            Error (Printf.sprintf "trailer count mismatch in %S" line)
+        | ("DONE" | "TIMEOUT" | "PARTIAL") :: _ -> (
+            match trailer_of_line line with
+            | Some t when t.count = n -> Ok (items_value t)
+            | Some _ -> Error (Printf.sprintf "trailer count mismatch in %S" line)
+            | None -> Error (Printf.sprintf "malformed trailer line %S" line))
         | _ -> Error (Printf.sprintf "unexpected line %S in item stream" line))
   in
   let rec raw_lines n acc =
@@ -205,7 +278,19 @@ let read_response read_line =
           match int_of_string_opt n with
           | Some n when n >= 0 -> raw_lines n []
           | _ -> Error (Printf.sprintf "malformed LINES header %S" line))
-      | ("ITEM" | "DONE" | "TIMEOUT") :: _ ->
+      | ("ITEM" | "DONE" | "TIMEOUT" | "PARTIAL") :: _ ->
           pending := Some line;
-          items []
+          items 0
       | _ -> Error (Printf.sprintf "unexpected response line %S" line))
+
+let read_response read_line =
+  let acc = ref [] in
+  read_response_gen read_line
+    ~on_item:(fun it -> acc := it :: !acc)
+    ~items_value:(fun t ->
+      Items { items = List.rev !acc; timed_out = t.timed_out; partial = t.partial })
+
+let read_item_stream read_line ~on_item =
+  read_response_gen read_line ~on_item
+    ~items_value:(fun t ->
+      Items { items = []; timed_out = t.timed_out; partial = t.partial })

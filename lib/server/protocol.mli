@@ -9,19 +9,39 @@
     PING                                             PONG
     SLEEP <ms>                                       OK | TIMEOUT 0
     DESCENDANTS <doc> <anchor|-> <tag|-> <k> [max]   ITEM*, DONE <n> | TIMEOUT <n>
+    NDESCENDANTS <node> <tag|-> <k> [max]            ITEM*, DONE <n> | TIMEOUT <n>
+    ANCESTORS <node> <tag|-> <k> [max]               ITEM*, DONE <n> | TIMEOUT <n>
     CONNECTED <a> <b> [max]                          DIST <d> | NODIST
     EVALUATE <start_tag> <target_tag> <k> [max]      ITEM*, DONE <n> | TIMEOUT <n>
+    RESOLVE <doc> <anchor|->                         ITEM <node> 0 0, DONE 1 | DONE 0
     STATS                                            LINES <n> then n raw lines
     METRICS                                          LINES <n> then n raw lines
     (any, queue full)                                BUSY
     (malformed)                                      ERR <message>
     v}
 
+    Any request line may be prefixed with [DEADLINE <ms>] to override
+    the server's default deadline for that request alone — the sharded
+    coordinator uses it to propagate its remaining time budget to shard
+    servers. Use {!parse_envelope} to observe the prefix;
+    {!parse_request} accepts and discards it.
+
     Each [ITEM <node> <dist> <meta>] line carries one {!Pee.item}; the
-    [DONE]/[TIMEOUT] trailer carries the item count, [TIMEOUT] marking a
-    partial result cut off by the request deadline. [SLEEP] is a
-    diagnostic verb: it occupies a worker for the given number of
-    milliseconds — tests use it to saturate the pool deterministically. *)
+    [DONE]/[TIMEOUT]/[PARTIAL] trailer carries the item count.
+    [TIMEOUT] marks a result cut off by the request deadline; [PARTIAL]
+    marks a complete-as-far-as-possible result degraded by a backend
+    failure (a sharded deployment with a dead shard answers [PARTIAL]
+    instead of failing the whole query). [SLEEP] is a diagnostic verb:
+    it occupies a worker for the given number of milliseconds — tests
+    use it to saturate the pool deterministically.
+
+    [NDESCENDANTS] and [ANCESTORS] are node-addressed: they take a raw
+    node id (like [CONNECTED]) instead of a [doc#anchor] name, which is
+    how the coordinator chases cross-shard links without a catalog.
+    [ANCESTORS] evaluates ancestors-{e or-self}: the start node itself
+    is reported at distance 0 when it matches the tag filter, so
+    "closest ancestor with tag [t]" includes the node being probed.
+    [NDESCENDANTS] mirrors [DESCENDANTS] and excludes the start. *)
 
 type request =
   | Ping
@@ -35,6 +55,8 @@ type request =
       k : int;
       max_dist : int option;
     }
+  | Node_descendants of { node : int; tag : string option; k : int; max_dist : int option }
+  | Ancestors of { node : int; tag : string option; k : int; max_dist : int option }
   | Connected of { a : int; b : int; max_dist : int option }
   | Evaluate of {
       start_tag : string;
@@ -42,6 +64,7 @@ type request =
       k : int;
       max_dist : int option;
     }
+  | Resolve of { doc : string; anchor : string option }
 
 type item = { node : int; dist : int; meta : int }
 
@@ -51,23 +74,46 @@ type response =
   | Busy                                           (** admission control *)
   | Err of string
   | Dist of int option
-  | Items of { items : item list; timed_out : bool }
+  | Items of { items : item list; timed_out : bool; partial : bool }
   | Lines of string list                           (** [STATS] / [METRICS] payload *)
 
+type envelope = { deadline_ms : int option; req : request }
+(** A request with its optional per-request deadline override. *)
+
 val verb : request -> string
-(** Lower-case verb name, the metrics label ("ping", "descendants", ...). *)
+(** Lower-case verb name, the metrics label ("ping", "descendants", ...).
+    [Node_descendants] shares the "descendants" label — same query
+    shape, different addressing. *)
 
 val pool_bound : request -> bool
 (** Whether the request must go through the worker pool. [Ping] and
     [Metrics] are answered inline so the observability plane stays
     responsive on a saturated server. *)
 
+val streams_items : request -> bool
+(** Whether the verb's response is an item stream whose [ITEM] lines
+    the server flushes incrementally as they are produced. *)
+
 val parse_request : string -> (request, string) result
-(** Parse one request line. The error string is human-readable and is
-    sent back verbatim as [ERR <message>]. *)
+(** Parse one request line; a [DEADLINE <ms>] prefix is accepted and
+    discarded. The error string is human-readable and is sent back
+    verbatim as [ERR <message>]. *)
+
+val parse_envelope : string -> (envelope, string) result
+(** Like {!parse_request}, but reports the [DEADLINE] prefix. *)
 
 val request_line : request -> string
 (** Render a request; [parse_request (request_line r) = Ok r]. *)
+
+val envelope_line : ?deadline_ms:int -> request -> string
+(** [request_line] with an optional [DEADLINE <ms>] prefix. *)
+
+val item_line : item -> string
+(** One [ITEM <node> <dist> <meta>] wire line. *)
+
+val items_trailer : count:int -> timed_out:bool -> partial:bool -> string
+(** The stream trailer: [TIMEOUT n] when [timed_out], else [PARTIAL n]
+    when [partial], else [DONE n]. *)
 
 val response_lines : response -> string list
 (** Render a response as wire lines, in order. *)
@@ -75,3 +121,16 @@ val response_lines : response -> string list
 val read_response : (unit -> string option) -> (response, string) result
 (** [read_response read_line] parses one full response by pulling lines
     from [read_line] ([None] = connection closed). *)
+
+type trailer = { count : int; timed_out : bool; partial : bool }
+
+val read_item_stream :
+  (unit -> string option) ->
+  on_item:(item -> unit) ->
+  (response, string) result
+(** Like {!read_response}, but delivers [ITEM] lines through [on_item]
+    as they are read instead of accumulating them — the consuming side
+    of the server's incremental flushing. The final [Items] response
+    carries an empty list; its [timed_out]/[partial] flags and the
+    verified trailer count reflect the full stream. Non-stream
+    responses ([BUSY], [ERR], [DIST], ...) are returned unchanged. *)

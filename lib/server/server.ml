@@ -37,25 +37,42 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-(* A job travels from the connection thread to a worker domain and its
-   response travels back through the mailbox — a one-shot cell so the
-   connection thread can write responses in request order. *)
+(* A job travels from the connection thread to a worker domain; items
+   and the terminal response travel back through the mailbox. The worker
+   pushes ITEM payloads as it produces them and the connection thread
+   drains and flushes them immediately, so a slow stream reaches the
+   client (and a merging coordinator) incrementally instead of as one
+   buffered block. The terminal response is set last, under the same
+   mutex, so a drained-empty mailbox with [resp = Some _] is complete. *)
 type mailbox = {
   m : Mutex.t;
   c : Condition.t;
+  mutable items : Protocol.item list; (* newest first *)
   mutable resp : Protocol.response option;
 }
 
 type job = { req : Protocol.request; deadline_ns : int64; reply : mailbox }
 
+type custom = {
+  custom_eval :
+    emit:(Protocol.item -> unit) ->
+    deadline_ns:int64 ->
+    Protocol.request ->
+    Protocol.response;
+  custom_stats : unit -> string list;
+}
+
 (* What the worker pool evaluates against. [In_memory] is the original
    regime: shared immutable indexes, a private PEE per domain.
    [On_disk] serves straight from a persistent {!Disk_hopi} deployment —
    the thread-safe pager lets every domain share one handle, and the
-   catalog resolves document/anchor/tag names without the collection. *)
+   catalog resolves document/anchor/tag names without the collection.
+   [Custom] delegates to an external evaluator — the scatter-gather
+   coordinator of a sharded deployment plugs in here. *)
 type backend =
   | In_memory of Flix.t
   | On_disk of { hopi : Disk_hopi.t; catalog : Catalog.t }
+  | Custom of custom
 
 type t = {
   cfg : config;
@@ -75,22 +92,8 @@ type t = {
 
 let expired deadline_ns = Stopwatch.now_ns () > deadline_ns
 
-(* Pull up to [k] items, checking the deadline after each one: a query
-   that finds anything always returns at least its first item, and a
-   zero deadline still times out deterministically. *)
-let pull_items ~deadline_ns ~k stream =
-  let rec go acc n =
-    if n >= k then (List.rev acc, false)
-    else
-      match RS.next stream with
-      | None -> (List.rev acc, false)
-      | Some (it : Pee.item) ->
-          let acc =
-            { Protocol.node = it.node; dist = it.dist; meta = it.meta } :: acc
-          in
-          if expired deadline_ns then (List.rev acc, true) else go acc (n + 1)
-  in
-  go [] 0
+let no_items ?(timed_out = false) ?(partial = false) () =
+  Protocol.Items { items = []; timed_out; partial }
 
 (* Tag names resolve like Flix.tag_arg: unknown tag -> the PEE's
    "match nothing" sentinel, not an error — heterogeneous collections
@@ -103,7 +106,7 @@ let tag_arg coll = function
    diagnostic stand-in for a long-running query. *)
 let nap ~deadline_ns ms =
   let rec go remaining =
-    if expired deadline_ns then Protocol.Items { items = []; timed_out = true }
+    if expired deadline_ns then no_items ~timed_out:true ()
     else if remaining <= 0 then Protocol.Ok_done
     else begin
       let slice = min remaining 5 in
@@ -113,26 +116,49 @@ let nap ~deadline_ns ms =
   in
   go ms
 
-let evaluate_memory t flix pee (job : job) : Protocol.response =
+let node_range_err n = Protocol.Err (Printf.sprintf "node id out of range [0, %d)" n)
+
+let resolved_node = function
+  | None -> no_items ()
+  | Some node ->
+      Protocol.Items
+        { items = [ { Protocol.node; dist = 0; meta = 0 } ]; timed_out = false; partial = false }
+
+let evaluate_memory t flix pee ~emit (job : job) : Protocol.response =
   let coll = Flix.collection flix in
+  let n_nodes = Collection.n_nodes coll in
   let k_cap k = min k t.cfg.max_results in
+  (* Emit up to [k] items, checking the deadline after each one: a query
+     that finds anything always returns at least its first item, and a
+     zero deadline still times out deterministically. *)
+  let stream_out ~k stream =
+    let rec go n =
+      if n >= k then false
+      else
+        match RS.next stream with
+        | None -> false
+        | Some (it : Pee.item) ->
+            emit { Protocol.node = it.node; dist = it.dist; meta = it.meta };
+            if expired job.deadline_ns then true else go (n + 1)
+    in
+    no_items ~timed_out:(go 0) ()
+  in
   match job.req with
-  | (Protocol.Stats | Protocol.Connected _) when expired job.deadline_ns ->
+  | (Protocol.Stats | Protocol.Connected _ | Protocol.Resolve _)
+    when expired job.deadline_ns ->
       (* Expired while queued: answer TIMEOUT up front rather than burn
          worker time on a full answer the deadline policy has already
          cut — under overload that work only amplifies the backlog. The
          streaming verbs (and SLEEP) below check per item and keep their
          at-least-one-item guarantee. *)
-      Protocol.Items { items = []; timed_out = true }
+      no_items ~timed_out:true ()
   | Protocol.Ping -> Protocol.Pong
   | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
   | Protocol.Stats ->
       Protocol.Lines (String.split_on_char '\n' (Flix.report flix))
   | Protocol.Sleep ms -> nap ~deadline_ns:job.deadline_ns ms
   | Protocol.Connected { a; b; max_dist } ->
-      let n = Collection.n_nodes coll in
-      if a < 0 || a >= n || b < 0 || b >= n then
-        Protocol.Err (Printf.sprintf "node id out of range [0, %d)" n)
+      if a < 0 || a >= n_nodes || b < 0 || b >= n_nodes then node_range_err n_nodes
       else Protocol.Dist (Pee.connected ?max_dist pee a b)
   | Protocol.Descendants { doc; anchor; tag; k; max_dist } -> (
       match Flix.node_of flix ~doc ~anchor with
@@ -141,24 +167,26 @@ let evaluate_memory t flix pee (job : job) : Protocol.response =
             (Printf.sprintf "unknown document or anchor %s%s" doc
                (match anchor with None -> "" | Some a -> "#" ^ a))
       | Some start ->
-          let stream =
-            Pee.descendants ?tag:(tag_arg coll tag) ?max_dist pee ~start
-          in
-          let items, timed_out =
-            pull_items ~deadline_ns:job.deadline_ns ~k:(k_cap k) stream
-          in
-          Protocol.Items { items; timed_out })
+          stream_out ~k:(k_cap k)
+            (Pee.descendants ?tag:(tag_arg coll tag) ?max_dist pee ~start))
+  | Protocol.Node_descendants { node; tag; k; max_dist } ->
+      if node < 0 || node >= n_nodes then node_range_err n_nodes
+      else
+        stream_out ~k:(k_cap k)
+          (Pee.descendants ?tag:(tag_arg coll tag) ?max_dist pee ~start:node)
+  | Protocol.Ancestors { node; tag; k; max_dist } ->
+      if node < 0 || node >= n_nodes then node_range_err n_nodes
+      else
+        (* ancestors-or-self: the probed node itself counts at distance
+           0 when it matches — see the protocol contract. *)
+        stream_out ~k:(k_cap k)
+          (Pee.ancestors ?tag:(tag_arg coll tag) ?max_dist ~include_self:true pee
+             ~start:node)
   | Protocol.Evaluate { start_tag; target_tag; k; max_dist } ->
       let starts = Collection.find_by_tag coll start_tag in
-      let stream =
-        Pee.descendants_multi
-          ?tag:(tag_arg coll (Some target_tag))
-          ?max_dist pee ~starts
-      in
-      let items, timed_out =
-        pull_items ~deadline_ns:job.deadline_ns ~k:(k_cap k) stream
-      in
-      Protocol.Items { items; timed_out }
+      stream_out ~k:(k_cap k)
+        (Pee.descendants_multi ?tag:(tag_arg coll (Some target_tag)) ?max_dist pee ~starts)
+  | Protocol.Resolve { doc; anchor } -> resolved_node (Flix.node_of flix ~doc ~anchor)
 
 (* --- disk-backed evaluation ----------------------------------------- *)
 
@@ -171,13 +199,6 @@ let within_dist max_dist d =
   match max_dist with None -> true | Some m -> d <= m
 
 let take k l = List.filteri (fun i _ -> i < k) l
-
-let items_of_pairs ?(timed_out = false) pairs =
-  Protocol.Items
-    {
-      items = List.map (fun (node, dist) -> { Protocol.node; dist; meta = 0 }) pairs;
-      timed_out;
-    }
 
 let disk_report hopi catalog =
   let module P = Fx_store.Pager in
@@ -221,19 +242,40 @@ let pool_metric_lines hopi () =
 (* Unlike the PEE stream, a disk probe computes whole result blocks —
    there is no per-item deadline cut — so every pool verb answers the
    queued-expiry TIMEOUT up front, and EVALUATE re-checks the deadline
-   between start nodes. *)
-let evaluate_disk t hopi catalog (job : job) : Protocol.response =
+   between start nodes. Result blocks are still emitted item by item so
+   the wire sees an incremental stream. *)
+let evaluate_disk t hopi catalog ~emit (job : job) : Protocol.response =
   let k_cap k = min k t.cfg.max_results in
+  let emit_pairs ?timed_out ?partial pairs =
+    List.iter (fun (node, dist) -> emit { Protocol.node; dist; meta = 0 }) pairs;
+    no_items ?timed_out ?partial ()
+  in
+  (* Unknown tag names match nothing, like the in-memory path's
+     sentinel — and never reach the tag B-tree with a bogus id. *)
+  let resolve_tag tag = Option.map (Catalog.tag_id catalog) tag in
+  let node_stream ~probe ~drop_self node tag k max_dist =
+    if node < 0 || node >= Catalog.n_nodes catalog then
+      node_range_err (Catalog.n_nodes catalog)
+    else
+      match resolve_tag tag with
+      | Some None -> no_items ()
+      | (None | Some (Some _)) as resolved ->
+          let want = Option.join resolved in
+          probe node want
+          |> List.filter (fun (v, d) ->
+                 ((not drop_self) || not (v = node && d = 0)) && within_dist max_dist d)
+          |> take (k_cap k)
+          |> emit_pairs
+  in
   match job.req with
   | Protocol.Ping -> Protocol.Pong
   | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
-  | _ when expired job.deadline_ns -> Protocol.Items { items = []; timed_out = true }
+  | _ when expired job.deadline_ns -> no_items ~timed_out:true ()
   | Protocol.Stats -> Protocol.Lines (disk_report hopi catalog)
   | Protocol.Sleep ms -> nap ~deadline_ns:job.deadline_ns ms
   | Protocol.Connected { a; b; max_dist } ->
       let n = Catalog.n_nodes catalog in
-      if a < 0 || a >= n || b < 0 || b >= n then
-        Protocol.Err (Printf.sprintf "node id out of range [0, %d)" n)
+      if a < 0 || a >= n || b < 0 || b >= n then node_range_err n
       else
         Protocol.Dist
           (match Disk_hopi.distance hopi a b with
@@ -242,21 +284,19 @@ let evaluate_disk t hopi catalog (job : job) : Protocol.response =
   | Protocol.Descendants { doc; anchor; tag; k; max_dist } -> (
       match Catalog.node_of catalog ~doc ~anchor with
       | None -> unknown_doc_err doc anchor
-      | Some start -> (
-          (* Unknown tag names match nothing, like the in-memory path's
-             sentinel — and never reach the tag B-tree with a bogus id. *)
-          match Option.map (Catalog.tag_id catalog) tag with
-          | Some None -> items_of_pairs []
-          | (None | Some (Some _)) as resolved ->
-              let want = Option.join resolved in
-              Disk_hopi.descendants_by_tag hopi start want
-              |> List.filter (fun (v, d) ->
-                     not (v = start && d = 0) && within_dist max_dist d)
-              |> take (k_cap k)
-              |> items_of_pairs))
+      | Some start ->
+          node_stream ~probe:(Disk_hopi.descendants_by_tag hopi) ~drop_self:true start
+            tag k max_dist)
+  | Protocol.Node_descendants { node; tag; k; max_dist } ->
+      node_stream ~probe:(Disk_hopi.descendants_by_tag hopi) ~drop_self:true node tag k
+        max_dist
+  | Protocol.Ancestors { node; tag; k; max_dist } ->
+      (* ancestors-or-self, so keep the node itself at distance 0. *)
+      node_stream ~probe:(Disk_hopi.ancestors_by_tag hopi) ~drop_self:false node tag k
+        max_dist
   | Protocol.Evaluate { start_tag; target_tag; k; max_dist } -> (
       match Catalog.tag_id catalog target_tag with
-      | None -> items_of_pairs []
+      | None -> no_items ()
       | Some target ->
           let starts =
             match Catalog.tag_id catalog start_tag with
@@ -288,7 +328,8 @@ let evaluate_disk t hopi catalog (job : job) : Protocol.response =
           |> List.sort (fun (v1, d1) (v2, d2) ->
                  match Int.compare d1 d2 with 0 -> Int.compare v1 v2 | c -> c)
           |> take (k_cap k)
-          |> items_of_pairs ~timed_out)
+          |> emit_pairs ~timed_out)
+  | Protocol.Resolve { doc; anchor } -> resolved_node (Catalog.node_of catalog ~doc ~anchor)
 
 let worker_loop t () =
   let eval =
@@ -298,18 +339,31 @@ let worker_loop t () =
            shared and immutable; the PEE's own statistics counters are
            not. *)
         let pee = Pee.create (Flix.built flix) in
-        evaluate_memory t flix pee
+        fun ~emit job -> evaluate_memory t flix pee ~emit job
     | On_disk { hopi; catalog } ->
         (* The pager under [hopi] is domain-safe, so every worker shares
            the one deployment handle — and its buffer pool. *)
-        evaluate_disk t hopi catalog
+        fun ~emit job -> evaluate_disk t hopi catalog ~emit job
+    | Custom c -> (
+        fun ~emit job ->
+          match job.req with
+          | Protocol.Ping -> Protocol.Pong
+          | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
+          | Protocol.Stats -> Protocol.Lines (c.custom_stats ())
+          | Protocol.Sleep ms -> nap ~deadline_ns:job.deadline_ns ms
+          | req -> c.custom_eval ~emit ~deadline_ns:job.deadline_ns req)
   in
   let rec loop () =
     match Work_queue.pop t.queue with
     | None -> ()
     | Some job ->
+        let emit it =
+          with_lock job.reply.m (fun () ->
+              job.reply.items <- it :: job.reply.items;
+              Condition.signal job.reply.c)
+        in
         let resp =
-          try eval job with
+          try eval ~emit job with
           | (Out_of_memory | Stack_overflow) as fatal ->
               (* Fatal resource exhaustion must not be flattened into an
                  ERR line (FL004); let it take the domain down so stop/
@@ -326,57 +380,103 @@ let worker_loop t () =
 
 (* --- connection handling (thread side) ------------------------------ *)
 
+let write_line oc line =
+  output_string oc line;
+  output_char oc '\n'
+
 let write_response oc resp =
-  List.iter
-    (fun line ->
-      output_string oc line;
-      output_char oc '\n')
-    (Protocol.response_lines resp);
+  List.iter (write_line oc) (Protocol.response_lines resp);
   flush oc
 
-let await mb =
-  with_lock mb.m (fun () ->
-      while mb.resp = None do
-        Condition.wait mb.c mb.m
-      done;
-      Option.get mb.resp)
-
-let dispatch t (req : Protocol.request) : Protocol.response =
-  if not (Protocol.pool_bound req) then
-    (* Inline plane: PING and METRICS must work on a saturated server. *)
-    match req with
-    | Protocol.Ping -> Protocol.Pong
-    | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
-    | _ -> assert false
-  else
-    let deadline_ns =
-      Int64.add (Stopwatch.now_ns ())
-        (Int64.of_float (t.cfg.deadline_ms *. 1e6))
+(* Drain the mailbox, writing and flushing ITEM lines as they arrive —
+   the incremental half of the streaming contract. Returns the emitted
+   count and the terminal response; because the worker sets [resp] last
+   under the mailbox mutex, a critical section that observes [Some _]
+   has also handed over every remaining item. *)
+let drain_stream mb oc =
+  let emitted = ref 0 in
+  let rec loop () =
+    let batch, fin =
+      with_lock mb.m (fun () ->
+          while mb.items = [] && mb.resp = None do
+            Condition.wait mb.c mb.m
+          done;
+          let batch = List.rev mb.items in
+          mb.items <- [];
+          (batch, mb.resp))
     in
-    let reply = { m = Mutex.create (); c = Condition.create (); resp = None } in
-    let job = { req; deadline_ns; reply } in
-    if Work_queue.try_push t.queue job then await reply
-    else begin
-      Metrics.incr_rejected t.metrics;
-      Protocol.Busy
-    end
+    if batch <> [] then begin
+      List.iter (fun it -> write_line oc (Protocol.item_line it)) batch;
+      flush oc;
+      emitted := !emitted + List.length batch
+    end;
+    match fin with Some r -> r | None -> loop ()
+  in
+  let resp = loop () in
+  (!emitted, resp)
+
+let finish_stream oc ~emitted resp =
+  match resp with
+  | Protocol.Items { items; timed_out; partial } ->
+      List.iter (fun it -> write_line oc (Protocol.item_line it)) items;
+      write_line oc
+        (Protocol.items_trailer
+           ~count:(emitted + List.length items)
+           ~timed_out ~partial);
+      flush oc
+  | resp when emitted = 0 -> write_response oc resp
+  | _ ->
+      (* Items already went out, so the framing is committed to a stream:
+         close it with a PARTIAL trailer instead of smuggling an ERR/BUSY
+         line into the item stream. The condition is recorded in the
+         error metrics by the caller. *)
+      write_line oc (Protocol.items_trailer ~count:emitted ~timed_out:false ~partial:true);
+      flush oc
 
 let handle_request t oc line =
-  match Protocol.parse_request line with
+  match Protocol.parse_envelope line with
   | Error msg ->
       Metrics.incr_errors t.metrics;
       write_response oc (Protocol.Err msg)
-  | Ok req ->
+  | Ok { deadline_ms; req } ->
       let verb = Protocol.verb req in
       Metrics.incr_requests t.metrics ~verb;
       let sw = Stopwatch.start () in
-      let resp = dispatch t req in
-      Metrics.observe_ms t.metrics ~verb (Stopwatch.elapsed_ms sw);
-      (match resp with
-      | Protocol.Items { timed_out = true; _ } -> Metrics.incr_timeouts t.metrics ~verb
-      | Protocol.Err _ -> Metrics.incr_errors t.metrics
-      | _ -> ());
-      write_response oc resp
+      if not (Protocol.pool_bound req) then begin
+        (* Inline plane: PING and METRICS must work on a saturated server. *)
+        (match req with
+        | Protocol.Ping -> write_response oc Protocol.Pong
+        | Protocol.Metrics -> write_response oc (Protocol.Lines (Metrics.render t.metrics))
+        | _ -> assert false);
+        Metrics.observe_ms t.metrics ~verb (Stopwatch.elapsed_ms sw)
+      end
+      else begin
+        let budget_ms =
+          match deadline_ms with
+          | Some ms -> float_of_int ms
+          | None -> t.cfg.deadline_ms
+        in
+        let deadline_ns =
+          Int64.add (Stopwatch.now_ns ()) (Int64.of_float (budget_ms *. 1e6))
+        in
+        let reply =
+          { m = Mutex.create (); c = Condition.create (); items = []; resp = None }
+        in
+        let job = { req; deadline_ns; reply } in
+        if not (Work_queue.try_push t.queue job) then begin
+          Metrics.incr_rejected t.metrics;
+          write_response oc Protocol.Busy
+        end
+        else begin
+          let emitted, resp = drain_stream reply oc in
+          Metrics.observe_ms t.metrics ~verb (Stopwatch.elapsed_ms sw);
+          (match resp with
+          | Protocol.Items { timed_out = true; _ } -> Metrics.incr_timeouts t.metrics ~verb
+          | Protocol.Err _ -> Metrics.incr_errors t.metrics
+          | _ -> ());
+          finish_stream oc ~emitted resp
+        end
+      end
 
 (* Read one request line while buffering at most [max_bytes]: a client
    cannot exhaust memory by streaming an endless line (input_line would
@@ -514,7 +614,7 @@ let start_backend ?(config = default_config) backend =
     }
   in
   (match backend with
-  | In_memory _ -> ()
+  | In_memory _ | Custom _ -> ()
   | On_disk { hopi; _ } ->
       Metrics.register_collector t.metrics (pool_metric_lines hopi));
   t.workers <- List.init (max 1 config.workers) (fun _ -> Domain.spawn (worker_loop t));

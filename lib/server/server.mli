@@ -9,18 +9,24 @@
     Request flow: a per-connection thread parses request lines and
     enqueues jobs onto a bounded {!Work_queue} ([BUSY] when full —
     admission control); a worker domain evaluates the job under the
-    per-request deadline, aborting result streaming mid-block when the
-    deadline expires ([TIMEOUT] trailer with the partial result); the
-    connection thread writes responses back in request order. [PING]
-    and [METRICS] are answered inline, bypassing the pool, so the
-    observability plane stays responsive on a saturated server.
+    per-request deadline. Stream verbs are flushed incrementally: the
+    worker hands each [ITEM] to the connection thread as it is
+    produced, and the connection thread writes and flushes it
+    immediately, so a downstream consumer (e.g. the sharded
+    coordinator's merge) sees results before the stream ends. The
+    trailer ([DONE]/[TIMEOUT]/[PARTIAL]) follows once the worker
+    finishes. [PING] and [METRICS] are answered inline, bypassing the
+    pool, so the observability plane stays responsive on a saturated
+    server.
 
-    Deadlines bound the verbs that stream results ([DESCENDANTS],
-    [EVALUATE]) and [SLEEP]; single-probe verbs ([CONNECTED], [STATS])
-    run to completion once started — their work is already bounded —
-    but a job whose deadline expired while it sat in the queue is
-    answered [TIMEOUT 0] without being evaluated, so an overloaded
-    worker pool does not amplify its own backlog.
+    Deadlines default to [config.deadline_ms] and can be overridden per
+    request with the [DEADLINE <ms>] envelope prefix. They bound the
+    verbs that stream results ([DESCENDANTS], [EVALUATE], ...) and
+    [SLEEP]; single-probe verbs ([CONNECTED], [STATS]) run to
+    completion once started — their work is already bounded — but a
+    job whose deadline expired while it sat in the queue is answered
+    [TIMEOUT 0] without being evaluated, so an overloaded worker pool
+    does not amplify its own backlog.
 
     Resource limits: request lines are buffered up to [max_line_bytes]
     (overflow answers [ERR] with the rest of the line discarded), and
@@ -42,6 +48,23 @@ type config = {
 
 val default_config : config
 
+type custom = {
+  custom_eval :
+    emit:(Protocol.item -> unit) ->
+    deadline_ns:int64 ->
+    Protocol.request ->
+    Protocol.response;
+      (** Evaluate one pool-bound request. Stream verbs push their
+          items through [emit] — each is flushed to the client as an
+          [ITEM] line immediately — and return
+          [Items { items = []; ... }] whose flags select the trailer.
+          [deadline_ns] is the absolute {!Fx_util.Stopwatch.now_ns}
+          deadline. Runs on a worker domain: it must be safe to call
+          from several domains at once. *)
+  custom_stats : unit -> string list;
+      (** The [STATS] payload. *)
+}
+
 type backend =
   | In_memory of Fx_flix.Flix.t
       (** The original regime: shared immutable indexes, a private
@@ -53,6 +76,13 @@ type backend =
           document, anchor, and tag names without the collection. The
           deployment's pool hit/miss counters are exported on the
           [METRICS] endpoint. *)
+  | Custom of custom
+      (** Delegate pool-bound requests to an external evaluator while
+          keeping the server's socket handling, admission control,
+          deadlines, metrics, and incremental flushing. The sharded
+          scatter-gather coordinator ({!Fx_shard.Coordinator}) plugs in
+          here. [PING]/[METRICS] stay inline; [SLEEP] is served by the
+          worker itself. *)
 
 type t
 

@@ -2,7 +2,15 @@ type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
 type 'a reply = Value of 'a | Busy | Server_error of string
 
-let connect ?(host = "127.0.0.1") ~port () =
+let set_recv_timeout t seconds =
+  let v = match seconds with None -> 0.0 | Some s -> Float.max s 0.000001 in
+  try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO v
+  with Unix.Unix_error _ | Invalid_argument _ ->
+    (* Not supported on this platform: the client degrades to blocking
+       reads, exactly the pre-timeout behaviour. *)
+    ()
+
+let connect ?(host = "127.0.0.1") ?recv_timeout ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
@@ -10,24 +18,41 @@ let connect ?(host = "127.0.0.1") ~port () =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  let t = { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd } in
+  (match recv_timeout with None -> () | Some s -> set_recv_timeout t (Some s));
+  t
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let request t req =
+(* A tripped SO_RCVTIMEO surfaces from the buffered channel as
+   Sys_error/Unix_error (EAGAIN), which [read_line] folds into [None] —
+   so a hung server yields a clean "connection closed mid-response"
+   error instead of wedging the caller. The connection is unusable
+   afterwards (the response may still arrive later and desynchronize
+   the framing); callers must [close] and reconnect. *)
+let read_line_of t () =
+  match input_line t.ic with
+  | line -> Some line
+  | exception (End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _) -> None
+
+let send t ?deadline_ms req =
   match
-    output_string t.oc (Protocol.request_line req);
+    output_string t.oc (Protocol.envelope_line ?deadline_ms req);
     output_char t.oc '\n';
     flush t.oc
   with
   | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost on send"
-  | () ->
-      let read_line () =
-        match input_line t.ic with
-        | line -> Some line
-        | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> None
-      in
-      Protocol.read_response read_line
+  | () -> Ok ()
+
+let request ?deadline_ms t req =
+  match send t ?deadline_ms req with
+  | Error _ as e -> e
+  | Ok () -> Protocol.read_response (read_line_of t)
+
+let request_stream ?deadline_ms t req ~on_item =
+  match send t ?deadline_ms req with
+  | Error _ as e -> e
+  | Ok () -> Protocol.read_item_stream (read_line_of t) ~on_item
 
 (* Collapse the transport/protocol/server error planes into the [reply]
    shape each typed accessor wants. *)
@@ -47,11 +72,11 @@ let ping t =
 let sleep t ms =
   typed t (Protocol.Sleep ms) (function
     | Protocol.Ok_done -> Some true
-    | Protocol.Items { items = []; timed_out = true } -> Some false
+    | Protocol.Items { items = []; timed_out = true; partial = _ } -> Some false
     | _ -> None)
 
 let items_reply = function
-  | Protocol.Items { items; timed_out } -> Some (items, timed_out)
+  | Protocol.Items { items; timed_out; partial = _ } -> Some (items, timed_out)
   | _ -> None
 
 let descendants t ~doc ?anchor ?tag ?max_dist ~k () =

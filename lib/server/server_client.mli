@@ -1,5 +1,6 @@
 (** Blocking client for the FliX query service — the counterpart of
-    {!Server} used by the examples, the tests, and the bench harness.
+    {!Server} used by the examples, the tests, the bench harness, and
+    the sharded coordinator's per-shard connections.
 
     One request is in flight per client at a time; use one client per
     thread for concurrent load. All calls return [Error _] on protocol
@@ -14,8 +15,18 @@ type 'a reply =
   | Busy            (** admission control rejected the request *)
   | Server_error of string  (** the server answered [ERR <msg>] *)
 
-val connect : ?host:string -> port:int -> unit -> t
-(** Raises [Unix.Unix_error] when the connection fails. *)
+val connect : ?host:string -> ?recv_timeout:float -> port:int -> unit -> t
+(** Raises [Unix.Unix_error] when the connection fails. [recv_timeout]
+    (seconds) bounds every socket read; see {!set_recv_timeout}. *)
+
+val set_recv_timeout : t -> float option -> unit
+(** Bound each socket read to the given number of seconds
+    ([SO_RCVTIMEO]; [None] restores blocking reads). When the timeout
+    trips, the in-flight call returns [Error "connection closed
+    mid-response"] instead of blocking forever — a hung shard cannot
+    wedge the coordinator's connection pool. The connection must be
+    {!close}d afterwards: a late response would desynchronize the
+    framing. Silently a no-op on platforms without the socket option. *)
 
 val close : t -> unit
 
@@ -52,5 +63,18 @@ val connected :
 val stats : t -> (string list reply, string) result
 val metrics : t -> (string list reply, string) result
 
-val request : t -> Protocol.request -> (Protocol.response, string) result
-(** Escape hatch: send any request and read one response. *)
+val request :
+  ?deadline_ms:int -> t -> Protocol.request -> (Protocol.response, string) result
+(** Escape hatch: send any request (optionally with a [DEADLINE <ms>]
+    envelope) and read one response. *)
+
+val request_stream :
+  ?deadline_ms:int ->
+  t ->
+  Protocol.request ->
+  on_item:(Protocol.item -> unit) ->
+  (Protocol.response, string) result
+(** Like {!request}, but delivers [ITEM] lines through [on_item] as
+    they arrive — the consuming side of the server's incremental
+    flushing, used by the coordinator's k-way merge. The returned
+    [Items] carries an empty list; see {!Protocol.read_item_stream}. *)

@@ -1,0 +1,580 @@
+module P = Fx_server.Protocol
+module Server = Fx_server.Server
+module PQ = Fx_graph.Priority_queue
+module Stopwatch = Fx_util.Stopwatch
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* A cross-shard link with both endpoints located once at create time:
+   the portal search touches every link per settled portal. *)
+type located_link = {
+  src : int;  (* global *)
+  dst : int;  (* global *)
+  dst_tag : string;
+  src_shard : int;
+  src_local : int;
+  dst_shard : int;
+  dst_local : int;
+}
+
+(* Fan-out latency histogram: upper bounds in ms, +Inf implicit. *)
+let fanout_buckets_ms =
+  [| 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0; 2500.0 |]
+
+type t = {
+  plan : Shard_plan.t;
+  shards : Shard_client.t array;
+  links : located_link array;
+  by_src_shard : located_link list array;  (* links leaving each shard *)
+  by_dst_shard : located_link list array;  (* links entering each shard *)
+  (* memoized probe results; shard indexes are immutable so entries
+     never go stale. One mutex guards both tables (probe volume, not
+     contention, is the cost being managed here). *)
+  cache_m : Mutex.t;
+  conn_cache : (int * int * int, int option) Hashtbl.t;  (* shard, a, b (local) *)
+  start_cache : (int * int * string, int option) Hashtbl.t;  (* shard, node, tag *)
+  cache_cap : int;
+  fanout_hist : int Atomic.t array;
+  fanout_count : int Atomic.t;
+  fanout_sum_ns : int Atomic.t;
+}
+
+let create ?(cache_cap = 65536) ~plan ~shards () =
+  let n = Shard_plan.n_shards plan in
+  if List.length shards <> n then
+    invalid_arg
+      (Printf.sprintf "Coordinator.create: plan has %d shards, got %d addresses" n
+         (List.length shards));
+  let clients =
+    Array.of_list
+      (List.mapi (fun i (host, port) -> Shard_client.create ~id:i ~host ~port ()) shards)
+  in
+  let links =
+    Array.map
+      (fun (l : Shard_plan.cross_link) ->
+        let src_shard, src_local = Shard_plan.locate plan l.src in
+        let dst_shard, dst_local = Shard_plan.locate plan l.dst in
+        { src = l.src; dst = l.dst; dst_tag = l.dst_tag; src_shard; src_local;
+          dst_shard; dst_local })
+      (Shard_plan.cross_links plan)
+  in
+  let bucket_by proj =
+    let buckets = Array.make n [] in
+    Array.iter (fun l -> buckets.(proj l) <- l :: buckets.(proj l)) links;
+    buckets
+  in
+  {
+    plan;
+    shards = clients;
+    links;
+    by_src_shard = bucket_by (fun l -> l.src_shard);
+    by_dst_shard = bucket_by (fun l -> l.dst_shard);
+    cache_m = Mutex.create ();
+    conn_cache = Hashtbl.create 256;
+    start_cache = Hashtbl.create 256;
+    cache_cap;
+    fanout_hist = Array.init (Array.length fanout_buckets_ms + 1) (fun _ -> Atomic.make 0);
+    fanout_count = Atomic.make 0;
+    fanout_sum_ns = Atomic.make 0;
+  }
+
+let close t = Array.iter Shard_client.close t.shards
+
+let shard_errors_total t =
+  Array.fold_left (fun acc s -> acc + Shard_client.errors_total s) 0 t.shards
+
+(* --- per-request context --------------------------------------------- *)
+
+(* Degradation flags are atomics because the EVALUATE phase-1 fan-out
+   sets them from per-shard threads. *)
+type ctx = { deadline_ns : int64; partial : bool Atomic.t; timed_out : bool Atomic.t }
+
+let make_ctx deadline_ns =
+  { deadline_ns; partial = Atomic.make false; timed_out = Atomic.make false }
+
+let remaining_ms ctx =
+  Int64.to_int (Int64.div (Int64.sub ctx.deadline_ns (Stopwatch.now_ns ())) 1_000_000L)
+
+let observe_fanout t ns =
+  let ms = Int64.to_float ns /. 1e6 in
+  let rec bucket i =
+    if i >= Array.length fanout_buckets_ms || ms <= fanout_buckets_ms.(i) then i
+    else bucket (i + 1)
+  in
+  Atomic.incr t.fanout_hist.(bucket 0);
+  Atomic.incr t.fanout_count;
+  ignore (Atomic.fetch_and_add t.fanout_sum_ns (Int64.to_int ns))
+
+(* One fan-out call. [None] means the shard could not answer within the
+   remaining budget — the response degrades ([partial]) rather than
+   fails, which is the whole point of sharded fault tolerance. *)
+let shard_call t ctx shard req =
+  let left = remaining_ms ctx in
+  if left <= 0 then begin
+    Atomic.set ctx.timed_out true;
+    None
+  end
+  else begin
+    let sw = Stopwatch.start () in
+    let result = Shard_client.call ~deadline_ms:left t.shards.(shard) req in
+    observe_fanout t (Stopwatch.elapsed_ns sw);
+    match result with
+    | Error _ ->
+        Atomic.set ctx.partial true;
+        None
+    | Ok (_, (P.Busy | P.Err _)) ->
+        (* The shard answered but refused or failed the request: its
+           contribution is lost all the same. *)
+        Atomic.set ctx.partial true;
+        None
+    | Ok ((_, P.Items { timed_out; partial; _ }) as ok) ->
+        if timed_out then Atomic.set ctx.timed_out true;
+        if partial then Atomic.set ctx.partial true;
+        Some ok
+    | Ok _ as ok -> Option.map (fun r -> r) (Result.to_option ok)
+  end
+
+(* --- memoized probes -------------------------------------------------- *)
+
+let cache_find t table key =
+  with_lock t.cache_m (fun () -> Hashtbl.find_opt table key)
+
+let cache_store t table key v =
+  with_lock t.cache_m (fun () ->
+      if Hashtbl.length table >= t.cache_cap then Hashtbl.reset table;
+      Hashtbl.replace table key v)
+
+(* Within-shard distance between two local nodes. Probes without
+   max_dist so one cache entry serves every request; callers prune. *)
+let probe_connected t ctx ~shard ~a ~b =
+  if a = b then Some 0
+  else
+    let key = (shard, a, b) in
+    match cache_find t t.conn_cache key with
+    | Some v -> v
+    | None -> (
+        match shard_call t ctx shard (P.Connected { a; b; max_dist = None }) with
+        | Some (_, P.Dist d) ->
+            cache_store t t.conn_cache key d;
+            d
+        | Some _ | None -> None)
+
+(* Distance from the nearest [tag]-named node above [node]
+   (ancestors-or-self) within its shard — the seed probe that tells how
+   far a link source sits from the query's start set. *)
+let probe_nearest_start t ctx ~shard ~node ~tag =
+  let key = (shard, node, tag) in
+  match cache_find t t.start_cache key with
+  | Some v -> v
+  | None -> (
+      match
+        shard_call t ctx shard
+          (P.Ancestors { node; tag = Some tag; k = 1; max_dist = None })
+      with
+      | Some (items, _) ->
+          let v = match items with it :: _ -> Some it.P.dist | [] -> None in
+          cache_store t t.start_cache key v;
+          v
+      | None -> None)
+
+(* --- portal search ---------------------------------------------------- *)
+
+(* Dijkstra over portal nodes with probe-computed edge weights. [visit]
+   sees each portal once, at its final distance, in ascending order; a
+   [`Stop] prunes the rest (safe exactly because of that order). *)
+let dijkstra ctx ~seeds ~neighbours ~visit =
+  let dist = Hashtbl.create 32 in
+  let pq = PQ.create () in
+  let relax v d =
+    match Hashtbl.find_opt dist v with
+    | Some d' when d' <= d -> ()
+    | _ ->
+        Hashtbl.replace dist v d;
+        PQ.insert pq d v
+  in
+  List.iter (fun (v, d) -> relax v d) seeds;
+  let rec loop () =
+    match PQ.extract_min pq with
+    | None -> ()
+    | Some (d, v) ->
+        if remaining_ms ctx <= 0 then Atomic.set ctx.timed_out true
+        else if Hashtbl.find_opt dist v = Some d then begin
+          match visit v d with
+          | `Stop -> ()
+          | `Continue ->
+              List.iter (fun (u, du) -> relax u du) (neighbours v d);
+              loop ()
+        end
+        else loop ()
+  in
+  loop ()
+
+let over_max max_dist d = match max_dist with Some m -> d > m | None -> false
+
+(* Forward expansion: from a settled entry portal [v] (a link target)
+   at distance [d], every link leaving [v]'s shard is reachable at
+   [d + within-shard distance + 1]. *)
+let forward_neighbours t ctx v d =
+  let shard, local = Shard_plan.locate t.plan v in
+  List.filter_map
+    (fun l ->
+      match probe_connected t ctx ~shard ~a:local ~b:l.src_local with
+      | Some ds -> Some (l.dst, d + ds + 1)
+      | None -> None)
+    t.by_src_shard.(shard)
+
+(* Reverse expansion for ancestor queries, over exit portals (link
+   sources): a link arriving in [s]'s shard puts its own source at
+   [1 + within-shard distance to s + rdist s]. *)
+let reverse_neighbours t ctx s d =
+  let shard, local = Shard_plan.locate t.plan s in
+  List.filter_map
+    (fun l ->
+      match probe_connected t ctx ~shard ~a:l.dst_local ~b:local with
+      | Some ds -> Some (l.src, 1 + ds + d)
+      | None -> None)
+    t.by_dst_shard.(shard)
+
+(* Seeds for a forward search rooted at one already-located node. *)
+let forward_seeds t ctx ~shard ~local =
+  List.filter_map
+    (fun l ->
+      match probe_connected t ctx ~shard ~a:local ~b:l.src_local with
+      | Some ds -> Some (l.dst, ds + 1)
+      | None -> None)
+    t.by_src_shard.(shard)
+
+(* --- stream merge ------------------------------------------------------ *)
+
+let globalize t ~shard ~offset (it : P.item) =
+  { P.node = Shard_plan.global_of t.plan ~shard ~local:it.node; dist = it.dist + offset;
+    meta = shard }
+
+(* k-way merge of per-shard streams (each ascending by distance) with
+   the same priority queue the PEE uses, preserving the approximately-
+   ascending contract end to end. Nodes reachable through several
+   shards or portals are deduplicated on first — i.e. nearest —
+   occurrence. *)
+let merge_streams ~k ~exclude ~emit streams =
+  let pq = PQ.create () in
+  let push = function
+    | [] -> ()
+    | (it : P.item) :: rest -> PQ.insert pq it.dist (it, rest)
+  in
+  List.iter push streams;
+  let seen = Hashtbl.create 64 in
+  let emitted = ref 0 in
+  let rec loop () =
+    if !emitted < k then
+      match PQ.extract_min pq with
+      | None -> ()
+      | Some (_, (it, rest)) ->
+          push rest;
+          if it.node <> exclude && not (Hashtbl.mem seen it.node) then begin
+            Hashtbl.replace seen it.node ();
+            emit it;
+            incr emitted
+          end;
+          loop ()
+  in
+  loop ()
+
+let items_response ctx =
+  P.Items
+    {
+      items = [];
+      timed_out = Atomic.get ctx.timed_out;
+      partial = Atomic.get ctx.partial;
+    }
+
+(* --- the verbs --------------------------------------------------------- *)
+
+let node_range_err t =
+  P.Err (Printf.sprintf "node id out of range [0, %d)" (Shard_plan.total_nodes t.plan))
+
+let in_range t v = v >= 0 && v < Shard_plan.total_nodes t.plan
+
+(* Descendants of one global node, across shards: within-shard stream
+   plus offset streams from every entry portal settled by the search. *)
+let descendants_of_node t ctx ~start ~tag ~k ~max_dist ~emit =
+  let shard0, local0 = Shard_plan.locate t.plan start in
+  let streams = ref [] in
+  let add s = if s <> [] then streams := s :: !streams in
+  (match
+     shard_call t ctx shard0 (P.Node_descendants { node = local0; tag; k; max_dist })
+   with
+  | Some (items, _) -> add (List.map (globalize t ~shard:shard0 ~offset:0) items)
+  | None -> ());
+  let tag_admits name = match tag with None -> true | Some w -> w = name in
+  let entry_tag = Hashtbl.create 16 in
+  Array.iter (fun l -> Hashtbl.replace entry_tag l.dst l.dst_tag) t.links;
+  dijkstra ctx
+    ~seeds:(forward_seeds t ctx ~shard:shard0 ~local:local0)
+    ~neighbours:(forward_neighbours t ctx)
+    ~visit:(fun v d ->
+      if over_max max_dist d then `Stop
+      else begin
+        let shard, local = Shard_plan.locate t.plan v in
+        (* The portal node itself is a result when its tag matches —
+           the per-entry stream below excludes its own start. *)
+        (match Hashtbl.find_opt entry_tag v with
+        | Some name when tag_admits name -> add [ { P.node = v; dist = d; meta = shard } ]
+        | _ -> ());
+        let remaining = Option.map (fun m -> m - d) max_dist in
+        (match
+           shard_call t ctx shard
+             (P.Node_descendants { node = local; tag; k; max_dist = remaining })
+         with
+        | Some (items, _) -> add (List.map (globalize t ~shard ~offset:d) items)
+        | None -> ());
+        `Continue
+      end);
+  merge_streams ~k ~exclude:start ~emit !streams;
+  items_response ctx
+
+let ancestors_of_node t ctx ~node ~tag ~k ~max_dist ~emit =
+  let shard0, local0 = Shard_plan.locate t.plan node in
+  let streams = ref [] in
+  let add s = if s <> [] then streams := s :: !streams in
+  (match shard_call t ctx shard0 (P.Ancestors { node = local0; tag; k; max_dist }) with
+  | Some (items, _) -> add (List.map (globalize t ~shard:shard0 ~offset:0) items)
+  | None -> ());
+  (* Reverse search over exit portals: rdist(s) = distance from link
+     source [s] down to [node]. The ancestors-or-self probe from [s]
+     then reports s's side of the collection at [rdist] offsets —
+     including [s] itself at distance 0, so portals need no separate
+     emission here. *)
+  let seeds =
+    List.filter_map
+      (fun l ->
+        match probe_connected t ctx ~shard:shard0 ~a:l.dst_local ~b:local0 with
+        | Some ds -> Some (l.src, 1 + ds)
+        | None -> None)
+      t.by_dst_shard.(shard0)
+  in
+  dijkstra ctx ~seeds
+    ~neighbours:(reverse_neighbours t ctx)
+    ~visit:(fun s d ->
+      if over_max max_dist d then `Stop
+      else begin
+        let shard, local = Shard_plan.locate t.plan s in
+        let remaining = Option.map (fun m -> m - d) max_dist in
+        (match
+           shard_call t ctx shard (P.Ancestors { node = local; tag; k; max_dist = remaining })
+         with
+        | Some (items, _) -> add (List.map (globalize t ~shard ~offset:d) items)
+        | None -> ());
+        `Continue
+      end);
+  merge_streams ~k ~exclude:(-1) ~emit !streams;
+  items_response ctx
+
+let evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit =
+  (* Phase 1: every shard answers over its own sub-collection, in
+     parallel. Per-shard top-k by shard distance covers the global
+     top-k: any node ranked above a global winner within its shard is
+     at least as close globally too. *)
+  let n = Array.length t.shards in
+  let phase1 = Array.make n None in
+  let threads =
+    List.init n (fun s ->
+        Thread.create
+          (fun () ->
+            phase1.(s) <-
+              shard_call t ctx s (P.Evaluate { start_tag; target_tag; k; max_dist }))
+          ())
+  in
+  List.iter Thread.join threads;
+  let streams = ref [] in
+  let add s = if s <> [] then streams := s :: !streams in
+  Array.iteri
+    (fun s result ->
+      match result with
+      | Some (items, _) -> add (List.map (globalize t ~shard:s ~offset:0) items)
+      | None -> ())
+    phase1;
+  (* Phase 2: cross-shard reach. Seed every entry portal with the
+     nearest start-tag node above its link source; the search relaxes
+     multi-hop shard chains from there. *)
+  let seeds =
+    Array.to_list t.links
+    |> List.filter_map (fun l ->
+           match
+             probe_nearest_start t ctx ~shard:l.src_shard ~node:l.src_local
+               ~tag:start_tag
+           with
+           | Some d0 -> Some (l.dst, d0 + 1)
+           | None -> None)
+  in
+  let entry_tag = Hashtbl.create 16 in
+  Array.iter (fun l -> Hashtbl.replace entry_tag l.dst l.dst_tag) t.links;
+  dijkstra ctx ~seeds
+    ~neighbours:(forward_neighbours t ctx)
+    ~visit:(fun v d ->
+      if over_max max_dist d then `Stop
+      else begin
+        let shard, local = Shard_plan.locate t.plan v in
+        (match Hashtbl.find_opt entry_tag v with
+        | Some name when name = target_tag ->
+            add [ { P.node = v; dist = d; meta = shard } ]
+        | _ -> ());
+        let remaining = Option.map (fun m -> m - d) max_dist in
+        (match
+           shard_call t ctx shard
+             (P.Node_descendants
+                { node = local; tag = Some target_tag; k; max_dist = remaining })
+         with
+        | Some (items, _) -> add (List.map (globalize t ~shard ~offset:d) items)
+        | None -> ());
+        `Continue
+      end);
+  merge_streams ~k ~exclude:(-1) ~emit !streams;
+  items_response ctx
+
+let connected t ctx ~a ~b ~max_dist =
+  let shard_a, local_a = Shard_plan.locate t.plan a in
+  let shard_b, local_b = Shard_plan.locate t.plan b in
+  let best = ref None in
+  let consider = function
+    | None -> ()
+    | Some d -> ( match !best with Some d' when d' <= d -> () | _ -> best := Some d)
+  in
+  if shard_a = shard_b then
+    consider (probe_connected t ctx ~shard:shard_a ~a:local_a ~b:local_b);
+  dijkstra ctx
+    ~seeds:(forward_seeds t ctx ~shard:shard_a ~local:local_a)
+    ~neighbours:(forward_neighbours t ctx)
+    ~visit:(fun v d ->
+      (* Entries settle in ascending order: once the frontier passes the
+         best candidate (or max_dist), no better path remains. *)
+      let beaten = match !best with Some bd -> d >= bd | None -> false in
+      if beaten || over_max max_dist d then `Stop
+      else begin
+        let shard, local = Shard_plan.locate t.plan v in
+        if shard = shard_b then
+          (match probe_connected t ctx ~shard ~a:local ~b:local_b with
+          | Some db -> consider (Some (d + db))
+          | None -> ());
+        `Continue
+      end);
+  match !best with
+  | Some d when not (over_max max_dist d) -> P.Dist (Some d)
+  | Some _ -> P.Dist None
+  | None ->
+      (* No path found. With a failed shard (or an expired budget) the
+         negative is unreliable, so degrade to PARTIAL instead of
+         asserting NODIST. *)
+      if Atomic.get ctx.partial || Atomic.get ctx.timed_out then items_response ctx
+      else P.Dist None
+
+let resolve t ctx ~doc ~anchor =
+  match Shard_plan.shard_of_doc t.plan doc with
+  | None ->
+      P.Items { items = []; timed_out = false; partial = false }
+  | Some shard -> (
+      match shard_call t ctx shard (P.Resolve { doc; anchor }) with
+      | Some (items, P.Items { timed_out; partial; _ }) ->
+          P.Items
+            { items = List.map (globalize t ~shard ~offset:0) items; timed_out; partial }
+      | Some _ | None -> items_response ctx)
+
+let descendants_by_name t ctx ~doc ~anchor ~tag ~k ~max_dist ~emit =
+  match Shard_plan.shard_of_doc t.plan doc with
+  | None ->
+      P.Err
+        (Printf.sprintf "unknown document or anchor %s%s" doc
+           (match anchor with None -> "" | Some a -> "#" ^ a))
+  | Some shard -> (
+      match shard_call t ctx shard (P.Resolve { doc; anchor }) with
+      | Some (it :: _, _) ->
+          let start = Shard_plan.global_of t.plan ~shard ~local:it.P.node in
+          descendants_of_node t ctx ~start ~tag ~k ~max_dist ~emit
+      | Some ([], _) ->
+          P.Err
+            (Printf.sprintf "unknown document or anchor %s%s" doc
+               (match anchor with None -> "" | Some a -> "#" ^ a))
+      | None -> items_response ctx)
+
+(* --- the backend ------------------------------------------------------- *)
+
+let eval t ~emit ~deadline_ns (req : P.request) =
+  let ctx = make_ctx deadline_ns in
+  match req with
+  | P.Ping | P.Stats | P.Metrics | P.Sleep _ ->
+      (* Handled by the server's Custom dispatch before reaching here. *)
+      P.Err "internal: verb not routed to the coordinator"
+  | P.Connected { a; b; max_dist } ->
+      if not (in_range t a && in_range t b) then node_range_err t
+      else connected t ctx ~a ~b ~max_dist
+  | P.Descendants { doc; anchor; tag; k; max_dist } ->
+      descendants_by_name t ctx ~doc ~anchor ~tag ~k ~max_dist ~emit
+  | P.Node_descendants { node; tag; k; max_dist } ->
+      if not (in_range t node) then node_range_err t
+      else descendants_of_node t ctx ~start:node ~tag ~k ~max_dist ~emit
+  | P.Ancestors { node; tag; k; max_dist } ->
+      if not (in_range t node) then node_range_err t
+      else ancestors_of_node t ctx ~node ~tag ~k ~max_dist ~emit
+  | P.Evaluate { start_tag; target_tag; k; max_dist } ->
+      evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit
+  | P.Resolve { doc; anchor } -> resolve t ctx ~doc ~anchor
+
+let stats_lines t =
+  ("backend: coordinator (scatter-gather over shard servers)"
+  :: Shard_plan.describe t.plan)
+  @ Array.to_list
+      (Array.map
+         (fun s ->
+           Printf.sprintf "shard %d at %s: %d failed attempts" (Shard_client.id s)
+             (Shard_client.address s) (Shard_client.errors_total s))
+         t.shards)
+  @ [
+      (let conn, start =
+         with_lock t.cache_m (fun () ->
+             (Hashtbl.length t.conn_cache, Hashtbl.length t.start_cache))
+       in
+       Printf.sprintf "probe cache: %d connected, %d nearest-start entries" conn start);
+    ]
+
+let metric_lines t () =
+  let errors =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           Printf.sprintf "flix_shard_errors_total{shard=\"%d\",addr=\"%s\"} %d"
+             (Shard_client.id s) (Shard_client.address s) (Shard_client.errors_total s))
+         t.shards)
+  in
+  let le i =
+    if i >= Array.length fanout_buckets_ms then "+Inf"
+    else
+      let b = fanout_buckets_ms.(i) in
+      if Float.is_integer b then Printf.sprintf "%.0f" b else Printf.sprintf "%g" b
+  in
+  let cumulative = ref 0 in
+  let buckets =
+    List.init (Array.length t.fanout_hist) (fun i ->
+        cumulative := !cumulative + Atomic.get t.fanout_hist.(i);
+        Printf.sprintf "flix_shard_fanout_latency_ms_bucket{le=\"%s\"} %d" (le i)
+          !cumulative)
+  in
+  [
+    "# HELP flix_shard_errors_total Failed shard attempts, by shard.";
+    "# TYPE flix_shard_errors_total counter";
+  ]
+  @ errors
+  @ [
+      "# HELP flix_shard_fanout_latency_ms Latency of coordinator-to-shard calls.";
+      "# TYPE flix_shard_fanout_latency_ms histogram";
+    ]
+  @ buckets
+  @ [
+      Printf.sprintf "flix_shard_fanout_latency_ms_sum %.6f"
+        (float_of_int (Atomic.get t.fanout_sum_ns) /. 1e6);
+      Printf.sprintf "flix_shard_fanout_latency_ms_count %d" (Atomic.get t.fanout_count);
+    ]
+
+let backend t =
+  { Server.custom_eval = (fun ~emit ~deadline_ns req -> eval t ~emit ~deadline_ns req);
+    custom_stats = (fun () -> stats_lines t) }

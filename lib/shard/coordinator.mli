@@ -1,0 +1,72 @@
+(** The scatter-gather coordinator: N shard servers behind one FliX
+    line-protocol endpoint.
+
+    The coordinator plugs into {!Fx_server.Server} as a [Custom]
+    backend, so admission control, deadlines, metrics, and incremental
+    [ITEM] flushing come from the server; this module owns the fan-out
+    and the distributed-distance arithmetic.
+
+    {b Query evaluation.} A path between nodes in different shards
+    decomposes into within-shard segments joined by cross-shard links
+    (weight 1), and the manifest knows every such link. The coordinator
+    therefore runs a Dijkstra search over {e portals} — the cross-link
+    endpoints — using shard probes ([CONNECTED], [ANCESTORS],
+    [NDESCENDANTS]) for segment distances, which yields exact global
+    distances without any global index:
+
+    - [EVALUATE]: phase 1 fans the query to every shard in parallel
+      (per-shard top-[k] by shard distance covers the global top-[k]);
+      phase 2 seeds entry portals from per-link [ANCESTORS] probes
+      (nearest start-tag node above each link source) and expands each
+      settled entry with an offset [NDESCENDANTS] stream.
+    - [DESCENDANTS]/[NDESCENDANTS]: same machinery seeded from the one
+      resolved start node. [ANCESTORS] runs the mirror-image search
+      over exit portals. [CONNECTED] runs the portal search with early
+      termination on the best candidate distance.
+
+    All result streams are k-way-merged by distance with
+    {!Fx_graph.Priority_queue}, deduplicating nodes on first (nearest)
+    occurrence, so the merged stream keeps FliX's
+    approximately-ascending-distance contract.
+
+    {b Fault handling.} Shard calls carry the remaining deadline and
+    ride {!Shard_client}'s retry/backoff/receive-timeout layer. When a
+    shard stays down, its contribution is dropped and the response is
+    degraded instead of failed: stream verbs answer a [PARTIAL]
+    trailer, [RESOLVE] answers [PARTIAL 0], and [CONNECTED] answers a
+    possibly-overestimated [DIST] (any path found is a real path) or
+    [PARTIAL 0] when no path survives. Per-shard failures are counted
+    in [flix_shard_errors_total]; fan-out call latencies land in the
+    [flix_shard_fanout_latency_ms] histogram (see {!metric_lines}). *)
+
+type t
+
+val create :
+  ?cache_cap:int ->
+  plan:Shard_plan.t ->
+  shards:(string * int) list ->
+  unit ->
+  t
+(** [shards] lists one [host, port] per plan shard, in shard order.
+    Raises [Invalid_argument] when the count does not match the plan.
+    Probe results ([CONNECTED] distances, nearest-start [ANCESTORS])
+    are memoized up to [cache_cap] entries (default 65536) — shard
+    indexes are immutable, so entries never expire. *)
+
+val backend : t -> Fx_server.Server.custom
+(** Serve with
+    [Server.start_backend (Custom (Coordinator.backend t))]. *)
+
+val metric_lines : t -> unit -> string list
+(** Prometheus series for the coordinator: register on the serving
+    server with {!Fx_server.Metrics.register_collector}. *)
+
+val stats_lines : t -> string list
+(** The STATS payload: plan summary, shard addresses, error counters. *)
+
+val shard_errors_total : t -> int
+(** Failed shard attempts across all shards (sum of the per-shard
+    counters) — the number behind [flix_shard_errors_total]. *)
+
+val close : t -> unit
+(** Close pooled shard connections. *)

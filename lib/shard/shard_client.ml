@@ -1,0 +1,124 @@
+module Protocol = Fx_server.Protocol
+module Client = Fx_server.Server_client
+module Stopwatch = Fx_util.Stopwatch
+
+type t = {
+  id : int;
+  host : string;
+  port : int;
+  retries : int;
+  backoff_ms : float;
+  recv_slack_s : float;
+  m : Mutex.t;
+  mutable idle : Client.t list;
+  mutable closed : bool;
+  errors : int Atomic.t;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create ?(retries = 2) ?(backoff_ms = 25.0) ?(recv_slack_s = 0.25) ~id ~host ~port ()
+    =
+  {
+    id;
+    host;
+    port;
+    retries;
+    backoff_ms;
+    recv_slack_s;
+    m = Mutex.create ();
+    idle = [];
+    closed = false;
+    errors = Atomic.make 0;
+  }
+
+let id t = t.id
+let address t = Printf.sprintf "%s:%d" t.host t.port
+let errors_total t = Atomic.get t.errors
+
+let borrow t =
+  match
+    with_lock t.m (fun () ->
+        match t.idle with
+        | c :: rest ->
+            t.idle <- rest;
+            Some c
+        | [] -> None)
+  with
+  | Some c -> Ok c
+  | None -> (
+      match Client.connect ~host:t.host ~port:t.port () with
+      | c -> Ok c
+      | exception Unix.Unix_error (err, _, _) ->
+          Error (Printf.sprintf "connect %s: %s" (address t) (Unix.error_message err)))
+
+let give_back t c =
+  let keep =
+    with_lock t.m (fun () ->
+        if t.closed then false
+        else begin
+          t.idle <- c :: t.idle;
+          true
+        end)
+  in
+  if not keep then Client.close c
+
+(* One exchange on one connection. A transport failure (including a
+   tripped receive timeout) poisons the connection — a late response
+   would desynchronize the framing — so it is closed, never pooled. *)
+let attempt t ~deadline_ms req =
+  match borrow t with
+  | Error _ as e -> e
+  | Ok conn ->
+      let timeout =
+        match deadline_ms with
+        | None -> None
+        | Some ms -> Some ((float_of_int ms /. 1000.0) +. t.recv_slack_s)
+      in
+      Client.set_recv_timeout conn timeout;
+      let items = ref [] in
+      let result =
+        Client.request_stream ?deadline_ms conn req ~on_item:(fun it ->
+            items := it :: !items)
+      in
+      (match result with
+      | Ok _ -> give_back t conn
+      | Error _ -> Client.close conn);
+      Result.map (fun resp -> (List.rev !items, resp)) result
+
+let call ?deadline_ms t req =
+  let sw = Stopwatch.start () in
+  let budget_left () =
+    match deadline_ms with
+    | None -> Some None
+    | Some ms ->
+        let left = ms - int_of_float (Stopwatch.elapsed_ms sw) in
+        if left <= 0 then None else Some (Some left)
+  in
+  let rec go attempt_no backoff =
+    match budget_left () with
+    | None -> Error "deadline exhausted before shard answered"
+    | Some deadline_ms -> (
+        match attempt t ~deadline_ms req with
+        | Ok _ as ok -> ok
+        | Error e ->
+            Atomic.incr t.errors;
+            if attempt_no >= t.retries then Error e
+            else begin
+              Thread.delay (backoff /. 1000.0);
+              go (attempt_no + 1) (backoff *. 2.0)
+            end)
+  in
+  go 0 t.backoff_ms
+
+let close t =
+  let conns =
+    with_lock t.m (fun () ->
+        t.closed <- true;
+        let cs = t.idle in
+        t.idle <- [];
+        cs)
+  in
+  List.iter Client.close conns

@@ -1,0 +1,58 @@
+(** A fault-tolerant pooled connection to one shard server.
+
+    The coordinator holds one of these per shard. Connections are
+    persistent and pooled: a call borrows an idle connection (opening
+    one when the pool is empty), runs one request/response exchange,
+    and returns the connection to the pool — concurrent coordinator
+    workers each get their own connection, and reuse keeps the fan-out
+    off the connect path.
+
+    The fault layer lives here. Every call carries the remaining
+    deadline budget as both a [DEADLINE] envelope (so the shard stops
+    working when the coordinator stops waiting) and a socket receive
+    timeout with a little slack (so a {e hung} shard cannot wedge the
+    pool — see {!Fx_server.Server_client.set_recv_timeout}). Transport
+    failures are retried with doubling backoff on a fresh connection,
+    up to [retries] extra attempts and never past the deadline; items
+    are buffered per attempt, so a retried call never delivers
+    duplicates. Each failed attempt increments the shard's error
+    counter ([flix_shard_errors_total] in the coordinator's metrics). *)
+
+type t
+
+val create :
+  ?retries:int ->
+  ?backoff_ms:float ->
+  ?recv_slack_s:float ->
+  id:int ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** Does not connect; the first {!call} does. [retries] (default 2) is
+    the number of extra attempts after a transport failure;
+    [backoff_ms] (default 25) the first retry delay, doubling per
+    attempt; [recv_slack_s] (default 0.25) the grace added to the
+    deadline budget before a read times out. *)
+
+val id : t -> int
+val address : t -> string
+
+val errors_total : t -> int
+(** Failed attempts so far (transport errors and timeouts). *)
+
+val call :
+  ?deadline_ms:int ->
+  t ->
+  Fx_server.Protocol.request ->
+  (Fx_server.Protocol.item list * Fx_server.Protocol.response, string) result
+(** One request/response exchange. [Ok (items, resp)] carries the
+    response's item stream in arrival order (empty for non-stream
+    responses) and the terminal response — for stream verbs an
+    [Items { items = []; _ }] whose flags describe the trailer.
+    [Error _] means the exchange failed even after retries; the shard
+    should be treated as down for this request. *)
+
+val close : t -> unit
+(** Close pooled idle connections. In-flight calls on other threads
+    finish (and then discard) their borrowed connections. *)

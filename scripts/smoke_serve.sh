@@ -3,7 +3,10 @@
 # flix_serve from it (twice — the second boot must reuse the files and
 # skip the index build), drive PING / DESCENDANTS / CONNECTED / METRICS
 # over the wire, and check that a mangled store dies with a one-line
-# error instead of a backtrace.
+# error instead of a backtrace. Then the sharded path: build a 2-shard
+# deployment, boot both shard servers plus a coordinator, query through
+# the coordinator, and verify that killing a shard degrades answers to
+# PARTIAL instead of failing them.
 #
 # Uses bash's /dev/tcp so it needs no netcat. Run from the repo root:
 #
@@ -15,11 +18,15 @@ BIN=${1:-_build/default/bin/flix_serve.exe}
 PORT=${SMOKE_PORT:-7461}
 DIR=$(mktemp -d)
 SRV_PID=
+EXTRA_PIDS=
+EXTRA_DIR=
 
 fail() {
   echo "smoke_serve: FAIL: $*" >&2
   [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null
+  for p in $EXTRA_PIDS; do kill "$p" 2>/dev/null; done
   rm -rf "$DIR"
+  [ -n "$EXTRA_DIR" ] && rm -rf "$EXTRA_DIR"
   exit 1
 }
 
@@ -51,10 +58,12 @@ ask() {
         echo "$line"
       done
       ;;
-    ITEM\ *|TIMEOUT\ *)
+    ITEM\ *)
+      # Streams end with a DONE/TIMEOUT/PARTIAL trailer; a sharded
+      # deployment with a dead shard answers PARTIAL.
       while IFS= read -r -t 10 line <&8; do
         echo "$line"
-        case $line in DONE\ *) break ;; esac
+        case $line in DONE\ *|TIMEOUT\ *|PARTIAL\ *) break ;; esac
       done
       ;;
   esac
@@ -98,4 +107,52 @@ echo "$out" | grep -q "corrupt index store" || fail "no diagnostic for mangled s
 echo "$out" | grep -q "Raised at\|Fatal error" && fail "backtrace leaked for mangled store"
 
 rm -rf "$DIR"
+
+echo "== sharded deployment: build 2 shards + manifest =="
+EXTRA_DIR=$(mktemp -d)
+SPORT0=$((PORT + 1))
+SPORT1=$((PORT + 2))
+"$BIN" --build-shards 2 --docs 40 --index-dir "$EXTRA_DIR" >"$EXTRA_DIR/build.log" 2>&1 \
+  || { cat "$EXTRA_DIR/build.log" >&2; fail "shard build failed"; }
+[ -s "$EXTRA_DIR/manifest.shards" ] || fail "manifest.shards missing"
+for s in shard0 shard1; do
+  [ -s "$EXTRA_DIR/$s/index.catalog" ] || fail "$s deployment missing"
+done
+
+echo "== boot shard servers and the coordinator =="
+SAVE_PORT=$PORT
+"$BIN" --index-dir "$EXTRA_DIR/shard0" --port "$SPORT0" >"$EXTRA_DIR/s0.log" 2>&1 &
+S0_PID=$!
+"$BIN" --index-dir "$EXTRA_DIR/shard1" --port "$SPORT1" >"$EXTRA_DIR/s1.log" 2>&1 &
+S1_PID=$!
+EXTRA_PIDS="$S0_PID $S1_PID"
+PORT=$SPORT0 wait_port || { cat "$EXTRA_DIR/s0.log" >&2; fail "shard 0 did not come up"; }
+PORT=$SPORT1 wait_port || { cat "$EXTRA_DIR/s1.log" >&2; fail "shard 1 did not come up"; }
+"$BIN" --coordinator --index-dir "$EXTRA_DIR" \
+  --shard "127.0.0.1:$SPORT0" --shard "127.0.0.1:$SPORT1" \
+  --port "$PORT" >"$EXTRA_DIR/coord.log" 2>&1 &
+SRV_PID=$!
+wait_port || { cat "$EXTRA_DIR/coord.log" >&2; fail "coordinator did not come up"; }
+
+[ "$(ask PING)" = "PONG" ] || fail "coordinator PING"
+ask "EVALUATE article author 5" | grep -q "^DONE " || fail "coordinator EVALUATE"
+ask "DESCENDANTS dblp_0000 - author 5" | grep -q "^DONE " || fail "coordinator DESCENDANTS"
+ask "CONNECTED 0 3" | grep -q "^DIST " || fail "coordinator CONNECTED"
+ask METRICS | grep -q "^flix_shard_errors_total" || fail "shard error metrics missing"
+ask METRICS | grep -q "^flix_shard_fanout_latency_ms_bucket" || fail "fanout histogram missing"
+
+echo "== kill one shard: answers degrade to PARTIAL =="
+kill "$S1_PID" && wait "$S1_PID" 2>/dev/null
+EXTRA_PIDS=$S0_PID
+ask "EVALUATE article author 5" | grep -q "^PARTIAL " || fail "dead shard should answer PARTIAL"
+[ "$(ask PING)" = "PONG" ] || fail "coordinator PING after shard death"
+
+kill "$SRV_PID" "$S0_PID" 2>/dev/null
+wait "$SRV_PID" "$S0_PID" 2>/dev/null
+SRV_PID=
+EXTRA_PIDS=
+PORT=$SAVE_PORT
+rm -rf "$EXTRA_DIR"
+EXTRA_DIR=
+
 echo "smoke_serve: OK"

@@ -1,0 +1,6 @@
+(* Fixture: FL002 now covers lib/shard/ — the coordinator's fan-out
+   threads and the server's worker domains share this code, so
+   module-toplevel mutable state is a data race waiting to happen. *)
+
+let probe_cache = Hashtbl.create 64
+let probe k = Hashtbl.find_opt probe_cache k

@@ -1,0 +1,1 @@
+val probe : string -> int option

@@ -91,12 +91,20 @@ let response_roundtrip () =
       P.Err "unknown verb \"FROB\"";
       P.Dist None;
       P.Dist (Some 4);
-      P.Items { items = []; timed_out = false };
-      P.Items { items = []; timed_out = true };
+      P.Items { items = []; timed_out = false; partial = false };
+      P.Items { items = []; timed_out = true; partial = false };
+      P.Items { items = []; timed_out = false; partial = true };
       P.Items
         {
           items = [ { P.node = 1; dist = 0; meta = 2 }; { P.node = 9; dist = 3; meta = 0 } ];
           timed_out = false;
+          partial = false;
+        };
+      P.Items
+        {
+          items = [ { P.node = 4; dist = 1; meta = 0 } ];
+          timed_out = false;
+          partial = true;
         };
       P.Lines [];
       P.Lines [ "a b c"; ""; "# comment" ];
@@ -215,7 +223,7 @@ let direct_descendants flix ~doc ~tag ~k =
         |> List.map (fun (it : Pee.item) ->
                { P.node = it.node; dist = it.dist; meta = it.meta })
       in
-      render (P.Items { items; timed_out = false })
+      render (P.Items { items; timed_out = false; partial = false })
 
 let ping_and_errors () =
   with_server (fun server ->
@@ -359,7 +367,7 @@ let concurrent_clients () =
                   let got =
                     match Client.descendants c ~doc ~tag:"author" ~k:10 () with
                     | Ok (Client.Value (items, timed_out)) ->
-                        render (P.Items { items; timed_out })
+                        render (P.Items { items; timed_out; partial = false })
                     | other ->
                         Printf.sprintf "failure: %s"
                           (match other with

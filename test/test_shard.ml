@@ -1,0 +1,446 @@
+(* The sharding subsystem: plan invariants and id translation, manifest
+   persistence, and a live 2-shard cluster — coordinator answers
+   cross-checked against a single server over the same collection, with
+   deterministic fault injection (a dead shard must degrade to PARTIAL,
+   not fail), the per-request DEADLINE override, the server's
+   incremental ITEM flushing, and the client receive timeout. *)
+
+module P = Fx_server.Protocol
+module Server = Fx_server.Server
+module Client = Fx_server.Server_client
+module Plan = Fx_shard.Shard_plan
+module Coordinator = Fx_shard.Coordinator
+module Flix = Fx_flix.Flix
+module Meta_builder = Fx_flix.Meta_builder
+module C = Fx_xml.Collection
+module Dblp = Fx_workload.Dblp_gen
+
+let shared_collection =
+  lazy (Dblp.collection { Dblp.default with n_docs = 150; seed = 11 })
+
+let shared_plan = lazy (Plan.plan ~n_shards:2 (Lazy.force shared_collection))
+let shared_flix = lazy (Flix.build (Lazy.force shared_collection))
+
+let shard_collections =
+  lazy
+    (Plan.shard_documents (Lazy.force shared_plan) (Lazy.force shared_collection)
+    |> Array.map C.build)
+
+let shard_flixes = lazy (Array.map Flix.build (Lazy.force shard_collections))
+
+(* --- plan ----------------------------------------------------------- *)
+
+let plan_invariants () =
+  let coll = Lazy.force shared_collection in
+  let plan = Lazy.force shared_plan in
+  Alcotest.(check int) "two shards" 2 (Plan.n_shards plan);
+  Alcotest.(check int) "covers the collection" (C.n_nodes coll) (Plan.total_nodes plan);
+  let doc_sum = ref 0 and node_sum = ref 0 in
+  for s = 0 to Plan.n_shards plan - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d nonempty" s)
+      true
+      (Plan.shard_n_docs plan s > 0);
+    doc_sum := !doc_sum + Plan.shard_n_docs plan s;
+    node_sum := !node_sum + Plan.shard_n_nodes plan s
+  done;
+  Alcotest.(check int) "documents partitioned" (C.n_docs coll) !doc_sum;
+  Alcotest.(check int) "nodes partitioned" (C.n_nodes coll) !node_sum;
+  (* Id translation round-trips over every node in the collection. *)
+  for g = 0 to C.n_nodes coll - 1 do
+    let shard, local = Plan.locate plan g in
+    if Plan.global_of plan ~shard ~local <> g then
+      Alcotest.failf "locate/global_of do not round-trip at node %d" g
+  done;
+  (* Cross links really cross, and carry their target's tag name. *)
+  let tags = C.tag coll in
+  Alcotest.(check bool) "has cross-shard links" true
+    (Array.length (Plan.cross_links plan) > 0);
+  Array.iter
+    (fun (l : Plan.cross_link) ->
+      let s_src, _ = Plan.locate plan l.src and s_dst, _ = Plan.locate plan l.dst in
+      if s_src = s_dst then Alcotest.failf "link %d -> %d does not cross" l.src l.dst;
+      Alcotest.(check string)
+        (Printf.sprintf "tag of link target %d" l.dst)
+        (C.tag_name coll tags.(l.dst))
+        l.dst_tag)
+    (Plan.cross_links plan);
+  (* Meta documents are never split: requesting far more shards than
+     meta documents clamps instead of fragmenting. *)
+  let huge = Plan.plan ~n_shards:10_000 coll in
+  Alcotest.(check bool) "shard count clamped to meta count" true
+    (Plan.n_shards huge >= 1 && Plan.n_shards huge < 10_000);
+  (match Plan.plan ~config:(Meta_builder.Element_level { max_size = 64 }) ~n_shards:2 coll with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Element_level must be rejected: it splits documents");
+  match Plan.plan ~n_shards:0 coll with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n_shards 0 must be rejected"
+
+let manifest_roundtrip () =
+  let coll = Lazy.force shared_collection in
+  let plan = Lazy.force shared_plan in
+  let path = Filename.temp_file "fxman" ".shards" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Plan.save ~path plan;
+      let plan' = Plan.load path in
+      Alcotest.(check int) "n_shards" (Plan.n_shards plan) (Plan.n_shards plan');
+      Alcotest.(check int) "total_nodes" (Plan.total_nodes plan) (Plan.total_nodes plan');
+      for g = 0 to C.n_nodes coll - 1 do
+        if Plan.locate plan g <> Plan.locate plan' g then
+          Alcotest.failf "loaded plan places node %d differently" g
+      done;
+      let key (l : Plan.cross_link) = (l.src, l.dst, l.dst_tag) in
+      let links p = Plan.cross_links p |> Array.map key |> Array.to_list |> List.sort compare in
+      Alcotest.(check bool) "cross links survive" true (links plan = links plan');
+      (* A truncated manifest must be detected, not mistranslated. *)
+      let ic = open_in_bin path in
+      let body = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub body 0 (String.length body / 2));
+      close_out oc;
+      match Plan.load path with
+      | exception Fx_util.Codec.Corrupt _ -> ()
+      | _ -> Alcotest.fail "truncated manifest must raise Corrupt")
+
+(* --- live cluster ---------------------------------------------------- *)
+
+(* Persist a collection as a disk deployment (the backend --build-shards
+   produces) and serve it. Disk evaluation reports exact distances, so
+   sharded and unsharded answers must agree set-for-set; the in-memory
+   engine is the paper's approximate one, whose distances legitimately
+   depend on the partition. *)
+let with_disk_server coll f =
+  let dg = { Fx_index.Path_index.graph = C.graph coll; tag = C.tag coll } in
+  let hopi = Fx_index.Hopi.build dg in
+  let prefix = Filename.temp_file "fxshard" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ prefix; prefix ^ ".labels"; prefix ^ ".tags"; prefix ^ ".catalog" ])
+    (fun () ->
+      Fx_index.Disk_hopi.save ~path:prefix dg hopi;
+      Fx_index.Catalog.save ~path:(prefix ^ ".catalog")
+        (Fx_index.Catalog.of_collection coll);
+      let disk = Fx_index.Disk_hopi.open_ ~path:prefix () in
+      let catalog = Fx_index.Catalog.load (prefix ^ ".catalog") in
+      Fun.protect
+        ~finally:(fun () -> Fx_index.Disk_hopi.close disk)
+        (fun () ->
+          let server = Server.start_backend (Server.On_disk { hopi = disk; catalog }) in
+          Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)))
+
+let rec with_disk_servers colls f =
+  match colls with
+  | [] -> f []
+  | c :: rest -> with_disk_server c (fun s -> with_disk_servers rest (fun ss -> f (s :: ss)))
+
+(* Boot one in-memory server per shard, a coordinator in front of them,
+   and hand the test the coordinator plus a client per endpoint. *)
+let with_cluster f =
+  let plan = Lazy.force shared_plan in
+  let shard_servers = Array.map Server.start (Lazy.force shard_flixes) in
+  Fun.protect
+    ~finally:(fun () -> Array.iter Server.stop shard_servers)
+    (fun () ->
+      let shards =
+        Array.to_list shard_servers |> List.map (fun s -> ("127.0.0.1", Server.port s))
+      in
+      let coord = Coordinator.create ~plan ~shards () in
+      Fun.protect
+        ~finally:(fun () -> Coordinator.close coord)
+        (fun () ->
+          let front = Server.start_backend (Server.Custom (Coordinator.backend coord)) in
+          Fun.protect
+            ~finally:(fun () -> Server.stop front)
+            (fun () -> f ~coord ~front ~shard_servers)))
+
+(* Normalize a stream for comparison: the coordinator's merge may order
+   equal-distance ties differently, and it reports the owning shard in
+   [meta] where the single server reports the meta document. *)
+let normal items = List.map (fun (it : P.item) -> (it.dist, it.node)) items |> List.sort compare
+
+let ascending_dists items =
+  let rec go last = function
+    | [] -> true
+    | (it : P.item) :: tl -> it.dist >= last && go it.dist tl
+  in
+  go 0 items
+
+let stream_eq ~what got want =
+  (match (got, want) with
+  | Ok (P.Items g), Ok (P.Items w) ->
+      Alcotest.(check bool) (what ^ ": flags") true
+        (g.timed_out = w.timed_out && g.partial = w.partial);
+      Alcotest.(check int) (what ^ ": count") (List.length w.items) (List.length g.items);
+      if normal g.items <> normal w.items then
+        Alcotest.failf "%s: item sets differ" what;
+      Alcotest.(check bool)
+        (what ^ ": merged stream ascends by distance")
+        true (ascending_dists g.items)
+  | _ -> Alcotest.failf "%s: expected item streams from both endpoints" what)
+
+let coordinator_matches_single_server () =
+  let coll = Lazy.force shared_collection in
+  let plan = Lazy.force shared_plan in
+  with_disk_servers
+    (coll :: Array.to_list (Lazy.force shard_collections))
+    (function
+      | [] | [ _ ] -> assert false
+      | single :: shard_servers ->
+          let shards = List.map (fun s -> ("127.0.0.1", Server.port s)) shard_servers in
+          let coord = Coordinator.create ~plan ~shards () in
+          Fun.protect
+            ~finally:(fun () -> Coordinator.close coord)
+            (fun () ->
+              let front =
+                Server.start_backend (Server.Custom (Coordinator.backend coord))
+              in
+              Fun.protect
+                ~finally:(fun () -> Server.stop front)
+                (fun () ->
+                  let cc = Client.connect ~port:(Server.port front) () in
+                  let sc = Client.connect ~port:(Server.port single) () in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      Client.close cc;
+                      Client.close sc)
+                    (fun () ->
+              (* Large k so no top-k boundary cuts a tie group. *)
+              let streams =
+                [
+                  P.Evaluate
+                    { start_tag = "article"; target_tag = "author"; k = 10_000; max_dist = None };
+                  P.Evaluate
+                    {
+                      start_tag = "inproceedings";
+                      target_tag = "cite";
+                      k = 10_000;
+                      max_dist = None;
+                    };
+                  P.Evaluate
+                    { start_tag = "article"; target_tag = "title"; k = 10_000; max_dist = Some 3 };
+                  P.Descendants
+                    { doc = Dblp.doc_name 0; anchor = None; tag = None; k = 10_000; max_dist = None };
+                  P.Descendants
+                    {
+                      doc = Dblp.doc_name 7;
+                      anchor = None;
+                      tag = Some "author";
+                      k = 10_000;
+                      max_dist = None;
+                    };
+                  P.Node_descendants { node = 0; tag = None; k = 10_000; max_dist = None };
+                  P.Ancestors { node = 40; tag = None; k = 10_000; max_dist = None };
+                  P.Ancestors { node = 100; tag = Some "article"; k = 10_000; max_dist = None };
+                  P.Resolve { doc = Dblp.doc_name 3; anchor = None };
+                ]
+              in
+              List.iter
+                (fun req ->
+                  stream_eq ~what:(P.request_line req) (Client.request cc req)
+                    (Client.request sc req))
+                streams;
+              (* CONNECTED: exact distances, including portal paths that
+                 hop between shards. Probe pairs with known reachability
+                 (node 40's ancestor cone) plus a deterministic sweep of
+                 mostly-unreachable pairs. *)
+              let anc =
+                match Client.request sc (P.Ancestors { node = 40; tag = None; k = 10_000; max_dist = None }) with
+                | Ok (P.Items { items; _ }) -> List.map (fun (it : P.item) -> it.node) items
+                | _ -> Alcotest.fail "ancestors ground truth failed"
+              in
+              let pairs =
+                List.filteri (fun i _ -> i mod 7 = 0) anc
+                |> List.map (fun a -> (a, 40))
+                |> List.append (List.init 30 (fun i -> ((i * 131) mod 2000, (i * 613) mod 2000)))
+              in
+              List.iter
+                (fun (a, b) ->
+                  let want =
+                    match Client.connected sc a b with
+                    | Ok (Client.Value d) -> d
+                    | _ -> Alcotest.failf "connected %d %d ground truth failed" a b
+                  in
+                  match Client.connected cc a b with
+                  | Ok (Client.Value got) ->
+                      Alcotest.(check (option int))
+                        (Printf.sprintf "connected %d %d" a b)
+                        want got
+                  | _ -> Alcotest.failf "connected %d %d failed" a b)
+                pairs;
+              (* An unknown document is a semantic error on both. *)
+              match
+                Client.request cc
+                  (P.Descendants
+                     { doc = "no_such_doc"; anchor = None; tag = None; k = 5; max_dist = None })
+              with
+              | Ok (P.Err _) -> ()
+              | _ -> Alcotest.fail "unknown doc should be ERR at the coordinator"))))
+
+let dead_shard_degrades () =
+  with_cluster (fun ~coord ~front ~shard_servers ->
+      let c = Client.connect ~port:(Server.port front) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* Warm path: healthy cluster answers DONE. *)
+          (match
+             Client.request c
+               (P.Evaluate
+                  { start_tag = "article"; target_tag = "author"; k = 10_000; max_dist = None })
+           with
+          | Ok (P.Items { timed_out = false; partial = false; items }) ->
+              Alcotest.(check bool) "healthy answer nonempty" true (items <> [])
+          | _ -> Alcotest.fail "healthy cluster should answer DONE");
+          Alcotest.(check int) "no errors while healthy" 0
+            (Coordinator.shard_errors_total coord);
+          (* Kill shard 1 mid-flight and ask again: the answer must
+             degrade to PARTIAL within the deadline, with the surviving
+             shard's items intact, and the error counter must move. *)
+          Server.stop shard_servers.(1);
+          (match
+             Client.request ~deadline_ms:3_000 c
+               (P.Evaluate
+                  { start_tag = "article"; target_tag = "author"; k = 10_000; max_dist = None })
+           with
+          | Ok (P.Items { partial = true; items; _ }) ->
+              Alcotest.(check bool) "surviving shard still contributes" true (items <> [])
+          | Ok r ->
+              Alcotest.failf "expected PARTIAL with a dead shard, got %s"
+                (String.concat "|" (P.response_lines r))
+          | Error e -> Alcotest.failf "coordinator must not fail the query: %s" e);
+          Alcotest.(check bool) "failed attempts counted" true
+            (Coordinator.shard_errors_total coord > 0);
+          let metrics = String.concat "\n" (Coordinator.metric_lines coord ()) in
+          Alcotest.(check bool) "error series exported" true
+            (Astring.String.is_infix ~affix:"flix_shard_errors_total{shard=\"1\"" metrics);
+          Alcotest.(check bool) "fanout histogram exported" true
+            (Astring.String.is_infix ~affix:"flix_shard_fanout_latency_ms_bucket" metrics);
+          (* The coordinator endpoint itself stays healthy. *)
+          Alcotest.(check bool) "front survives" true (Client.ping c)))
+
+(* --- protocol satellites --------------------------------------------- *)
+
+let deadline_override () =
+  let server = Server.start (Lazy.force shared_flix) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let c = Client.connect ~port:(Server.port server) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* Default deadline (2 s) would let this nap finish; the
+             envelope must cut it short. *)
+          (match Client.request ~deadline_ms:0 c (P.Sleep 400) with
+          | Ok (P.Items { timed_out = true; _ }) -> ()
+          | Ok r ->
+              Alcotest.failf "DEADLINE 0 SLEEP should time out, got %s"
+                (String.concat "|" (P.response_lines r))
+          | Error e -> Alcotest.failf "transport error: %s" e);
+          (* And without the envelope the same nap completes. *)
+          match Client.request c (P.Sleep 1) with
+          | Ok P.Ok_done -> ()
+          | _ -> Alcotest.fail "un-overridden sleep should complete"))
+
+let incremental_flush () =
+  (* A Custom backend that emits one item, then blocks until released.
+     If the server buffered the stream until evaluation finished, the
+     client could never read the first ITEM while the worker is still
+     blocked — the receive timeout below would trip instead. *)
+  let m = Mutex.create () and cond = Condition.create () and released = ref false in
+  let release () =
+    Mutex.lock m;
+    released := true;
+    Condition.signal cond;
+    Mutex.unlock m
+  in
+  let custom =
+    {
+      Server.custom_eval =
+        (fun ~emit ~deadline_ns:_ req ->
+          match req with
+          | P.Evaluate _ ->
+              emit { P.node = 1; dist = 0; meta = 0 };
+              Mutex.lock m;
+              while not !released do
+                Condition.wait cond m
+              done;
+              Mutex.unlock m;
+              emit { P.node = 2; dist = 1; meta = 0 };
+              P.Items { items = []; timed_out = false; partial = false }
+          | _ -> P.Err "unsupported");
+      custom_stats = (fun () -> [ "flush fixture" ]);
+    }
+  in
+  let server = Server.start_backend (Server.Custom custom) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+          let oc = Unix.out_channel_of_descr fd in
+          let ic = Unix.in_channel_of_descr fd in
+          output_string oc "EVALUATE a b 10\n";
+          flush oc;
+          Alcotest.(check string) "first item flushed while eval still runs" "ITEM 1 0 0"
+            (input_line ic);
+          release ();
+          Alcotest.(check string) "second item" "ITEM 2 1 0" (input_line ic);
+          Alcotest.(check string) "trailer" "DONE 2" (input_line ic)))
+
+let client_recv_timeout () =
+  (* A server that answers too slowly must surface as a transport error
+     on the client within the receive timeout — this is what keeps a
+     hung shard from wedging the coordinator's connection pool. *)
+  let config = { Server.default_config with deadline_ms = 10_000.0 } in
+  let server = Server.start ~config (Lazy.force shared_flix) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let c = Client.connect ~recv_timeout:0.15 ~port:(Server.port server) () in
+      let t0 = Fx_util.Stopwatch.now_ns () in
+      (match Client.sleep c 5_000 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "read should have timed out");
+      let waited_ms =
+        Int64.to_float (Int64.sub (Fx_util.Stopwatch.now_ns ()) t0) /. 1e6
+      in
+      Alcotest.(check bool) "timed out promptly, not at the response" true
+        (waited_ms < 2_000.0);
+      Client.close c;
+      (* The server is unharmed; a fresh client gets served. *)
+      let c2 = Client.connect ~port:(Server.port server) () in
+      Alcotest.(check bool) "server unaffected" true (Client.ping c2);
+      Client.close c2)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "plan invariants" `Quick plan_invariants;
+          Alcotest.test_case "manifest round-trip" `Quick manifest_roundtrip;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "coordinator matches single server" `Quick
+            coordinator_matches_single_server;
+          Alcotest.test_case "dead shard degrades to PARTIAL" `Quick dead_shard_degrades;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "DEADLINE override" `Quick deadline_override;
+          Alcotest.test_case "incremental ITEM flushing" `Quick incremental_flush;
+          Alcotest.test_case "client receive timeout" `Quick client_recv_timeout;
+        ] );
+    ]

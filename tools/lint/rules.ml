@@ -30,7 +30,8 @@ let in_lib = in_any [ "lib/" ]
 (* Libraries linked into the server's worker pool: shared mutable state
    at module toplevel is visible to every domain at once. *)
 let in_worker_pool_lib =
-  in_any [ "lib/flix/"; "lib/server/"; "lib/store/"; "lib/index/"; "lib/util/" ]
+  in_any
+    [ "lib/flix/"; "lib/server/"; "lib/shard/"; "lib/store/"; "lib/index/"; "lib/util/" ]
 
 (* Directories on the PPO/HOPI lookup hot path, where polymorphic
    hashing/comparison costs show up in the paper's Section 4 numbers. *)
@@ -336,8 +337,8 @@ let descriptions =
        a with_lock wrapper (lib/, bin/, bench/)" );
     ( "FL002",
       "unsynchronized-shared-state: no module-toplevel ref/Hashtbl/... in \
-       worker-pool libraries (lib/flix, lib/server, lib/store, lib/index, \
-       lib/util)" );
+       worker-pool libraries (lib/flix, lib/server, lib/shard, lib/store, \
+       lib/index, lib/util)" );
     ( "FL003",
       "polymorphic-hash-compare: no bare compare/Hashtbl.hash on hot paths \
        (lib/graph, lib/index, lib/flix)" );
