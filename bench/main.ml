@@ -638,7 +638,10 @@ let serve ctx =
   let flix = Flix.build ~config:(MB.Unconnected_hopi { max_size = 5_000 }) ctx.collection in
   let n_docs = C.n_docs ctx.collection in
   let n_threads = 8 and per_thread = 200 in
-  let run_one ~backend_name ~workers backend =
+  (* [extra ~port] runs after the measured load but before shutdown —
+     coordinator rows use it to fire a cache-exercising query mix and
+     snapshot probe/cache counters into extra JSON fields. *)
+  let run_one ~backend_name ~workers ?extra backend =
     let server =
       Fx_server.Server.start_backend
         ~config:{ Fx_server.Server.default_config with workers; queue_capacity = 256 }
@@ -668,6 +671,7 @@ let serve ctx =
     in
     List.iter Thread.join threads;
     let wall_s = Fx_util.Stopwatch.elapsed_ms wall /. 1000.0 in
+    let extra_fields = match extra with None -> [] | Some f -> f ~port in
     Fx_server.Server.stop server;
     let all = Array.to_list lats in
     let total = n_threads * per_thread in
@@ -676,8 +680,10 @@ let serve ctx =
     Printf.printf "%-8s %-8d %10d %10.0f %10.4f %10.4f %10.4f\n%!" backend_name workers
       total rps (p 50.0) (p 95.0) (p 99.0);
     Printf.sprintf
-      "{\"backend\":%S,\"workers\":%d,\"requests\":%d,\"rps\":%.1f,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f}"
+      "{\"backend\":%S,\"workers\":%d,\"requests\":%d,\"rps\":%.1f,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f%s}"
       backend_name workers total rps (p 50.0) (p 95.0) (p 99.0)
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf ",\"%s\":%s" k v) extra_fields))
   in
   Printf.printf "%-8s %-8s %10s %10s %10s %10s %10s\n" "backend" "workers" "requests"
     "req/s" "p50 [ms]" "p95 [ms]" "p99 [ms]";
@@ -715,11 +721,14 @@ let serve ctx =
   (* Sharded rows: the same load through a scatter-gather coordinator
      over disk-backed shard servers. coord1 isolates the coordinator's
      fan-out overhead (one shard, no cross-shard links); coord2 adds
-     the 2-shard split with live portal chasing. *)
+     the 2-shard split with live portal chasing. Each shard count runs
+     twice — probe batching off (coordN-nobatch) then on (coordN) —
+     with a fresh coordinator per row so the probe-RPC counters are the
+     batching before/after comparison. *)
   let shard_rows =
     let module SP = Fx_shard.Shard_plan in
     let module Coord = Fx_shard.Coordinator in
-    List.map
+    List.concat_map
       (fun n_shards ->
         let plan = SP.plan ~n_shards ctx.collection in
         let deployments =
@@ -760,14 +769,70 @@ let serve ctx =
                   Array.to_list servers
                   |> List.map (fun s -> ("127.0.0.1", Fx_server.Server.port s))
                 in
-                let coord = Coord.create ~plan ~shards () in
-                Fun.protect
-                  ~finally:(fun () -> Coord.close coord)
-                  (fun () ->
-                    run_one
-                      ~backend_name:(Printf.sprintf "coord%d" (SP.n_shards plan))
-                      ~workers:4
-                      (Fx_server.Server.Custom (Coord.backend coord))))))
+                List.map
+                  (fun batching ->
+                    let coord =
+                      Coord.create ~batching ~query_cache:256 ~plan ~shards ()
+                    in
+                    Fun.protect
+                      ~finally:(fun () -> Coord.close coord)
+                      (fun () ->
+                        let name =
+                          Printf.sprintf "coord%d%s" (SP.n_shards plan)
+                            (if batching then "" else "-nobatch")
+                        in
+                        run_one ~backend_name:name ~workers:4
+                          ~extra:(fun ~port ->
+                            (* A small repeated EVALUATE mix: the second
+                               pass should land in the coordinator's
+                               result cache. *)
+                            let client = Fx_server.Server_client.connect ~port () in
+                            for _ = 1 to 2 do
+                              List.iter
+                                (fun (start_tag, target_tag) ->
+                                  ignore
+                                    (Fx_server.Server_client.request client
+                                       (Fx_server.Protocol.Evaluate
+                                          {
+                                            start_tag;
+                                            target_tag;
+                                            k = 100;
+                                            max_dist = None;
+                                          })))
+                                [
+                                  ("article", "author");
+                                  ("inproceedings", "cite");
+                                  ("article", "title");
+                                ]
+                            done;
+                            Fx_server.Server_client.close client;
+                            let rpcs = Coord.probe_rpcs_total coord in
+                            let subs = Coord.probe_subs_total coord in
+                            let hits, misses =
+                              match Coord.query_cache_stats coord with
+                              | Some s -> (s.Fx_shard.Coord_cache.hits, s.misses)
+                              | None -> (0, 0)
+                            in
+                            let hit_rate =
+                              if hits + misses = 0 then 0.0
+                              else float_of_int hits /. float_of_int (hits + misses)
+                            in
+                            Printf.printf
+                              "  %-22s %d probe rpcs carrying %d subs (%.1f \
+                               subs/rpc), cache %d/%d hits (%.0f%%)\n%!"
+                              (name ^ " probes:") rpcs subs
+                              (if rpcs = 0 then 0.0
+                               else float_of_int subs /. float_of_int rpcs)
+                              hits (hits + misses) (100.0 *. hit_rate);
+                            [
+                              ("probe_rpcs", string_of_int rpcs);
+                              ("probe_subs", string_of_int subs);
+                              ("cache_hits", string_of_int hits);
+                              ("cache_misses", string_of_int misses);
+                              ("cache_hit_rate", Printf.sprintf "%.4f" hit_rate);
+                            ])
+                          (Fx_server.Server.Custom (Coord.backend coord))))
+                  [ false; true ])))
       [ 1; 2 ]
   in
   Printf.printf "\nserve-json: {\"bench\":\"serve\",\"docs\":%d,\"rows\":[%s]}\n" n_docs
@@ -777,7 +842,9 @@ let serve ctx =
   print_endline "client threads saturate; the disk rows pay the buffer-pool path on";
   print_endline "top — warm pools should track the in-memory numbers. The coord rows";
   print_endline "add a network hop and shard probes per request: coord1 prices the";
-  print_endline "fan-out machinery alone, coord2 the actual 2-shard distribution."
+  print_endline "fan-out machinery alone, coord2 the actual 2-shard distribution.";
+  print_endline "coordN vs coordN-nobatch is the probe-batching win: same answers,";
+  print_endline "a fraction of the round trips (probe_rpcs in the JSON)."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite: one Test.make per table/figure-defining

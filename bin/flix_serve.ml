@@ -40,7 +40,8 @@ let usage () =
     \                  [--deadline-ms F] [--docs N | --xml-dir DIR] [--seed N]\n\
     \                  [--index-dir DIR] [--pool-pages N]\n\
     \       flix_serve --build-shards N --index-dir DIR [--docs N | --xml-dir DIR]\n\
-    \       flix_serve --coordinator --index-dir DIR --shard HOST:PORT [--shard ...]";
+    \       flix_serve --coordinator --index-dir DIR --shard HOST:PORT [--shard ...]\n\
+    \                  [--coord-cache N] [--no-batch]";
   exit 1
 
 type source = Generate of int | Xml_dir of string
@@ -151,7 +152,7 @@ let build_shards ~dir ~n_shards source seed =
     (manifest_path dir);
   Printf.printf "serve each shard with: flix_serve --index-dir %s/shard<i>\n%!" dir
 
-let serve_coordinator cfg ~dir ~shards =
+let serve_coordinator cfg ~dir ~shards ~coord_cache ~batching =
   let plan = Shard_plan.load (manifest_path dir) in
   List.iter print_endline (Shard_plan.describe plan);
   if List.length shards <> Shard_plan.n_shards plan then begin
@@ -159,7 +160,11 @@ let serve_coordinator cfg ~dir ~shards =
       (Shard_plan.n_shards plan) (List.length shards);
     exit 1
   end;
-  let coord = Coordinator.create ~plan ~shards () in
+  (match coord_cache with
+  | Some n -> Printf.printf "coordinator EVALUATE cache: %d entries\n%!" n
+  | None -> ());
+  if not batching then Printf.printf "probe batching disabled (--no-batch)\n%!";
+  let coord = Coordinator.create ~batching ?query_cache:coord_cache ~plan ~shards () in
   Fun.protect
     ~finally:(fun () -> Coordinator.close coord)
     (fun () ->
@@ -226,6 +231,8 @@ let () =
   let build_n = ref None in
   let coordinator = ref false in
   let shard_addrs = ref [] in
+  let coord_cache = ref None in
+  let batching = ref true in
   let rec parse = function
     | [] -> ()
     | "--build-shards" :: v :: rest ->
@@ -236,6 +243,12 @@ let () =
         parse rest
     | "--shard" :: v :: rest ->
         shard_addrs := parse_host_port v :: !shard_addrs;
+        parse rest
+    | "--coord-cache" :: v :: rest ->
+        coord_cache := Some (int_of_string v);
+        parse rest
+    | "--no-batch" :: rest ->
+        batching := false;
         parse rest
     | "--port" :: v :: rest ->
         cfg := { !cfg with port = int_of_string v };
@@ -287,7 +300,10 @@ let () =
       Printf.eprintf "flix_serve: --build-shards needs --index-dir\n";
       exit 1
   | None, true, Some dir -> (
-      match serve_coordinator !cfg ~dir ~shards:(List.rev !shard_addrs) with
+      match
+        serve_coordinator !cfg ~dir ~shards:(List.rev !shard_addrs)
+          ~coord_cache:!coord_cache ~batching:!batching
+      with
       | () -> ()
       | exception Fx_util.Codec.Corrupt msg ->
           Printf.eprintf "flix_serve: corrupt shard manifest under %s: %s\n" dir msg;

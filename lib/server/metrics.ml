@@ -1,7 +1,7 @@
 let verbs =
   [
     "ping"; "stats"; "metrics"; "sleep"; "descendants"; "ancestors"; "connected";
-    "evaluate"; "resolve"; "other";
+    "evaluate"; "resolve"; "batch"; "other";
   ]
 
 let n_verbs = List.length verbs

@@ -51,6 +51,13 @@ let pool_bound = function
   | Evaluate _ | Resolve _ ->
       true
 
+(* The probe verbs a BATCH envelope may carry. SLEEP rides along as the
+   diagnostic stand-in for a slow sub-request, exactly as it does for
+   single requests. *)
+let batch_allowed = function
+  | Connected _ | Node_descendants _ | Ancestors _ | Resolve _ | Sleep _ -> true
+  | Ping | Stats | Metrics | Descendants _ | Evaluate _ -> false
+
 let streams_items = function
   | Descendants _ | Node_descendants _ | Ancestors _ | Evaluate _ -> true
   | Ping | Stats | Metrics | Sleep _ | Connected _ | Resolve _ -> false
@@ -156,6 +163,38 @@ let parse_envelope line =
       Ok { deadline_ms = None; req }
 
 let parse_request line = Result.map (fun e -> e.req) (parse_envelope line)
+
+(* --- batches -------------------------------------------------------- *)
+
+type framed = Single of envelope | Batch of { deadline_ms : int option; n : int }
+
+(* A request line is either a plain envelope or a BATCH header
+   announcing [n] sub-request lines to follow. The DEADLINE prefix
+   composes with both and covers the whole batch. *)
+let parse_framed line =
+  let batch deadline_ms n =
+    let* n = int_of ~what:"batch size" n in
+    let* n = positive ~what:"batch size" n in
+    Ok (Batch { deadline_ms; n })
+  in
+  match tokenize line with
+  | [ cmd; n ] when String.uppercase_ascii cmd = "BATCH" -> batch None n
+  | [ cmd; ms; batch_kw; n ]
+    when String.uppercase_ascii cmd = "DEADLINE"
+         && String.uppercase_ascii batch_kw = "BATCH" ->
+      let* ms = int_of ~what:"deadline ms" ms in
+      let* ms = non_negative ~what:"deadline ms" ms in
+      batch (Some ms) n
+  | _ ->
+      let* e = parse_envelope line in
+      Ok (Single e)
+
+let batch_line ?deadline_ms n =
+  match deadline_ms with
+  | None -> Printf.sprintf "BATCH %d" n
+  | Some ms -> Printf.sprintf "DEADLINE %d BATCH %d" ms n
+
+let sub_line i = Printf.sprintf "SUB %d" i
 
 let request_line r =
   let md = function None -> "" | Some d -> " " ^ string_of_int d in
@@ -294,3 +333,32 @@ let read_item_stream read_line ~on_item =
   read_response_gen read_line ~on_item
     ~items_value:(fun t ->
       Items { items = []; timed_out = t.timed_out; partial = t.partial })
+
+(* Read the [n] SUB-tagged answers of a batch. Sub-responses arrive in
+   completion order, not request order; each is delivered through
+   [on_response] as soon as its trailer is read, so a transport failure
+   mid-batch still leaves the caller with the answered prefix. *)
+let read_batch_responses read_line ~n ~on_response =
+  let seen = Array.make n false in
+  let rec sub remaining =
+    if remaining = 0 then Ok ()
+    else
+      match read_line () with
+      | None -> Error "connection closed mid-batch"
+      | Some line -> (
+          match String.split_on_char ' ' line with
+          | [ "SUB"; i ] -> (
+              match int_of_string_opt i with
+              | Some i when i >= 0 && i < n && not seen.(i) -> (
+                  seen.(i) <- true;
+                  match read_response read_line with
+                  | Ok resp ->
+                      on_response i resp;
+                      sub (remaining - 1)
+                  | Error _ as e -> e)
+              | Some i when i >= 0 && i < n ->
+                  Error (Printf.sprintf "duplicate batch index %d" i)
+              | _ -> Error (Printf.sprintf "batch index out of range in %S" line))
+          | _ -> Error (Printf.sprintf "expected SUB header, got %S" line))
+  in
+  sub n

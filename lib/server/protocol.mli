@@ -41,7 +41,25 @@
     [ANCESTORS] evaluates ancestors-{e or-self}: the start node itself
     is reported at distance 0 when it matches the tag filter, so
     "closest ancestor with tag [t]" includes the node being probed.
-    [NDESCENDANTS] mirrors [DESCENDANTS] and excludes the start. *)
+    [NDESCENDANTS] mirrors [DESCENDANTS] and excludes the start.
+
+    {2 Batches}
+
+    [BATCH <n>] (optionally prefixed [DEADLINE <ms> BATCH <n>]) opens a
+    batch envelope: the next [n] lines are sub-requests, one per line,
+    drawn from the probe verbs [CONNECTED], [NDESCENDANTS], [ANCESTORS],
+    [RESOLVE] (and the diagnostic [SLEEP]) — see {!batch_allowed}. The
+    server fans the sub-requests across its worker pool and answers with
+    exactly [n] sub-responses, each introduced by a [SUB <i>] line
+    carrying the 0-based index of the sub-request it answers, followed
+    by that sub-request's ordinary response lines. Sub-responses arrive
+    in {e completion} order, not request order. A malformed or
+    disallowed sub-request line fails only its own slot ([SUB <i>] then
+    [ERR ...]); the batch framing stays intact. The [DEADLINE] budget
+    covers the whole batch: sub-requests still queued when it expires
+    answer [TIMEOUT 0]. A queue-full server backpressures sub-request
+    dispatch rather than rejecting any sub with [BUSY] — a batch may
+    legitimately be larger than the server's work queue. *)
 
 type request =
   | Ping
@@ -90,6 +108,13 @@ val pool_bound : request -> bool
     [Metrics] are answered inline so the observability plane stays
     responsive on a saturated server. *)
 
+val batch_allowed : request -> bool
+(** Whether the verb may appear as a [BATCH] sub-request. The batch
+    plane exists for cheap point probes ([CONNECTED], [NDESCENDANTS],
+    [ANCESTORS], [RESOLVE]); the heavyweight streaming verbs and the
+    inline observability verbs are excluded. [SLEEP] is allowed as the
+    diagnostic stand-in for a slow probe. *)
+
 val streams_items : request -> bool
 (** Whether the verb's response is an item stream whose [ITEM] lines
     the server flushes incrementally as they are produced. *)
@@ -107,6 +132,20 @@ val request_line : request -> string
 
 val envelope_line : ?deadline_ms:int -> request -> string
 (** [request_line] with an optional [DEADLINE <ms>] prefix. *)
+
+type framed = Single of envelope | Batch of { deadline_ms : int option; n : int }
+(** A parsed request header line: a plain envelope, or a [BATCH]
+    header announcing [n] sub-request lines to follow. *)
+
+val parse_framed : string -> (framed, string) result
+(** Like {!parse_envelope}, but recognizes the [BATCH <n>] header
+    (with or without a [DEADLINE <ms>] prefix; [n] must be positive). *)
+
+val batch_line : ?deadline_ms:int -> int -> string
+(** The [BATCH <n>] header line, optionally deadline-prefixed. *)
+
+val sub_line : int -> string
+(** The [SUB <i>] line introducing sub-response [i]. *)
 
 val item_line : item -> string
 (** One [ITEM <node> <dist> <meta>] wire line. *)
@@ -134,3 +173,15 @@ val read_item_stream :
     carries an empty list; its [timed_out]/[partial] flags and the
     verified trailer count reflect the full stream. Non-stream
     responses ([BUSY], [ERR], [DIST], ...) are returned unchanged. *)
+
+val read_batch_responses :
+  (unit -> string option) ->
+  n:int ->
+  on_response:(int -> response -> unit) ->
+  (unit, string) result
+(** [read_batch_responses read_line ~n ~on_response] reads the [n]
+    [SUB]-tagged answers of a batch, delivering each through
+    [on_response index response] as soon as its last line is read —
+    sub-responses arrive in completion order, and a transport failure
+    mid-batch still leaves the caller with every answer delivered so
+    far. Rejects out-of-range and duplicate indexes. *)

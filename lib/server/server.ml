@@ -15,6 +15,7 @@ type config = {
   max_results : int;
   max_line_bytes : int;
   max_connections : int;
+  max_batch : int;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     max_results = 10_000;
     max_line_bytes = 8192;
     max_connections = 1024;
+    max_batch = 1024;
   }
 
 (* Every lock in this module is taken through this wrapper: the critical
@@ -478,6 +480,150 @@ let handle_request t oc line =
         end
       end
 
+(* --- batches -------------------------------------------------------- *)
+
+(* Write one finished sub-response: the SUB header, the items the worker
+   pushed into the mailbox, and the trailer (or the bare response when
+   nothing streamed). Mirrors [finish_stream]'s framing rules. *)
+let write_sub oc i items resp =
+  write_line oc (Protocol.sub_line i);
+  (match resp with
+  | Protocol.Items { items = tail; timed_out; partial } ->
+      List.iter (fun it -> write_line oc (Protocol.item_line it)) items;
+      List.iter (fun it -> write_line oc (Protocol.item_line it)) tail;
+      write_line oc
+        (Protocol.items_trailer
+           ~count:(List.length items + List.length tail)
+           ~timed_out ~partial)
+  | resp when items = [] -> List.iter (write_line oc) (Protocol.response_lines resp)
+  | _ ->
+      List.iter (fun it -> write_line oc (Protocol.item_line it)) items;
+      write_line oc
+        (Protocol.items_trailer ~count:(List.length items) ~timed_out:false
+           ~partial:true));
+  flush oc
+
+(* Fan the [n] parsed-or-failed sub-request lines of one batch across
+   the worker pool and write SUB-tagged answers back in completion
+   order. One mutex/condvar pair serves every sub-mailbox: workers
+   signal it as they emit and finish, and this (connection) thread
+   wakes, scans for newly finished subs, and flushes each one whole.
+   Batch items are buffered per sub rather than interleaved on the wire
+   — a batch is a probe plane, not a streaming plane.
+
+   Admission control happened for the batch as a whole, so sub-requests
+   meet a full queue with {e backpressure}, not BUSY: pushes resume as
+   this batch's own jobs complete (or, when the queue is full of other
+   connections' work, by short polls). Sub-requests still unpushed when
+   the deadline expires answer [TIMEOUT 0], exactly like a queued job
+   whose deadline expired. *)
+let handle_batch t oc ~deadline_ms lines =
+  let n = Array.length lines in
+  Metrics.incr_requests t.metrics ~verb:"batch";
+  let sw = Stopwatch.start () in
+  let budget_ms =
+    match deadline_ms with Some ms -> float_of_int ms | None -> t.cfg.deadline_ms
+  in
+  let deadline_ns = Int64.add (Stopwatch.now_ns ()) (Int64.of_float (budget_ms *. 1e6)) in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let boxes = Array.init n (fun _ -> { m; c; items = []; resp = None }) in
+  let verbs = Array.make n "other" in
+  (* Parse every sub. Slots that fail locally (malformed, disallowed
+     verb) are answered in place — no worker ever owns their mailbox, so
+     writing [resp] directly is unshared here: only this thread touches
+     it again, in the writer loop below. *)
+  let to_push = ref [] in
+  Array.iteri
+    (fun i line ->
+      match line with
+      | Error msg ->
+          Metrics.incr_errors t.metrics;
+          boxes.(i).resp <- Some (Protocol.Err msg)
+      | Ok line -> (
+          match Protocol.parse_request line with
+          | Error msg ->
+              Metrics.incr_errors t.metrics;
+              boxes.(i).resp <- Some (Protocol.Err msg)
+          | Ok req when not (Protocol.batch_allowed req) ->
+              Metrics.incr_errors t.metrics;
+              boxes.(i).resp <-
+                Some
+                  (Protocol.Err
+                     (Printf.sprintf "verb %s not allowed in a batch"
+                        (String.uppercase_ascii (Protocol.verb req))))
+          | Ok req ->
+              verbs.(i) <- Protocol.verb req;
+              Metrics.incr_requests t.metrics ~verb:verbs.(i);
+              to_push := (i, { req; deadline_ns; reply = boxes.(i) }) :: !to_push))
+    lines;
+  let to_push = ref (List.rev !to_push) in
+  let in_flight = ref 0 in
+  let pushed = Array.make n false in
+  (* Push pending jobs until the queue refuses; an expired deadline
+     answers the rest without burning worker time on them. *)
+  let rec push_more () =
+    match !to_push with
+    | [] -> ()
+    | (i, job) :: rest ->
+        if expired deadline_ns then begin
+          boxes.(i).resp <- Some (no_items ~timed_out:true ());
+          to_push := rest;
+          push_more ()
+        end
+        else if Work_queue.try_push t.queue job then begin
+          incr in_flight;
+          pushed.(i) <- true;
+          to_push := rest;
+          push_more ()
+        end
+  in
+  let written = Array.make n false in
+  let find_ready () =
+    let rec go i =
+      if i >= n then None
+      else if (not written.(i)) && Option.is_some boxes.(i).resp then
+        Some (i, List.rev boxes.(i).items, Option.get boxes.(i).resp)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec drain remaining =
+    if remaining > 0 then begin
+      push_more ();
+      let ready =
+        with_lock m (fun () ->
+            match find_ready () with
+            | Some _ as r -> r
+            | None ->
+                (* Wait only when one of our own jobs is in flight — its
+                   completion signals [c] (under [m], so the re-check
+                   cannot miss it). With nothing in flight the queue is
+                   full of other connections' work: poll. *)
+                if !in_flight > 0 then Condition.wait c m;
+                find_ready ())
+      in
+      match ready with
+      | None ->
+          if !in_flight = 0 then Thread.delay 0.002;
+          drain remaining
+      | Some (i, items, resp) ->
+          written.(i) <- true;
+          if pushed.(i) then decr in_flight;
+          (match resp with
+          | Protocol.Items { timed_out = true; _ } ->
+              Metrics.incr_timeouts t.metrics ~verb:verbs.(i)
+          | Protocol.Err _ when verbs.(i) <> "other" ->
+              (* "other" slots were counted at parse time. *)
+              Metrics.incr_errors t.metrics
+          | _ -> ());
+          write_sub oc i items resp;
+          drain (remaining - 1)
+    end
+  in
+  drain n;
+  Metrics.observe_ms t.metrics ~verb:"batch" (Stopwatch.elapsed_ms sw)
+
 (* Read one request line while buffering at most [max_bytes]: a client
    cannot exhaust memory by streaming an endless line (input_line would
    buffer it whole). Past the cap the rest of the line is read and
@@ -508,6 +654,39 @@ let conn_loop t fd =
     with_lock t.conns_lock (fun () -> Hashtbl.remove t.conns fd);
     (try Unix.close fd with Unix.Unix_error _ -> ())
   in
+  (* Pull the [n] sub-request lines of a batch. An oversized line fails
+     only its slot; a vanished client aborts the whole batch (there is
+     nowhere to answer). *)
+  let read_batch_lines n =
+    let lines = Array.make n (Error "missing sub-request") in
+    let rec go i =
+      if i >= n then Some lines
+      else
+        match read_request_line ic ~max_bytes:t.cfg.max_line_bytes with
+        | `Eof -> None
+        | `Overflow ->
+            lines.(i) <-
+              Error
+                (Printf.sprintf "request line exceeds %d bytes" t.cfg.max_line_bytes);
+            go (i + 1)
+        | `Line line ->
+            lines.(i) <- Ok line;
+            go (i + 1)
+    in
+    go 0
+  in
+  (* An over-cap batch still consumes its announced sub-request lines so
+     the connection framing survives the single ERR answer. *)
+  let discard_batch_lines n =
+    let rec go i =
+      if i >= n then true
+      else
+        match read_request_line ic ~max_bytes:t.cfg.max_line_bytes with
+        | `Eof -> false
+        | `Overflow | `Line _ -> go (i + 1)
+    in
+    go 0
+  in
   let serve () =
     let rec loop () =
       match read_request_line ic ~max_bytes:t.cfg.max_line_bytes with
@@ -519,9 +698,27 @@ let conn_loop t fd =
                (Printf.sprintf "request line exceeds %d bytes"
                   t.cfg.max_line_bytes));
           loop ()
-      | `Line line ->
-          handle_request t oc line;
-          loop ()
+      | `Line line -> (
+          match Protocol.parse_framed line with
+          | Ok (Protocol.Batch { deadline_ms; n }) when n <= t.cfg.max_batch -> (
+              match read_batch_lines n with
+              | None -> ()
+              | Some lines ->
+                  handle_batch t oc ~deadline_ms lines;
+                  loop ())
+          | Ok (Protocol.Batch { n; _ }) ->
+              Metrics.incr_errors t.metrics;
+              if discard_batch_lines n then begin
+                write_response oc
+                  (Protocol.Err
+                     (Printf.sprintf "batch size exceeds %d" t.cfg.max_batch));
+                loop ()
+              end
+          | Ok (Protocol.Single _) | Error _ ->
+              (* [handle_request] re-parses and owns the ERR answer for
+                 malformed lines. *)
+              handle_request t oc line;
+              loop ())
     in
     (* The try must wrap the whole loop body, not just the read: with
        SIGPIPE ignored, a client that vanishes mid-response surfaces as

@@ -28,6 +28,19 @@
     [TIMEOUT 0] without being evaluated, so an overloaded worker pool
     does not amplify its own backlog.
 
+    Batches: a [BATCH <n>] header fans its [n] sub-requests across the
+    worker pool as [n] independent jobs and answers each with a
+    [SUB <i>]-tagged response as it completes (completion order, not
+    request order) — one round trip for a whole probe wave. The
+    [DEADLINE] budget covers the batch: sub-requests still queued when
+    it expires answer [TIMEOUT 0]. Admission control happens once for
+    the whole batch, so a full work queue backpressures sub-request
+    dispatch rather than answering [BUSY] per overflowing sub — a batch
+    may legitimately exceed [queue_capacity]. A malformed or
+    disallowed sub-request fails only
+    its own slot. Batches larger than [max_batch] are consumed and
+    answered with a single [ERR], framing intact.
+
     Resource limits: request lines are buffered up to [max_line_bytes]
     (overflow answers [ERR] with the rest of the line discarded), and
     at most [max_connections] connections are live at once (excess
@@ -44,6 +57,7 @@ type config = {
   max_results : int;        (** hard cap on [k], default 10_000 *)
   max_line_bytes : int;     (** request-line buffer cap, default 8192 *)
   max_connections : int;    (** live-connection cap, default 1024 *)
+  max_batch : int;          (** [BATCH] sub-request cap, default 1024 *)
 }
 
 val default_config : config

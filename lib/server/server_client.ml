@@ -54,6 +54,34 @@ let request_stream ?deadline_ms t req ~on_item =
   | Error _ as e -> e
   | Ok () -> Protocol.read_item_stream (read_line_of t) ~on_item
 
+(* Pipelined batch: one BATCH header plus every sub-request line goes
+   out in a single buffered write + flush, then the SUB-tagged answers
+   are read back in completion order. [on_response] sees each answer as
+   soon as it is parsed, so a transport failure mid-batch still leaves
+   the caller with the answered prefix. *)
+let request_batch ?deadline_ms t reqs ~on_response =
+  let n = Array.length reqs in
+  if n = 0 then Ok ()
+  else
+    match
+      output_string t.oc (Protocol.batch_line ?deadline_ms n);
+      output_char t.oc '\n';
+      Array.iter
+        (fun req ->
+          output_string t.oc (Protocol.request_line req);
+          output_char t.oc '\n')
+        reqs;
+      flush t.oc
+    with
+    | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost on send"
+    | () -> Protocol.read_batch_responses (read_line_of t) ~n ~on_response
+
+let request_many ?deadline_ms t reqs =
+  let out = Array.make (Array.length reqs) (Protocol.Err "missing batch answer") in
+  match request_batch ?deadline_ms t reqs ~on_response:(fun i resp -> out.(i) <- resp) with
+  | Ok () -> Ok out
+  | Error _ as e -> e
+
 (* Collapse the transport/protocol/server error planes into the [reply]
    shape each typed accessor wants. *)
 let typed t req extract =

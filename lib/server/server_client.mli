@@ -78,3 +78,24 @@ val request_stream :
     they arrive — the consuming side of the server's incremental
     flushing, used by the coordinator's k-way merge. The returned
     [Items] carries an empty list; see {!Protocol.read_item_stream}. *)
+
+val request_batch :
+  ?deadline_ms:int ->
+  t ->
+  Protocol.request array ->
+  on_response:(int -> Protocol.response -> unit) ->
+  (unit, string) result
+(** Pipelined [BATCH]: writes the header and every sub-request in one
+    flush, then reads the [SUB]-tagged answers, delivering each through
+    [on_response index response] in completion order. On a transport
+    failure mid-batch the already-delivered answers stand — the
+    retrying caller ({!Fx_shard.Shard_client.call_many}) re-sends only
+    the unanswered sub-requests. An empty array is a no-op. *)
+
+val request_many :
+  ?deadline_ms:int ->
+  t ->
+  Protocol.request array ->
+  (Protocol.response array, string) result
+(** {!request_batch} buffered: the [n] responses in request order, or
+    the first transport/framing error. *)

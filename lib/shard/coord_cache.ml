@@ -1,0 +1,54 @@
+module Lru = Fx_util.Lru
+module P = Fx_server.Protocol
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* The epoch is part of the key, not just a guard: a store computed
+   before an [invalidate] but completed after it lands under the old
+   epoch and can never be served again, so a slow in-flight merge
+   cannot resurrect pre-invalidation answers. *)
+type key = {
+  start_tag : string;
+  target_tag : string;
+  k : int;
+  max_dist : int option;
+  epoch : int;
+}
+
+type stats = { entries : int; hits : int; misses : int; epoch : int }
+
+type t = {
+  m : Mutex.t;
+  lru : (key, P.item list) Lru.t;
+  mutable epoch : int;
+}
+
+let create ~capacity =
+  { m = Mutex.create (); lru = Lru.create ~capacity (); epoch = 0 }
+
+let key t ~start_tag ~target_tag ~k ~max_dist =
+  { start_tag; target_tag; k; max_dist; epoch = t.epoch }
+
+let find t ~start_tag ~target_tag ~k ~max_dist =
+  with_lock t.m (fun () ->
+      Lru.find t.lru (key t ~start_tag ~target_tag ~k ~max_dist))
+
+let store t ~start_tag ~target_tag ~k ~max_dist items =
+  with_lock t.m (fun () ->
+      Lru.add t.lru (key t ~start_tag ~target_tag ~k ~max_dist) items)
+
+let invalidate t =
+  with_lock t.m (fun () ->
+      t.epoch <- t.epoch + 1;
+      Lru.clear t.lru)
+
+let stats t =
+  with_lock t.m (fun () ->
+      {
+        entries = Lru.length t.lru;
+        hits = Lru.hits t.lru;
+        misses = Lru.misses t.lru;
+        epoch = t.epoch;
+      })

@@ -1,0 +1,48 @@
+(** The coordinator-side result cache for merged [EVALUATE] answers.
+
+    The single-server {!Fx_flix.Query_cache} lives below the shard
+    boundary and never sees a cross-shard merge; this cache sits above
+    it, keyed by (start tag, target tag, [k], [max_dist], shard epoch).
+    Shard indexes are immutable for the life of a deployment, so
+    entries never go stale on their own — the epoch exists for
+    operational invalidation ({!invalidate}), e.g. after swapping a
+    shard's deployment. Only clean answers belong here: the coordinator
+    refuses to cache [TIMEOUT]/[PARTIAL] merges, so a degraded answer
+    is recomputed (and hopefully repaired) on the next ask.
+
+    All operations take the cache's own lock; callers on worker domains
+    need no coordination. *)
+
+type t
+
+type stats = { entries : int; hits : int; misses : int; epoch : int }
+
+val create : capacity:int -> t
+(** LRU capacity in entries. Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val find :
+  t ->
+  start_tag:string ->
+  target_tag:string ->
+  k:int ->
+  max_dist:int option ->
+  Fx_server.Protocol.item list option
+(** The merged item list exactly as it was emitted, or [None] on a
+    miss. Refreshes LRU recency and counts into {!stats}. *)
+
+val store :
+  t ->
+  start_tag:string ->
+  target_tag:string ->
+  k:int ->
+  max_dist:int option ->
+  Fx_server.Protocol.item list ->
+  unit
+
+val invalidate : t -> unit
+(** Bump the epoch and drop every entry. A store racing with the bump
+    lands under the old epoch and is unreachable afterwards. Resets the
+    hit/miss counters (they count since the last clear). *)
+
+val stats : t -> stats

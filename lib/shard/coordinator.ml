@@ -23,6 +23,9 @@ type located_link = {
 let fanout_buckets_ms =
   [| 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0; 2500.0 |]
 
+(* Batch-size histogram: sub-requests per probe RPC, +Inf implicit. *)
+let batch_buckets = [| 1; 2; 4; 8; 16; 32; 64; 128; 256 |]
+
 type t = {
   plan : Shard_plan.t;
   shards : Shard_client.t array;
@@ -36,12 +39,19 @@ type t = {
   conn_cache : (int * int * int, int option) Hashtbl.t;  (* shard, a, b (local) *)
   start_cache : (int * int * string, int option) Hashtbl.t;  (* shard, node, tag *)
   cache_cap : int;
+  (* [batching = false] sends every probe as its own round trip — the
+     before/after lever for the bench and the equivalence tests. *)
+  batching : bool;
+  query_cache : Coord_cache.t option;
   fanout_hist : int Atomic.t array;
   fanout_count : int Atomic.t;
   fanout_sum_ns : int Atomic.t;
+  batch_hist : int Atomic.t array;
+  batch_count : int Atomic.t;
+  batch_sum : int Atomic.t;
 }
 
-let create ?(cache_cap = 65536) ~plan ~shards () =
+let create ?(cache_cap = 65536) ?(batching = true) ?query_cache ~plan ~shards () =
   let n = Shard_plan.n_shards plan in
   if List.length shards <> n then
     invalid_arg
@@ -75,15 +85,28 @@ let create ?(cache_cap = 65536) ~plan ~shards () =
     conn_cache = Hashtbl.create 256;
     start_cache = Hashtbl.create 256;
     cache_cap;
+    batching;
+    query_cache = Option.map (fun capacity -> Coord_cache.create ~capacity) query_cache;
     fanout_hist = Array.init (Array.length fanout_buckets_ms + 1) (fun _ -> Atomic.make 0);
     fanout_count = Atomic.make 0;
     fanout_sum_ns = Atomic.make 0;
+    batch_hist = Array.init (Array.length batch_buckets + 1) (fun _ -> Atomic.make 0);
+    batch_count = Atomic.make 0;
+    batch_sum = Atomic.make 0;
   }
 
 let close t = Array.iter Shard_client.close t.shards
 
 let shard_errors_total t =
   Array.fold_left (fun acc s -> acc + Shard_client.errors_total s) 0 t.shards
+
+let probe_rpcs_total t =
+  Array.fold_left (fun acc s -> acc + Shard_client.rpcs_total s) 0 t.shards
+
+let probe_subs_total t =
+  Array.fold_left (fun acc s -> acc + Shard_client.subs_total s) 0 t.shards
+
+let query_cache_stats t = Option.map Coord_cache.stats t.query_cache
 
 (* --- per-request context --------------------------------------------- *)
 
@@ -107,9 +130,44 @@ let observe_fanout t ns =
   Atomic.incr t.fanout_count;
   ignore (Atomic.fetch_and_add t.fanout_sum_ns (Int64.to_int ns))
 
-(* One fan-out call. [None] means the shard could not answer within the
-   remaining budget — the response degrades ([partial]) rather than
-   fails, which is the whole point of sharded fault tolerance. *)
+let observe_batch t n =
+  let rec bucket i =
+    if i >= Array.length batch_buckets || n <= batch_buckets.(i) then i else bucket (i + 1)
+  in
+  Atomic.incr t.batch_hist.(bucket 0);
+  Atomic.incr t.batch_count;
+  ignore (Atomic.fetch_and_add t.batch_sum n)
+
+(* Collapse the transport/server failure planes into the degradation
+   flags: [None] means the shard's contribution is lost ([partial]) —
+   the response degrades rather than fails, which is the whole point of
+   sharded fault tolerance. Successful answers come back as
+   [(items, response-with-empty-items)], the same shape whether the
+   exchange was a single call or a batch slot. *)
+(* [Shard_client.call] splits a stream into (items, trailer-response);
+   fold the items back in so single calls and batch slots classify
+   through the same shape. *)
+let inline_items (items, resp) =
+  match resp with
+  | P.Items { timed_out; partial; _ } -> P.Items { items; timed_out; partial }
+  | resp -> resp
+
+let classify ctx = function
+  | Error _ ->
+      Atomic.set ctx.partial true;
+      None
+  | Ok (P.Busy | P.Err _) ->
+      (* The shard answered but refused or failed the request: its
+         contribution is lost all the same. *)
+      Atomic.set ctx.partial true;
+      None
+  | Ok (P.Items { items; timed_out; partial }) ->
+      if timed_out then Atomic.set ctx.timed_out true;
+      if partial then Atomic.set ctx.partial true;
+      Some (items, P.Items { items = []; timed_out; partial })
+  | Ok resp -> Some ([], resp)
+
+(* One fan-out call. *)
 let shard_call t ctx shard req =
   let left = remaining_ms ctx in
   if left <= 0 then begin
@@ -120,21 +178,27 @@ let shard_call t ctx shard req =
     let sw = Stopwatch.start () in
     let result = Shard_client.call ~deadline_ms:left t.shards.(shard) req in
     observe_fanout t (Stopwatch.elapsed_ns sw);
-    match result with
-    | Error _ ->
-        Atomic.set ctx.partial true;
-        None
-    | Ok (_, (P.Busy | P.Err _)) ->
-        (* The shard answered but refused or failed the request: its
-           contribution is lost all the same. *)
-        Atomic.set ctx.partial true;
-        None
-    | Ok ((_, P.Items { timed_out; partial; _ }) as ok) ->
-        if timed_out then Atomic.set ctx.timed_out true;
-        if partial then Atomic.set ctx.partial true;
-        Some ok
-    | Ok _ as ok -> Option.map (fun r -> r) (Result.to_option ok)
+    classify ctx (Result.map inline_items result)
   end
+
+(* Run one shard's share of a probe wave: a single pipelined BATCH
+   round trip when batching is on, per-request calls otherwise. *)
+let exec_shard t ctx shard reqs =
+  let n = Array.length reqs in
+  let out = Array.make n None in
+  if t.batching then begin
+    let left = remaining_ms ctx in
+    if left <= 0 then Atomic.set ctx.timed_out true
+    else begin
+      observe_batch t n;
+      let sw = Stopwatch.start () in
+      let results = Shard_client.call_many ~deadline_ms:left t.shards.(shard) reqs in
+      observe_fanout t (Stopwatch.elapsed_ns sw);
+      Array.iteri (fun i r -> out.(i) <- classify ctx r) results
+    end
+  end
+  else Array.iteri (fun i req -> out.(i) <- shard_call t ctx shard req) reqs;
+  out
 
 (* --- memoized probes -------------------------------------------------- *)
 
@@ -146,46 +210,134 @@ let cache_store t table key v =
       if Hashtbl.length table >= t.cache_cap then Hashtbl.reset table;
       Hashtbl.replace table key v)
 
-(* Within-shard distance between two local nodes. Probes without
-   max_dist so one cache entry serves every request; callers prune. *)
-let probe_connected t ctx ~shard ~a ~b =
-  if a = b then Some 0
-  else
-    let key = (shard, a, b) in
-    match cache_find t t.conn_cache key with
-    | Some v -> v
-    | None -> (
-        match shard_call t ctx shard (P.Connected { a; b; max_dist = None }) with
-        | Some (_, P.Dist d) ->
-            cache_store t t.conn_cache key d;
-            d
-        | Some _ | None -> None)
+(* --- probe waves ------------------------------------------------------ *)
 
-(* Distance from the nearest [tag]-named node above [node]
-   (ancestors-or-self) within its shard — the seed probe that tells how
-   far a link source sits from the query's start set. *)
-let probe_nearest_start t ctx ~shard ~node ~tag =
+(* One wave's worth of shard work, accumulated probe by probe and fired
+   as one batch per shard. Each entry pairs a request with the closure
+   that consumes its (classified) answer; [run_plan] executes the wire
+   calls on per-shard threads but runs every [apply] sequentially on
+   the calling thread, so the closures mutate caches and stream
+   accumulators without any locking of their own. *)
+type wave_plan = {
+  per_shard : (P.request * ((P.item list * P.response) option -> unit)) list array;
+  (* probes already queued this wave — several wave nodes can ask for
+     the same segment distance *)
+  queued_conn : (int * int * int, unit) Hashtbl.t;
+  queued_start : (int * int * string, unit) Hashtbl.t;
+}
+
+let new_plan t =
+  {
+    per_shard = Array.make (Array.length t.shards) [];
+    queued_conn = Hashtbl.create 16;
+    queued_start = Hashtbl.create 8;
+  }
+
+let plan_add plan shard req apply =
+  plan.per_shard.(shard) <- (req, apply) :: plan.per_shard.(shard)
+
+(* Queue a within-shard distance probe unless it is trivial, cached, or
+   already part of this wave. Probes carry no max_dist so one cache
+   entry serves every request; readers prune. *)
+let plan_conn plan t ~shard ~a ~b =
+  if a <> b then begin
+    let key = (shard, a, b) in
+    if
+      (not (Hashtbl.mem plan.queued_conn key))
+      && Option.is_none (cache_find t t.conn_cache key)
+    then begin
+      Hashtbl.replace plan.queued_conn key ();
+      plan_add plan shard
+        (P.Connected { a; b; max_dist = None })
+        (function
+          | Some (_, P.Dist d) -> cache_store t t.conn_cache key d
+          | Some _ | None ->
+              (* Failed or cut off: leave uncached so a later wave (or
+                 request) re-asks once the shard recovers. *)
+              ())
+    end
+  end
+
+(* Queue a nearest-start probe: distance from the closest [tag]-named
+   node above [node] (ancestors-or-self) within its shard. *)
+let plan_start plan t ~shard ~node ~tag =
   let key = (shard, node, tag) in
-  match cache_find t t.start_cache key with
-  | Some v -> v
-  | None -> (
-      match
-        shard_call t ctx shard
-          (P.Ancestors { node; tag = Some tag; k = 1; max_dist = None })
-      with
-      | Some (items, _) ->
-          let v = match items with it :: _ -> Some it.P.dist | [] -> None in
-          cache_store t t.start_cache key v;
-          v
-      | None -> None)
+  if
+    (not (Hashtbl.mem plan.queued_start key))
+    && Option.is_none (cache_find t t.start_cache key)
+  then begin
+    Hashtbl.replace plan.queued_start key ();
+    plan_add plan shard
+      (P.Ancestors { node; tag = Some tag; k = 1; max_dist = None })
+      (function
+        | Some (it :: _, _) -> cache_store t t.start_cache key (Some it.P.dist)
+        | Some ([], P.Items { timed_out = false; partial = false; _ }) ->
+            (* Only a clean empty answer is a real negative: an empty
+               TIMEOUT/PARTIAL answer must stay uncached or a slow probe
+               would poison the cache with a false "no start above". *)
+            cache_store t t.start_cache key None
+        | Some _ | None -> ())
+  end
+
+(* Fire the wave: one batch per shard, shards in parallel, then the
+   applies in order on this thread. *)
+let run_plan t ctx plan =
+  let groups = ref [] in
+  Array.iteri
+    (fun shard entries ->
+      if entries <> [] then groups := (shard, Array.of_list (List.rev entries)) :: !groups)
+    plan.per_shard;
+  match !groups with
+  | [] -> ()
+  | [ (shard, entries) ] ->
+      (* One shard: no thread hop needed. *)
+      let out = exec_shard t ctx shard (Array.map fst entries) in
+      Array.iteri (fun i r -> snd entries.(i) r) out
+  | groups ->
+      let running =
+        List.map
+          (fun (shard, entries) ->
+            let out = ref [||] in
+            let th =
+              Thread.create
+                (fun () -> out := exec_shard t ctx shard (Array.map fst entries))
+                ()
+            in
+            (th, entries, out))
+          groups
+      in
+      List.iter (fun (th, _, _) -> Thread.join th) running;
+      List.iter
+        (fun (_, entries, out) ->
+          let out = !out in
+          if Array.length out = Array.length entries then
+            Array.iteri (fun i r -> snd entries.(i) r) out)
+        running
+
+(* Cache readers for the relax step that follows [run_plan]. An absent
+   entry means the probe failed this wave (the degradation flags are
+   already set); treat the segment as unreachable, like the unbatched
+   path did. *)
+let conn_dist t ~shard ~a ~b =
+  if a = b then Some 0
+  else match cache_find t t.conn_cache (shard, a, b) with Some v -> v | None -> None
+
+let start_dist t ~shard ~node ~tag =
+  match cache_find t t.start_cache (shard, node, tag) with Some v -> v | None -> None
 
 (* --- portal search ---------------------------------------------------- *)
 
-(* Dijkstra over portal nodes with probe-computed edge weights. [visit]
-   sees each portal once, at its final distance, in ascending order; a
-   [`Stop] prunes the rest (safe exactly because of that order). *)
-let dijkstra ctx ~seeds ~neighbours ~visit =
+(* Dijkstra over portal nodes, expanded a whole equal-distance wave at
+   a time: every edge has weight >= 1 (one within-shard segment plus
+   the unit link hop), so once the queue's minimum is [d], {e every}
+   entry at [d] is final — settling them together yields exactly the
+   distances of node-at-a-time Dijkstra while letting [expand] probe
+   the whole frontier in one batch per shard. [expand ~d wave] returns
+   the relaxation edges, or [`Stop] to prune the rest (safe because
+   waves settle in ascending order). *)
+let wave_search ctx ~seeds ~expand =
   let dist = Hashtbl.create 32 in
+  let settled = Hashtbl.create 32 in
   let pq = PQ.create () in
   let relax v d =
     match Hashtbl.find_opt dist v with
@@ -195,19 +347,34 @@ let dijkstra ctx ~seeds ~neighbours ~visit =
         PQ.insert pq d v
   in
   List.iter (fun (v, d) -> relax v d) seeds;
-  let rec loop () =
-    match PQ.extract_min pq with
-    | None -> ()
-    | Some (d, v) ->
-        if remaining_ms ctx <= 0 then Atomic.set ctx.timed_out true
-        else if Hashtbl.find_opt dist v = Some d then begin
-          match visit v d with
-          | `Stop -> ()
-          | `Continue ->
-              List.iter (fun (u, du) -> relax u du) (neighbours v d);
-              loop ()
+  (* Drain every queue entry at distance [d], skipping stale
+     lazy-deletion duplicates. *)
+  let rec gather d acc =
+    match PQ.peek_min pq with
+    | Some (d', v) when d' = d ->
+        ignore (PQ.extract_min pq);
+        if Hashtbl.mem settled v then gather d acc
+        else begin
+          Hashtbl.replace settled v ();
+          gather d (v :: acc)
         end
-        else loop ()
+    | _ -> acc
+  in
+  let rec loop () =
+    match PQ.peek_min pq with
+    | None -> ()
+    | Some (d, _) ->
+        if remaining_ms ctx <= 0 then Atomic.set ctx.timed_out true
+        else begin
+          match gather d [] with
+          | [] -> loop ()
+          | wave -> (
+              match expand ~d wave with
+              | `Stop -> ()
+              | `Continue edges ->
+                  List.iter (fun (u, du) -> relax u du) edges;
+                  loop ())
+        end
   in
   loop ()
 
@@ -215,12 +382,15 @@ let over_max max_dist d = match max_dist with Some m -> d > m | None -> false
 
 (* Forward expansion: from a settled entry portal [v] (a link target)
    at distance [d], every link leaving [v]'s shard is reachable at
-   [d + within-shard distance + 1]. *)
-let forward_neighbours t ctx v d =
-  let shard, local = Shard_plan.locate t.plan v in
+   [d + within-shard distance + 1]. [plan_forward] queues the wave's
+   segment probes; [forward_edges] reads them back after [run_plan]. *)
+let plan_forward plan t ~shard ~local =
+  List.iter (fun l -> plan_conn plan t ~shard ~a:local ~b:l.src_local) t.by_src_shard.(shard)
+
+let forward_edges t ~shard ~local ~d =
   List.filter_map
     (fun l ->
-      match probe_connected t ctx ~shard ~a:local ~b:l.src_local with
+      match conn_dist t ~shard ~a:local ~b:l.src_local with
       | Some ds -> Some (l.dst, d + ds + 1)
       | None -> None)
     t.by_src_shard.(shard)
@@ -228,23 +398,16 @@ let forward_neighbours t ctx v d =
 (* Reverse expansion for ancestor queries, over exit portals (link
    sources): a link arriving in [s]'s shard puts its own source at
    [1 + within-shard distance to s + rdist s]. *)
-let reverse_neighbours t ctx s d =
-  let shard, local = Shard_plan.locate t.plan s in
+let plan_reverse plan t ~shard ~local =
+  List.iter (fun l -> plan_conn plan t ~shard ~a:l.dst_local ~b:local) t.by_dst_shard.(shard)
+
+let reverse_edges t ~shard ~local ~d =
   List.filter_map
     (fun l ->
-      match probe_connected t ctx ~shard ~a:l.dst_local ~b:local with
+      match conn_dist t ~shard ~a:l.dst_local ~b:local with
       | Some ds -> Some (l.src, 1 + ds + d)
       | None -> None)
     t.by_dst_shard.(shard)
-
-(* Seeds for a forward search rooted at one already-located node. *)
-let forward_seeds t ctx ~shard ~local =
-  List.filter_map
-    (fun l ->
-      match probe_connected t ctx ~shard ~a:local ~b:l.src_local with
-      | Some ds -> Some (l.dst, ds + 1)
-      | None -> None)
-    t.by_src_shard.(shard)
 
 (* --- stream merge ------------------------------------------------------ *)
 
@@ -297,39 +460,52 @@ let node_range_err t =
 let in_range t v = v >= 0 && v < Shard_plan.total_nodes t.plan
 
 (* Descendants of one global node, across shards: within-shard stream
-   plus offset streams from every entry portal settled by the search. *)
+   plus offset streams from every entry portal settled by the search.
+   Wave 0 batches the start's own stream with its seed probes; each
+   search wave batches the frontier's streams and segment probes — one
+   round trip per shard per wave. *)
 let descendants_of_node t ctx ~start ~tag ~k ~max_dist ~emit =
   let shard0, local0 = Shard_plan.locate t.plan start in
   let streams = ref [] in
   let add s = if s <> [] then streams := s :: !streams in
-  (match
-     shard_call t ctx shard0 (P.Node_descendants { node = local0; tag; k; max_dist })
-   with
-  | Some (items, _) -> add (List.map (globalize t ~shard:shard0 ~offset:0) items)
-  | None -> ());
+  let add_stream plan ~shard ~local ~offset ~remaining =
+    plan_add plan shard
+      (P.Node_descendants { node = local; tag; k; max_dist = remaining })
+      (function
+        | Some (items, _) -> add (List.map (globalize t ~shard ~offset) items)
+        | None -> ())
+  in
+  let plan0 = new_plan t in
+  add_stream plan0 ~shard:shard0 ~local:local0 ~offset:0 ~remaining:max_dist;
+  plan_forward plan0 t ~shard:shard0 ~local:local0;
+  run_plan t ctx plan0;
   let tag_admits name = match tag with None -> true | Some w -> w = name in
   let entry_tag = Hashtbl.create 16 in
   Array.iter (fun l -> Hashtbl.replace entry_tag l.dst l.dst_tag) t.links;
-  dijkstra ctx
-    ~seeds:(forward_seeds t ctx ~shard:shard0 ~local:local0)
-    ~neighbours:(forward_neighbours t ctx)
-    ~visit:(fun v d ->
+  wave_search ctx
+    ~seeds:(forward_edges t ~shard:shard0 ~local:local0 ~d:0)
+    ~expand:(fun ~d wave ->
       if over_max max_dist d then `Stop
       else begin
-        let shard, local = Shard_plan.locate t.plan v in
-        (* The portal node itself is a result when its tag matches —
-           the per-entry stream below excludes its own start. *)
-        (match Hashtbl.find_opt entry_tag v with
-        | Some name when tag_admits name -> add [ { P.node = v; dist = d; meta = shard } ]
-        | _ -> ());
+        let located = List.map (fun v -> (v, Shard_plan.locate t.plan v)) wave in
+        let plan = new_plan t in
         let remaining = Option.map (fun m -> m - d) max_dist in
-        (match
-           shard_call t ctx shard
-             (P.Node_descendants { node = local; tag; k; max_dist = remaining })
-         with
-        | Some (items, _) -> add (List.map (globalize t ~shard ~offset:d) items)
-        | None -> ());
+        List.iter
+          (fun (v, (shard, local)) ->
+            (* The portal node itself is a result when its tag matches —
+               the per-entry stream excludes its own start. *)
+            (match Hashtbl.find_opt entry_tag v with
+            | Some name when tag_admits name ->
+                add [ { P.node = v; dist = d; meta = shard } ]
+            | _ -> ());
+            add_stream plan ~shard ~local ~offset:d ~remaining;
+            plan_forward plan t ~shard ~local)
+          located;
+        run_plan t ctx plan;
         `Continue
+          (List.concat_map
+             (fun (_, (shard, local)) -> forward_edges t ~shard ~local ~d)
+             located)
       end);
   merge_streams ~k ~exclude:start ~emit !streams;
   items_response ctx
@@ -338,35 +514,40 @@ let ancestors_of_node t ctx ~node ~tag ~k ~max_dist ~emit =
   let shard0, local0 = Shard_plan.locate t.plan node in
   let streams = ref [] in
   let add s = if s <> [] then streams := s :: !streams in
-  (match shard_call t ctx shard0 (P.Ancestors { node = local0; tag; k; max_dist }) with
-  | Some (items, _) -> add (List.map (globalize t ~shard:shard0 ~offset:0) items)
-  | None -> ());
+  let add_stream plan ~shard ~local ~offset ~remaining =
+    plan_add plan shard
+      (P.Ancestors { node = local; tag; k; max_dist = remaining })
+      (function
+        | Some (items, _) -> add (List.map (globalize t ~shard ~offset) items)
+        | None -> ())
+  in
   (* Reverse search over exit portals: rdist(s) = distance from link
      source [s] down to [node]. The ancestors-or-self probe from [s]
      then reports s's side of the collection at [rdist] offsets —
      including [s] itself at distance 0, so portals need no separate
      emission here. *)
-  let seeds =
-    List.filter_map
-      (fun l ->
-        match probe_connected t ctx ~shard:shard0 ~a:l.dst_local ~b:local0 with
-        | Some ds -> Some (l.src, 1 + ds)
-        | None -> None)
-      t.by_dst_shard.(shard0)
-  in
-  dijkstra ctx ~seeds
-    ~neighbours:(reverse_neighbours t ctx)
-    ~visit:(fun s d ->
+  let plan0 = new_plan t in
+  add_stream plan0 ~shard:shard0 ~local:local0 ~offset:0 ~remaining:max_dist;
+  plan_reverse plan0 t ~shard:shard0 ~local:local0;
+  run_plan t ctx plan0;
+  wave_search ctx
+    ~seeds:(reverse_edges t ~shard:shard0 ~local:local0 ~d:0)
+    ~expand:(fun ~d wave ->
       if over_max max_dist d then `Stop
       else begin
-        let shard, local = Shard_plan.locate t.plan s in
+        let located = List.map (fun s -> Shard_plan.locate t.plan s) wave in
+        let plan = new_plan t in
         let remaining = Option.map (fun m -> m - d) max_dist in
-        (match
-           shard_call t ctx shard (P.Ancestors { node = local; tag; k; max_dist = remaining })
-         with
-        | Some (items, _) -> add (List.map (globalize t ~shard ~offset:d) items)
-        | None -> ());
+        List.iter
+          (fun (shard, local) ->
+            add_stream plan ~shard ~local ~offset:d ~remaining;
+            plan_reverse plan t ~shard ~local)
+          located;
+        run_plan t ctx plan;
         `Continue
+          (List.concat_map
+             (fun (shard, local) -> reverse_edges t ~shard ~local ~d)
+             located)
       end);
   merge_streams ~k ~exclude:(-1) ~emit !streams;
   items_response ctx
@@ -396,39 +577,49 @@ let evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit =
       | None -> ())
     phase1;
   (* Phase 2: cross-shard reach. Seed every entry portal with the
-     nearest start-tag node above its link source; the search relaxes
-     multi-hop shard chains from there. *)
+     nearest start-tag node above its link source — all the seed probes
+     go out as one wave, batched per source shard — then the search
+     relaxes multi-hop shard chains from there. *)
+  let seed_plan = new_plan t in
+  Array.iter
+    (fun l -> plan_start seed_plan t ~shard:l.src_shard ~node:l.src_local ~tag:start_tag)
+    t.links;
+  run_plan t ctx seed_plan;
   let seeds =
     Array.to_list t.links
     |> List.filter_map (fun l ->
-           match
-             probe_nearest_start t ctx ~shard:l.src_shard ~node:l.src_local
-               ~tag:start_tag
-           with
+           match start_dist t ~shard:l.src_shard ~node:l.src_local ~tag:start_tag with
            | Some d0 -> Some (l.dst, d0 + 1)
            | None -> None)
   in
   let entry_tag = Hashtbl.create 16 in
   Array.iter (fun l -> Hashtbl.replace entry_tag l.dst l.dst_tag) t.links;
-  dijkstra ctx ~seeds
-    ~neighbours:(forward_neighbours t ctx)
-    ~visit:(fun v d ->
+  wave_search ctx ~seeds
+    ~expand:(fun ~d wave ->
       if over_max max_dist d then `Stop
       else begin
-        let shard, local = Shard_plan.locate t.plan v in
-        (match Hashtbl.find_opt entry_tag v with
-        | Some name when name = target_tag ->
-            add [ { P.node = v; dist = d; meta = shard } ]
-        | _ -> ());
+        let located = List.map (fun v -> (v, Shard_plan.locate t.plan v)) wave in
+        let plan = new_plan t in
         let remaining = Option.map (fun m -> m - d) max_dist in
-        (match
-           shard_call t ctx shard
-             (P.Node_descendants
-                { node = local; tag = Some target_tag; k; max_dist = remaining })
-         with
-        | Some (items, _) -> add (List.map (globalize t ~shard ~offset:d) items)
-        | None -> ());
+        List.iter
+          (fun (v, (shard, local)) ->
+            (match Hashtbl.find_opt entry_tag v with
+            | Some name when name = target_tag ->
+                add [ { P.node = v; dist = d; meta = shard } ]
+            | _ -> ());
+            plan_add plan shard
+              (P.Node_descendants
+                 { node = local; tag = Some target_tag; k; max_dist = remaining })
+              (function
+                | Some (items, _) -> add (List.map (globalize t ~shard ~offset:d) items)
+                | None -> ());
+            plan_forward plan t ~shard ~local)
+          located;
+        run_plan t ctx plan;
         `Continue
+          (List.concat_map
+             (fun (_, (shard, local)) -> forward_edges t ~shard ~local ~d)
+             located)
       end);
   merge_streams ~k ~exclude:(-1) ~emit !streams;
   items_response ctx
@@ -441,23 +632,41 @@ let connected t ctx ~a ~b ~max_dist =
     | None -> ()
     | Some d -> ( match !best with Some d' when d' <= d -> () | _ -> best := Some d)
   in
+  (* Wave 0: the direct same-shard probe and the seed probes share one
+     batch. *)
+  let plan0 = new_plan t in
+  if shard_a = shard_b then plan_conn plan0 t ~shard:shard_a ~a:local_a ~b:local_b;
+  plan_forward plan0 t ~shard:shard_a ~local:local_a;
+  run_plan t ctx plan0;
   if shard_a = shard_b then
-    consider (probe_connected t ctx ~shard:shard_a ~a:local_a ~b:local_b);
-  dijkstra ctx
-    ~seeds:(forward_seeds t ctx ~shard:shard_a ~local:local_a)
-    ~neighbours:(forward_neighbours t ctx)
-    ~visit:(fun v d ->
-      (* Entries settle in ascending order: once the frontier passes the
+    consider (conn_dist t ~shard:shard_a ~a:local_a ~b:local_b);
+  wave_search ctx
+    ~seeds:(forward_edges t ~shard:shard_a ~local:local_a ~d:0)
+    ~expand:(fun ~d wave ->
+      (* Waves settle in ascending order: once the frontier passes the
          best candidate (or max_dist), no better path remains. *)
       let beaten = match !best with Some bd -> d >= bd | None -> false in
       if beaten || over_max max_dist d then `Stop
       else begin
-        let shard, local = Shard_plan.locate t.plan v in
-        if shard = shard_b then
-          (match probe_connected t ctx ~shard ~a:local ~b:local_b with
-          | Some db -> consider (Some (d + db))
-          | None -> ());
+        let located = List.map (fun v -> Shard_plan.locate t.plan v) wave in
+        let plan = new_plan t in
+        List.iter
+          (fun (shard, local) ->
+            if shard = shard_b then plan_conn plan t ~shard ~a:local ~b:local_b;
+            plan_forward plan t ~shard ~local)
+          located;
+        run_plan t ctx plan;
+        List.iter
+          (fun (shard, local) ->
+            if shard = shard_b then
+              match conn_dist t ~shard ~a:local ~b:local_b with
+              | Some db -> consider (Some (d + db))
+              | None -> ())
+          located;
         `Continue
+          (List.concat_map
+             (fun (shard, local) -> forward_edges t ~shard ~local ~d)
+             located)
       end);
   match !best with
   | Some d when not (over_max max_dist d) -> P.Dist (Some d)
@@ -516,8 +725,31 @@ let eval t ~emit ~deadline_ns (req : P.request) =
   | P.Ancestors { node; tag; k; max_dist } ->
       if not (in_range t node) then node_range_err t
       else ancestors_of_node t ctx ~node ~tag ~k ~max_dist ~emit
-  | P.Evaluate { start_tag; target_tag; k; max_dist } ->
-      evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit
+  | P.Evaluate { start_tag; target_tag; k; max_dist } -> (
+      match t.query_cache with
+      | None -> evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit
+      | Some qc -> (
+          match Coord_cache.find qc ~start_tag ~target_tag ~k ~max_dist with
+          | Some items ->
+              (* Replay the cached merge; no shard sees this request. *)
+              List.iter emit items;
+              P.Items { items = []; timed_out = false; partial = false }
+          | None ->
+              let buf = ref [] in
+              let emit' it =
+                buf := it :: !buf;
+                emit it
+              in
+              let resp = evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit:emit' in
+              (match resp with
+              | P.Items { timed_out = false; partial = false; _ } ->
+                  Coord_cache.store qc ~start_tag ~target_tag ~k ~max_dist
+                    (List.rev !buf)
+              | _ ->
+                  (* A degraded merge must not be replayed once the
+                     shard recovers — leave it uncached. *)
+                  ());
+              resp))
   | P.Resolve { doc; anchor } -> resolve t ctx ~doc ~anchor
 
 let stats_lines t =
@@ -535,17 +767,26 @@ let stats_lines t =
              (Hashtbl.length t.conn_cache, Hashtbl.length t.start_cache))
        in
        Printf.sprintf "probe cache: %d connected, %d nearest-start entries" conn start);
+      Printf.sprintf "probe rpcs: %d round trips carrying %d sub-requests (batching %s)"
+        (probe_rpcs_total t) (probe_subs_total t)
+        (if t.batching then "on" else "off");
+      (match query_cache_stats t with
+      | None -> "query cache: disabled"
+      | Some s ->
+          Printf.sprintf "query cache: %d entries, %d hits, %d misses, epoch %d"
+            s.Coord_cache.entries s.hits s.misses s.epoch);
     ]
 
 let metric_lines t () =
-  let errors =
+  let per_shard name value =
     Array.to_list
       (Array.map
          (fun s ->
-           Printf.sprintf "flix_shard_errors_total{shard=\"%d\",addr=\"%s\"} %d"
-             (Shard_client.id s) (Shard_client.address s) (Shard_client.errors_total s))
+           Printf.sprintf "%s{shard=\"%d\",addr=\"%s\"} %d" name (Shard_client.id s)
+             (Shard_client.address s) (value s))
          t.shards)
   in
+  let errors = per_shard "flix_shard_errors_total" Shard_client.errors_total in
   let le i =
     if i >= Array.length fanout_buckets_ms then "+Inf"
     else
@@ -574,6 +815,46 @@ let metric_lines t () =
         (float_of_int (Atomic.get t.fanout_sum_ns) /. 1e6);
       Printf.sprintf "flix_shard_fanout_latency_ms_count %d" (Atomic.get t.fanout_count);
     ]
+  @ [
+      "# HELP flix_shard_probe_rpcs_total Wire round trips to each shard.";
+      "# TYPE flix_shard_probe_rpcs_total counter";
+    ]
+  @ per_shard "flix_shard_probe_rpcs_total" Shard_client.rpcs_total
+  @ [
+      "# HELP flix_shard_probe_subs_total Sub-requests carried by those round trips.";
+      "# TYPE flix_shard_probe_subs_total counter";
+    ]
+  @ per_shard "flix_shard_probe_subs_total" Shard_client.subs_total
+  @ [
+      "# HELP flix_shard_probe_batch_size Sub-requests per batched probe RPC.";
+      "# TYPE flix_shard_probe_batch_size histogram";
+    ]
+  @ (let cumulative = ref 0 in
+     List.init (Array.length t.batch_hist) (fun i ->
+         cumulative := !cumulative + Atomic.get t.batch_hist.(i);
+         let le =
+           if i >= Array.length batch_buckets then "+Inf"
+           else string_of_int batch_buckets.(i)
+         in
+         Printf.sprintf "flix_shard_probe_batch_size_bucket{le=\"%s\"} %d" le !cumulative))
+  @ [
+      Printf.sprintf "flix_shard_probe_batch_size_sum %d" (Atomic.get t.batch_sum);
+      Printf.sprintf "flix_shard_probe_batch_size_count %d" (Atomic.get t.batch_count);
+    ]
+  @
+  let hits, misses =
+    match query_cache_stats t with
+    | None -> (0, 0)
+    | Some s -> (s.Coord_cache.hits, s.Coord_cache.misses)
+  in
+  [
+    "# HELP flix_coord_cache_hits_total Coordinator EVALUATE cache hits.";
+    "# TYPE flix_coord_cache_hits_total counter";
+    Printf.sprintf "flix_coord_cache_hits_total %d" hits;
+    "# HELP flix_coord_cache_misses_total Coordinator EVALUATE cache misses.";
+    "# TYPE flix_coord_cache_misses_total counter";
+    Printf.sprintf "flix_coord_cache_misses_total %d" misses;
+  ]
 
 let backend t =
   { Server.custom_eval = (fun ~emit ~deadline_ns req -> eval t ~emit ~deadline_ns req);

@@ -24,6 +24,15 @@
       over exit portals. [CONNECTED] runs the portal search with early
       termination on the best candidate distance.
 
+    The search expands {e wave by wave}: every portal at the current
+    frontier distance settles together (exact, because each portal edge
+    weighs at least the unit link hop), so the wave's segment probes
+    and result streams collapse into one pipelined [BATCH] per shard
+    per wave instead of one round trip per probe. Probe round trips and
+    the batch-size distribution are exported as
+    [flix_shard_probe_rpcs_total] / [flix_shard_probe_subs_total] /
+    [flix_shard_probe_batch_size].
+
     All result streams are k-way-merged by distance with
     {!Fx_graph.Priority_queue}, deduplicating nodes on first (nearest)
     occurrence, so the merged stream keeps FliX's
@@ -43,6 +52,8 @@ type t
 
 val create :
   ?cache_cap:int ->
+  ?batching:bool ->
+  ?query_cache:int ->
   plan:Shard_plan.t ->
   shards:(string * int) list ->
   unit ->
@@ -51,7 +62,17 @@ val create :
     Raises [Invalid_argument] when the count does not match the plan.
     Probe results ([CONNECTED] distances, nearest-start [ANCESTORS])
     are memoized up to [cache_cap] entries (default 65536) — shard
-    indexes are immutable, so entries never expire. *)
+    indexes are immutable, so entries never expire.
+
+    [batching] (default [true]) sends each wave's probes as one
+    pipelined [BATCH] per shard; [false] restores one round trip per
+    probe — the distances and answers are identical either way (the
+    before/after lever for the bench and the equivalence tests).
+
+    [query_cache] enables the coordinator-side {!Coord_cache} over
+    merged [EVALUATE] results with the given LRU capacity; [None]
+    (the default) disables it. Only clean (non-[TIMEOUT],
+    non-[PARTIAL]) merges are cached. *)
 
 val backend : t -> Fx_server.Server.custom
 (** Serve with
@@ -67,6 +88,19 @@ val stats_lines : t -> string list
 val shard_errors_total : t -> int
 (** Failed shard attempts across all shards (sum of the per-shard
     counters) — the number behind [flix_shard_errors_total]. *)
+
+val probe_rpcs_total : t -> int
+(** Wire round trips to shards across all shard clients — the number
+    behind [flix_shard_probe_rpcs_total]. *)
+
+val probe_subs_total : t -> int
+(** Sub-requests carried by those round trips; with batching off the
+    two counters advance in lockstep, with batching on the spread is
+    the win ([flix_shard_probe_subs_total]). *)
+
+val query_cache_stats : t -> Coord_cache.stats option
+(** Entries/hits/misses/epoch of the [EVALUATE] result cache, or
+    [None] when [create] was not given [query_cache]. *)
 
 val close : t -> unit
 (** Close pooled shard connections. *)

@@ -9,18 +9,25 @@ type t = {
   retries : int;
   backoff_ms : float;
   recv_slack_s : float;
+  max_batch : int;
   m : Mutex.t;
   mutable idle : Client.t list;
   mutable closed : bool;
   errors : int Atomic.t;
+  (* One rpc per wire attempt; one sub per sub-request it carried. The
+     spread between them is the batching win the coordinator exports as
+     flix_shard_probe_{rpcs,subs}_total. *)
+  rpcs : int Atomic.t;
+  subs : int Atomic.t;
 }
 
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let create ?(retries = 2) ?(backoff_ms = 25.0) ?(recv_slack_s = 0.25) ~id ~host ~port ()
-    =
+let create ?(retries = 2) ?(backoff_ms = 25.0) ?(recv_slack_s = 0.25) ?(max_batch = 512)
+    ~id ~host ~port () =
+  if max_batch < 1 then invalid_arg "Shard_client.create: max_batch must be positive";
   {
     id;
     host;
@@ -28,15 +35,20 @@ let create ?(retries = 2) ?(backoff_ms = 25.0) ?(recv_slack_s = 0.25) ~id ~host 
     retries;
     backoff_ms;
     recv_slack_s;
+    max_batch;
     m = Mutex.create ();
     idle = [];
     closed = false;
     errors = Atomic.make 0;
+    rpcs = Atomic.make 0;
+    subs = Atomic.make 0;
   }
 
 let id t = t.id
 let address t = Printf.sprintf "%s:%d" t.host t.port
 let errors_total t = Atomic.get t.errors
+let rpcs_total t = Atomic.get t.rpcs
+let subs_total t = Atomic.get t.subs
 
 let borrow t =
   match
@@ -68,16 +80,18 @@ let give_back t c =
 (* One exchange on one connection. A transport failure (including a
    tripped receive timeout) poisons the connection — a late response
    would desynchronize the framing — so it is closed, never pooled. *)
+let recv_timeout t deadline_ms =
+  match deadline_ms with
+  | None -> None
+  | Some ms -> Some ((float_of_int ms /. 1000.0) +. t.recv_slack_s)
+
 let attempt t ~deadline_ms req =
+  Atomic.incr t.rpcs;
+  Atomic.incr t.subs;
   match borrow t with
   | Error _ as e -> e
   | Ok conn ->
-      let timeout =
-        match deadline_ms with
-        | None -> None
-        | Some ms -> Some ((float_of_int ms /. 1000.0) +. t.recv_slack_s)
-      in
-      Client.set_recv_timeout conn timeout;
+      Client.set_recv_timeout conn (recv_timeout t deadline_ms);
       let items = ref [] in
       let result =
         Client.request_stream ?deadline_ms conn req ~on_item:(fun it ->
@@ -112,6 +126,91 @@ let call ?deadline_ms t req =
             end)
   in
   go 0 t.backoff_ms
+
+(* One batch of sub-requests in one pipelined round trip. Retries are
+   per-batch but never re-send an answered sub-request: each retry
+   re-batches only the still-unanswered slots, so a transport failure
+   mid-pipeline costs one fresh (smaller) batch, not duplicated work —
+   and the shard never sees the same probe answered twice. *)
+let call_many ?deadline_ms t reqs =
+  let n = Array.length reqs in
+  let out = Array.make n (Error "unanswered batch sub-request") in
+  let answered = Array.make n false in
+  let pending () =
+    let idx = ref [] in
+    for i = n - 1 downto 0 do
+      if not answered.(i) then idx := i :: !idx
+    done;
+    Array.of_list !idx
+  in
+  let one_rpc ~deadline_ms idx =
+    Atomic.incr t.rpcs;
+    ignore (Atomic.fetch_and_add t.subs (Array.length idx));
+    match borrow t with
+    | Error _ as e -> e
+    | Ok conn ->
+        Client.set_recv_timeout conn (recv_timeout t deadline_ms);
+        let result =
+          Client.request_batch ?deadline_ms conn
+            (Array.map (fun i -> reqs.(i)) idx)
+            ~on_response:(fun j resp ->
+              let i = idx.(j) in
+              out.(i) <- Ok resp;
+              answered.(i) <- true)
+        in
+        (match result with
+        | Ok () -> give_back t conn
+        | Error _ -> Client.close conn);
+        result
+  in
+  (* A wave can outgrow the server's [max_batch] cap: split it into
+     capped chunks, each its own round trip. Answers recorded by earlier
+     chunks survive a later chunk's failure — the retry re-batches only
+     what is still unanswered. *)
+  let attempt_batch ~deadline_ms idx =
+    let len = Array.length idx in
+    let rec chunks off =
+      if off >= len then Ok ()
+      else
+        let m = min t.max_batch (len - off) in
+        match one_rpc ~deadline_ms (Array.sub idx off m) with
+        | Ok () -> chunks (off + m)
+        | Error _ as e -> e
+    in
+    chunks 0
+  in
+  if n > 0 then begin
+    let sw = Stopwatch.start () in
+    let budget_left () =
+      match deadline_ms with
+      | None -> Some None
+      | Some ms ->
+          let left = ms - int_of_float (Stopwatch.elapsed_ms sw) in
+          if left <= 0 then None else Some (Some left)
+    in
+    let fail msg =
+      Array.iteri (fun i a -> if not a then out.(i) <- Error msg) answered
+    in
+    let rec go attempt_no backoff =
+      match pending () with
+      | [||] -> ()
+      | idx -> (
+          match budget_left () with
+          | None -> fail "deadline exhausted before shard answered"
+          | Some deadline_ms -> (
+              match attempt_batch ~deadline_ms idx with
+              | Ok () -> ()
+              | Error e ->
+                  Atomic.incr t.errors;
+                  if attempt_no >= t.retries then fail e
+                  else begin
+                    Thread.delay (backoff /. 1000.0);
+                    go (attempt_no + 1) (backoff *. 2.0)
+                  end))
+    in
+    go 0 t.backoff_ms
+  end;
+  out
 
 let close t =
   let conns =

@@ -24,6 +24,7 @@ val create :
   ?retries:int ->
   ?backoff_ms:float ->
   ?recv_slack_s:float ->
+  ?max_batch:int ->
   id:int ->
   host:string ->
   port:int ->
@@ -33,13 +34,26 @@ val create :
     the number of extra attempts after a transport failure;
     [backoff_ms] (default 25) the first retry delay, doubling per
     attempt; [recv_slack_s] (default 0.25) the grace added to the
-    deadline budget before a read times out. *)
+    deadline budget before a read times out. [max_batch] (default 512)
+    caps the sub-requests per {!call_many} round trip; it must stay at
+    or below the server's own [max_batch] or oversized waves are
+    rejected whole. Raises [Invalid_argument] when [max_batch < 1]. *)
 
 val id : t -> int
 val address : t -> string
 
 val errors_total : t -> int
 (** Failed attempts so far (transport errors and timeouts). *)
+
+val rpcs_total : t -> int
+(** Wire round trips so far — each {!call} attempt and each
+    {!call_many} batch attempt counts one. *)
+
+val subs_total : t -> int
+(** Sub-requests carried by those round trips — a {!call} attempt
+    counts one, a {!call_many} attempt counts its batch size. The
+    [rpcs_total]/[subs_total] spread is the batching win, exported as
+    [flix_shard_probe_rpcs_total] / [flix_shard_probe_subs_total]. *)
 
 val call :
   ?deadline_ms:int ->
@@ -52,6 +66,21 @@ val call :
     [Items { items = []; _ }] whose flags describe the trailer.
     [Error _] means the exchange failed even after retries; the shard
     should be treated as down for this request. *)
+
+val call_many :
+  ?deadline_ms:int ->
+  t ->
+  Fx_server.Protocol.request array ->
+  (Fx_server.Protocol.response, string) result array
+(** One pipelined [BATCH] exchange carrying every request, answered
+    slot by slot — split into chunks of at most [max_batch]
+    sub-requests, each its own round trip, when the wave outgrows the
+    cap. Unlike {!call}, each [Ok] response carries its items
+    inline ([Items { items; _ }] fully populated). Retries re-batch
+    only the still-unanswered slots — answers delivered before a
+    transport failure stand and are never re-requested — with the same
+    doubling backoff and deadline budget as {!call}. Slots the shard
+    never answered come back [Error _]. An empty array is a no-op. *)
 
 val close : t -> unit
 (** Close pooled idle connections. In-flight calls on other threads

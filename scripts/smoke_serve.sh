@@ -128,7 +128,7 @@ S1_PID=$!
 EXTRA_PIDS="$S0_PID $S1_PID"
 PORT=$SPORT0 wait_port || { cat "$EXTRA_DIR/s0.log" >&2; fail "shard 0 did not come up"; }
 PORT=$SPORT1 wait_port || { cat "$EXTRA_DIR/s1.log" >&2; fail "shard 1 did not come up"; }
-"$BIN" --coordinator --index-dir "$EXTRA_DIR" \
+"$BIN" --coordinator --index-dir "$EXTRA_DIR" --coord-cache 64 \
   --shard "127.0.0.1:$SPORT0" --shard "127.0.0.1:$SPORT1" \
   --port "$PORT" >"$EXTRA_DIR/coord.log" 2>&1 &
 SRV_PID=$!
@@ -141,10 +141,28 @@ ask "CONNECTED 0 3" | grep -q "^DIST " || fail "coordinator CONNECTED"
 ask METRICS | grep -q "^flix_shard_errors_total" || fail "shard error metrics missing"
 ask METRICS | grep -q "^flix_shard_fanout_latency_ms_bucket" || fail "fanout histogram missing"
 
+echo "== batched probes: round trips stay below sub-request count =="
+metrics=$(ask METRICS)
+rpcs=$(echo "$metrics" | awk '/^flix_shard_probe_rpcs_total\{/ { sum += $2 } END { print sum + 0 }')
+subs=$(echo "$metrics" | awk '/^flix_shard_probe_subs_total\{/ { sum += $2 } END { print sum + 0 }')
+[ "$subs" -gt 0 ] || fail "no probe sub-requests recorded (subs=$subs)"
+[ "$rpcs" -lt "$subs" ] || fail "probe RPCs not batched (rpcs=$rpcs subs=$subs)"
+echo "probe rpcs=$rpcs subs=$subs"
+echo "$metrics" | grep -q "^flix_shard_probe_batch_size_bucket" || fail "batch-size histogram missing"
+
+echo "== repeated EVALUATE lands in the coordinator cache =="
+ask "EVALUATE article author 5" | grep -q "^DONE " || fail "repeat EVALUATE"
+hits=$(ask METRICS | awk '/^flix_coord_cache_hits_total / { print $2 }')
+[ "${hits:-0}" -gt 0 ] || fail "coordinator cache never hit (hits=${hits:-0})"
+echo "coordinator cache hits=$hits"
+
 echo "== kill one shard: answers degrade to PARTIAL =="
 kill "$S1_PID" && wait "$S1_PID" 2>/dev/null
 EXTRA_PIDS=$S0_PID
-ask "EVALUATE article author 5" | grep -q "^PARTIAL " || fail "dead shard should answer PARTIAL"
+# The warmed query replays from the coordinator cache even with the
+# shard down; a cold query must degrade to PARTIAL.
+ask "EVALUATE article author 5" | grep -q "^DONE " || fail "cached EVALUATE should survive the dead shard"
+ask "EVALUATE inproceedings cite 5" | grep -q "^PARTIAL " || fail "dead shard should answer PARTIAL"
 [ "$(ask PING)" = "PONG" ] || fail "coordinator PING after shard death"
 
 kill "$SRV_PID" "$S0_PID" 2>/dev/null

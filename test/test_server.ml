@@ -512,6 +512,150 @@ let connected_matches_direct () =
         (List.filteri (fun i _ -> i < 5) roots);
       Client.close c)
 
+(* --- batches ----------------------------------------------------------- *)
+
+(* A batch of probe verbs must answer exactly what the same requests
+   answer one at a time — order restored by the SUB indexes. *)
+let batch_matches_single () =
+  with_server (fun server ->
+      let port = Server.port server in
+      let c = Client.connect ~port () in
+      let flix = Lazy.force shared_flix in
+      let n0 = Option.get (Flix.node_of flix ~doc:(Dblp.doc_name 0) ~anchor:None) in
+      let n1 = Option.get (Flix.node_of flix ~doc:(Dblp.doc_name 9) ~anchor:None) in
+      let reqs =
+        [|
+          P.Connected { a = n0; b = n1; max_dist = None };
+          P.Node_descendants { node = n0; tag = Some "author"; k = 50; max_dist = None };
+          P.Ancestors { node = n1 + 2; tag = None; k = 10; max_dist = None };
+          P.Resolve { doc = Dblp.doc_name 3; anchor = None };
+          P.Connected { a = n1; b = n1; max_dist = None };
+        |]
+      in
+      (match Client.request_many c reqs with
+      | Error e -> Alcotest.failf "batch failed: %s" e
+      | Ok got ->
+          Alcotest.(check int) "answer per sub" (Array.length reqs) (Array.length got);
+          Array.iteri
+            (fun i req ->
+              match Client.request c req with
+              | Ok want ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "sub %d equals single exchange" i)
+                    (render want) (render got.(i))
+              | Error e -> Alcotest.failf "single exchange %d failed: %s" i e)
+            reqs);
+      (* The connection keeps its framing for ordinary requests. *)
+      Alcotest.(check bool) "framing intact after batch" true (Client.ping c);
+      let m = Server.metrics server in
+      Alcotest.(check int) "batch counted once" 1 (Metrics.requests_total m ~verb:"batch");
+      Alcotest.(check bool) "subs counted per verb" true
+        (Metrics.requests_total m ~verb:"connected" >= 2);
+      Client.close c)
+
+(* One malformed and one disallowed sub-request mid-batch: each fails
+   only its own slot; the healthy slots answer and framing survives. *)
+let batch_malformed_sub () =
+  with_server (fun server ->
+      let port = Server.port server in
+      let fd = raw_connect port in
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc "BATCH 4\nCONNECTED 0 0\nFROBNICATE 7\nEVALUATE article author 5\nSLEEP 1\n";
+      flush oc;
+      let answers = Array.make 4 None in
+      let result =
+        P.read_batch_responses
+          (fun () -> match input_line ic with
+            | line -> Some line
+            | exception End_of_file -> None)
+          ~n:4
+          ~on_response:(fun i resp -> answers.(i) <- Some resp)
+      in
+      (match result with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "batch framing broke: %s" e);
+      (match answers.(0) with
+      | Some (P.Dist (Some 0)) -> ()
+      | _ -> Alcotest.fail "healthy sub 0 should answer DIST 0");
+      (match answers.(1) with
+      | Some (P.Err _) -> ()
+      | _ -> Alcotest.fail "malformed sub 1 should answer ERR");
+      (match answers.(2) with
+      | Some (P.Err e) ->
+          Alcotest.(check bool) "disallowed verb named" true
+            (Astring.String.is_infix ~affix:"EVALUATE" e)
+      | _ -> Alcotest.fail "disallowed sub 2 should answer ERR");
+      (match answers.(3) with
+      | Some P.Ok_done -> ()
+      | _ -> Alcotest.fail "healthy sub 3 should answer OK");
+      output_string oc "PING\n";
+      flush oc;
+      Alcotest.(check string) "framing survives bad subs" "PONG" (input_line ic);
+      Unix.close fd)
+
+(* The DEADLINE envelope covers the whole batch: with one worker, a
+   fast probe answers cleanly and the slow sleeps behind it come back
+   TIMEOUT — answered prefix plus timed-out remainder. *)
+let batch_deadline_mid () =
+  with_server
+    ~config:{ Server.default_config with workers = 1 }
+    (fun server ->
+      let port = Server.port server in
+      let c = Client.connect ~port () in
+      let reqs = [| P.Connected { a = 0; b = 0; max_dist = None }; P.Sleep 400; P.Sleep 400 |] in
+      (match Client.request_many ~deadline_ms:120 c reqs with
+      | Error e -> Alcotest.failf "batch failed: %s" e
+      | Ok got ->
+          (match got.(0) with
+          | P.Dist (Some 0) -> ()
+          | _ -> Alcotest.fail "fast sub should answer before the deadline");
+          Array.iteri
+            (fun i resp ->
+              if i > 0 then
+                match resp with
+                | P.Items { timed_out = true; _ } -> ()
+                | _ -> Alcotest.failf "slow sub %d should answer TIMEOUT" i)
+            got);
+      Alcotest.(check bool) "alive after batch deadline" true (Client.ping c);
+      Client.close c)
+
+(* Over-cap batches are consumed whole and answered with one ERR; the
+   connection then keeps working. BATCH 0 and garbage counts are
+   protocol errors. *)
+let batch_size_limits () =
+  with_server
+    ~config:{ Server.default_config with max_batch = 4 }
+    (fun server ->
+      let port = Server.port server in
+      let c = Client.connect ~port () in
+      let reqs = Array.make 6 (P.Connected { a = 0; b = 0; max_dist = None }) in
+      (match Client.request_many c reqs with
+      | Error e ->
+          Alcotest.(check bool) "oversize rejected with ERR" true
+            (Astring.String.is_infix ~affix:"batch size exceeds 4" e)
+      | Ok _ -> Alcotest.fail "oversized batch should be rejected");
+      (* The server consumed the announced sub-lines: framing holds. *)
+      Alcotest.(check bool) "framing intact after oversize" true (Client.ping c);
+      Client.close c;
+      let fd = raw_connect port in
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      List.iter
+        (fun line ->
+          output_string oc (line ^ "\n");
+          flush oc;
+          let reply = input_line ic in
+          Alcotest.(check bool)
+            (Printf.sprintf "%S -> ERR" line)
+            true
+            (String.length reply >= 3 && String.sub reply 0 3 = "ERR"))
+        [ "BATCH 0"; "BATCH -3"; "BATCH many"; "DEADLINE 50 BATCH 0" ];
+      output_string oc "PING\n";
+      flush oc;
+      Alcotest.(check string) "still serving" "PONG" (input_line ic);
+      Unix.close fd)
+
 (* --- disk backend ----------------------------------------------------- *)
 
 module Idx = Fx_index
@@ -650,5 +794,12 @@ let () =
           Alcotest.test_case "admission control BUSY" `Quick admission_busy;
           Alcotest.test_case "stats and metrics verbs" `Quick stats_and_metrics_verbs;
           Alcotest.test_case "connected matches direct" `Quick connected_matches_direct;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "matches single exchanges" `Quick batch_matches_single;
+          Alcotest.test_case "malformed sub mid-batch" `Quick batch_malformed_sub;
+          Alcotest.test_case "deadline mid-batch" `Quick batch_deadline_mid;
+          Alcotest.test_case "size limits" `Quick batch_size_limits;
         ] );
     ]

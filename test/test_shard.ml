@@ -141,7 +141,7 @@ let rec with_disk_servers colls f =
 
 (* Boot one in-memory server per shard, a coordinator in front of them,
    and hand the test the coordinator plus a client per endpoint. *)
-let with_cluster f =
+let with_cluster ?batching ?query_cache f =
   let plan = Lazy.force shared_plan in
   let shard_servers = Array.map Server.start (Lazy.force shard_flixes) in
   Fun.protect
@@ -150,7 +150,7 @@ let with_cluster f =
       let shards =
         Array.to_list shard_servers |> List.map (fun s -> ("127.0.0.1", Server.port s))
       in
-      let coord = Coordinator.create ~plan ~shards () in
+      let coord = Coordinator.create ?batching ?query_cache ~plan ~shards () in
       Fun.protect
         ~finally:(fun () -> Coordinator.close coord)
         (fun () ->
@@ -194,20 +194,30 @@ let coordinator_matches_single_server () =
       | single :: shard_servers ->
           let shards = List.map (fun s -> ("127.0.0.1", Server.port s)) shard_servers in
           let coord = Coordinator.create ~plan ~shards () in
+          let ucoord = Coordinator.create ~batching:false ~plan ~shards () in
           Fun.protect
-            ~finally:(fun () -> Coordinator.close coord)
+            ~finally:(fun () ->
+              Coordinator.close coord;
+              Coordinator.close ucoord)
             (fun () ->
               let front =
                 Server.start_backend (Server.Custom (Coordinator.backend coord))
               in
+              let ufront =
+                Server.start_backend (Server.Custom (Coordinator.backend ucoord))
+              in
               Fun.protect
-                ~finally:(fun () -> Server.stop front)
+                ~finally:(fun () ->
+                  Server.stop front;
+                  Server.stop ufront)
                 (fun () ->
                   let cc = Client.connect ~port:(Server.port front) () in
+                  let uc = Client.connect ~port:(Server.port ufront) () in
                   let sc = Client.connect ~port:(Server.port single) () in
                   Fun.protect
                     ~finally:(fun () ->
                       Client.close cc;
+                      Client.close uc;
                       Client.close sc)
                     (fun () ->
               (* Large k so no top-k boundary cuts a tie group. *)
@@ -242,9 +252,32 @@ let coordinator_matches_single_server () =
               in
               List.iter
                 (fun req ->
-                  stream_eq ~what:(P.request_line req) (Client.request cc req)
-                    (Client.request sc req))
+                  let what = P.request_line req in
+                  let want = Client.request sc req in
+                  let batched = Client.request cc req in
+                  let unbatched = Client.request uc req in
+                  stream_eq ~what batched want;
+                  stream_eq ~what:(what ^ " (unbatched)") unbatched want;
+                  (* Batching is a transport optimization only: the
+                     batched and unbatched coordinators must render the
+                     very same response, byte for byte. *)
+                  match (batched, unbatched) with
+                  | Ok b, Ok u ->
+                      Alcotest.(check (list string))
+                        (what ^ ": batched path renders identically")
+                        (P.response_lines u) (P.response_lines b)
+                  | _ -> Alcotest.failf "%s: transport failure" what)
                 streams;
+              (* The batched coordinator did the same probe work in far
+                 fewer round trips; the unbatched one pays one RPC per
+                 sub-request. *)
+              let rpcs = Coordinator.probe_rpcs_total coord in
+              let subs = Coordinator.probe_subs_total coord in
+              Alcotest.(check bool) "probes flowed" true (subs > 0);
+              Alcotest.(check bool) "batching collapses round trips" true (rpcs < subs);
+              Alcotest.(check int) "unbatched rpcs track subs one-to-one"
+                (Coordinator.probe_subs_total ucoord)
+                (Coordinator.probe_rpcs_total ucoord);
               (* CONNECTED: exact distances, including portal paths that
                  hop between shards. Probe pairs with known reachability
                  (node 40's ancestor cone) plus a deterministic sweep of
@@ -266,12 +299,18 @@ let coordinator_matches_single_server () =
                     | Ok (Client.Value d) -> d
                     | _ -> Alcotest.failf "connected %d %d ground truth failed" a b
                   in
-                  match Client.connected cc a b with
+                  (match Client.connected cc a b with
                   | Ok (Client.Value got) ->
                       Alcotest.(check (option int))
                         (Printf.sprintf "connected %d %d" a b)
                         want got
-                  | _ -> Alcotest.failf "connected %d %d failed" a b)
+                  | _ -> Alcotest.failf "connected %d %d failed" a b);
+                  match Client.connected uc a b with
+                  | Ok (Client.Value got) ->
+                      Alcotest.(check (option int))
+                        (Printf.sprintf "connected %d %d (unbatched)" a b)
+                        want got
+                  | _ -> Alcotest.failf "connected %d %d (unbatched) failed" a b)
                 pairs;
               (* An unknown document is a semantic error on both. *)
               match
@@ -323,6 +362,125 @@ let dead_shard_degrades () =
             (Astring.String.is_infix ~affix:"flix_shard_fanout_latency_ms_bucket" metrics);
           (* The coordinator endpoint itself stays healthy. *)
           Alcotest.(check bool) "front survives" true (Client.ping c)))
+
+(* The EVALUATE result cache: a repeated query replays the very same
+   merge without touching a shard; degraded answers are never cached. *)
+let query_cache_hits () =
+  with_cluster ~query_cache:16 (fun ~coord ~front ~shard_servers ->
+      let c = Client.connect ~port:(Server.port front) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let q =
+            P.Evaluate
+              { start_tag = "article"; target_tag = "author"; k = 10_000; max_dist = None }
+          in
+          let first =
+            match Client.request c q with
+            | Ok (P.Items { timed_out = false; partial = false; items }) -> items
+            | _ -> Alcotest.fail "first ask should answer DONE"
+          in
+          Alcotest.(check bool) "first ask nonempty" true (first <> []);
+          let rpcs_after_miss = Coordinator.probe_rpcs_total coord in
+          (match Client.request c q with
+          | Ok (P.Items { timed_out = false; partial = false; items }) ->
+              Alcotest.(check bool) "replay is identical" true (items = first)
+          | _ -> Alcotest.fail "second ask should answer DONE");
+          Alcotest.(check int) "replay asked no shard" rpcs_after_miss
+            (Coordinator.probe_rpcs_total coord);
+          (match Coordinator.query_cache_stats coord with
+          | Some s ->
+              Alcotest.(check int) "one hit" 1 s.Fx_shard.Coord_cache.hits;
+              Alcotest.(check int) "one miss" 1 s.misses;
+              Alcotest.(check bool) "entry stored" true (s.entries >= 1)
+          | None -> Alcotest.fail "cache stats should be available");
+          let metrics = String.concat "\n" (Coordinator.metric_lines coord ()) in
+          Alcotest.(check bool) "hits exported" true
+            (Astring.String.is_infix ~affix:"flix_coord_cache_hits_total 1" metrics);
+          (* A degraded merge must not land in the cache: kill a shard,
+             ask a fresh query, and check only the clean entry remains. *)
+          Server.stop shard_servers.(1);
+          (match
+             Client.request ~deadline_ms:3_000 c
+               (P.Evaluate
+                  { start_tag = "inproceedings"; target_tag = "cite"; k = 100; max_dist = None })
+           with
+          | Ok (P.Items { partial = true; _ }) -> ()
+          | Ok r ->
+              Alcotest.failf "expected PARTIAL with a dead shard, got %s"
+                (String.concat "|" (P.response_lines r))
+          | Error e -> Alcotest.failf "coordinator must not fail the query: %s" e);
+          match Coordinator.query_cache_stats coord with
+          | Some s ->
+              Alcotest.(check int) "degraded merge not cached" 1 s.Fx_shard.Coord_cache.entries
+          | None -> Alcotest.fail "cache stats should be available"))
+
+(* A shard dying mid-pipeline must not poison the probe caches: after it
+   comes back (same port), the same questions get the same answers a
+   never-degraded cluster gives. *)
+let dead_shard_no_cache_poison () =
+  with_cluster (fun ~coord ~front ~shard_servers ->
+      let c = Client.connect ~port:(Server.port front) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let q =
+            P.Evaluate
+              { start_tag = "article"; target_tag = "author"; k = 10_000; max_dist = None }
+          in
+          let conn_pairs = List.init 12 (fun i -> ((i * 131) mod 1500, (i * 613) mod 1500)) in
+          let ask_conns () =
+            List.map
+              (fun (a, b) ->
+                match
+                  Client.request ~deadline_ms:3_000 c
+                    (P.Connected { a; b; max_dist = None })
+                with
+                | Ok r -> r
+                | Error e -> Alcotest.failf "connected %d %d failed: %s" a b e)
+              conn_pairs
+          in
+          let healthy_eval =
+            match Client.request c q with
+            | Ok (P.Items { timed_out = false; partial = false; items }) -> items
+            | _ -> Alcotest.fail "healthy cluster should answer DONE"
+          in
+          let healthy_conns = ask_conns () in
+          (* Kill shard 1, run the same load degraded — every probe into
+             shard 1 now fails, and none of those failures may stick. *)
+          let port1 = Server.port shard_servers.(1) in
+          Server.stop shard_servers.(1);
+          (match Client.request ~deadline_ms:3_000 c q with
+          | Ok (P.Items { partial = true; _ }) -> ()
+          | _ -> Alcotest.fail "dead shard should degrade the evaluate");
+          ignore (ask_conns () : P.response list);
+          (* Bring shard 1 back on the same port and re-ask: the answers
+             must match the healthy run exactly. *)
+          shard_servers.(1) <-
+            Server.start
+              ~config:{ Server.default_config with port = port1 }
+              (Lazy.force shard_flixes).(1);
+          (match Client.request ~deadline_ms:3_000 c q with
+          | Ok (P.Items { timed_out = false; partial = false; items }) ->
+              Alcotest.(check bool) "recovered evaluate matches healthy" true
+                (normal items = normal healthy_eval)
+          | Ok r ->
+              Alcotest.failf "recovered cluster should answer DONE, got %s"
+                (String.concat "|" (P.response_lines r))
+          | Error e -> Alcotest.failf "recovered evaluate failed: %s" e);
+          List.iter2
+            (fun (a, b) want ->
+              match
+                Client.request ~deadline_ms:3_000 c
+                  (P.Connected { a; b; max_dist = None })
+              with
+              | Ok got ->
+                  Alcotest.(check (list string))
+                    (Printf.sprintf "recovered connected %d %d" a b)
+                    (P.response_lines want) (P.response_lines got)
+              | Error e -> Alcotest.failf "recovered connected %d %d failed: %s" a b e)
+            conn_pairs healthy_conns;
+          ignore coord))
 
 (* --- protocol satellites --------------------------------------------- *)
 
@@ -436,6 +594,9 @@ let () =
           Alcotest.test_case "coordinator matches single server" `Quick
             coordinator_matches_single_server;
           Alcotest.test_case "dead shard degrades to PARTIAL" `Quick dead_shard_degrades;
+          Alcotest.test_case "query cache hits" `Quick query_cache_hits;
+          Alcotest.test_case "dead shard does not poison caches" `Quick
+            dead_shard_no_cache_poison;
         ] );
       ( "protocol",
         [
