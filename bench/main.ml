@@ -722,11 +722,14 @@ let serve ctx =
      over disk-backed shard servers. coord1 isolates the coordinator's
      fan-out overhead (one shard, no cross-shard links); coord2 adds
      the 2-shard split with live portal chasing. Each shard count runs
-     twice — probe batching off (coordN-nobatch) then on (coordN) —
-     with a fresh coordinator per row so the probe-RPC counters are the
-     batching before/after comparison. *)
+     three times with a fresh coordinator per row: probe batching off
+     (coordN-nobatch), batching on but portal distances probed
+     (coordN-noclosure), and the portal closure joined in memory
+     (coordN) — so the probe counters give both the batching and the
+     closure before/after comparisons. *)
   let shard_rows =
     let module SP = Fx_shard.Shard_plan in
+    let module PC = Fx_shard.Portal_closure in
     let module Coord = Fx_shard.Coordinator in
     List.concat_map
       (fun n_shards ->
@@ -742,12 +745,18 @@ let serve ctx =
                  Fx_index.Catalog.save ~path:(prefix ^ ".catalog")
                    (Fx_index.Catalog.of_collection sub);
                  let d = Fx_index.Disk_hopi.open_ ~pool_pages:16_384 ~path:prefix () in
-                 (prefix, d, Fx_index.Catalog.load (prefix ^ ".catalog")))
+                 (prefix, d, Fx_index.Catalog.load (prefix ^ ".catalog"), hopi))
         in
+        let closure =
+          let hopis = Array.map (fun (_, _, _, hopi) -> hopi) deployments in
+          PC.build ~plan
+            ~local_dist:(fun ~shard ~a ~b -> Fx_index.Hopi.distance hopis.(shard) a b)
+        in
+        Printf.printf "  %d-shard %s\n%!" n_shards (PC.describe closure);
         Fun.protect
           ~finally:(fun () ->
             Array.iter
-              (fun (prefix, d, _) ->
+              (fun (prefix, d, _, _) ->
                 Fx_index.Disk_hopi.close d;
                 List.iter
                   (fun p -> try Sys.remove p with Sys_error _ -> ())
@@ -756,7 +765,7 @@ let serve ctx =
           (fun () ->
             let servers =
               Array.map
-                (fun (_, d, catalog) ->
+                (fun (_, d, catalog, _) ->
                   Fx_server.Server.start_backend
                     ~config:{ Fx_server.Server.default_config with workers = 2 }
                     (Fx_server.Server.On_disk { hopi = d; catalog }))
@@ -770,17 +779,16 @@ let serve ctx =
                   |> List.map (fun s -> ("127.0.0.1", Fx_server.Server.port s))
                 in
                 List.map
-                  (fun batching ->
+                  (fun (suffix, batching, use_closure) ->
                     let coord =
-                      Coord.create ~batching ~query_cache:256 ~plan ~shards ()
+                      Coord.create ~batching ~query_cache:256
+                        ?closure:(if use_closure then Some closure else None)
+                        ~plan ~shards ()
                     in
                     Fun.protect
                       ~finally:(fun () -> Coord.close coord)
                       (fun () ->
-                        let name =
-                          Printf.sprintf "coord%d%s" (SP.n_shards plan)
-                            (if batching then "" else "-nobatch")
-                        in
+                        let name = Printf.sprintf "coord%d%s" (SP.n_shards plan) suffix in
                         run_one ~backend_name:name ~workers:4
                           ~extra:(fun ~port ->
                             (* A small repeated EVALUATE mix: the second
@@ -808,6 +816,10 @@ let serve ctx =
                             Fx_server.Server_client.close client;
                             let rpcs = Coord.probe_rpcs_total coord in
                             let subs = Coord.probe_subs_total coord in
+                            let closure_lookups = Coord.closure_lookups_total coord in
+                            let closure_fallbacks =
+                              Coord.closure_fallbacks_total coord
+                            in
                             let hits, misses =
                               match Coord.query_cache_stats coord with
                               | Some s -> (s.Fx_shard.Coord_cache.hits, s.misses)
@@ -827,12 +839,16 @@ let serve ctx =
                             [
                               ("probe_rpcs", string_of_int rpcs);
                               ("probe_subs", string_of_int subs);
+                              ("closure_lookups", string_of_int closure_lookups);
+                              ("closure_fallbacks", string_of_int closure_fallbacks);
                               ("cache_hits", string_of_int hits);
                               ("cache_misses", string_of_int misses);
                               ("cache_hit_rate", Printf.sprintf "%.4f" hit_rate);
                             ])
                           (Fx_server.Server.Custom (Coord.backend coord))))
-                  [ false; true ])))
+                  [ ("-nobatch", false, false);
+                    ("-noclosure", true, false);
+                    ("", true, true) ])))
       [ 1; 2 ]
   in
   Printf.printf "\nserve-json: {\"bench\":\"serve\",\"docs\":%d,\"rows\":[%s]}\n" n_docs
@@ -843,8 +859,11 @@ let serve ctx =
   print_endline "top — warm pools should track the in-memory numbers. The coord rows";
   print_endline "add a network hop and shard probes per request: coord1 prices the";
   print_endline "fan-out machinery alone, coord2 the actual 2-shard distribution.";
-  print_endline "coordN vs coordN-nobatch is the probe-batching win: same answers,";
-  print_endline "a fraction of the round trips (probe_rpcs in the JSON)."
+  print_endline "coordN-noclosure vs coordN-nobatch is the probe-batching win: same";
+  print_endline "answers, a fraction of the round trips (probe_rpcs in the JSON).";
+  print_endline "coordN vs coordN-noclosure is the portal-closure win: the same";
+  print_endline "answers again, with portal distances joined from precomputed labels";
+  print_endline "instead of probed (probe_subs and closure_lookups in the JSON)."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite: one Test.make per table/figure-defining

@@ -32,6 +32,7 @@ module Hopi = Fx_index.Hopi
 module Disk_hopi = Fx_index.Disk_hopi
 module Catalog = Fx_index.Catalog
 module Shard_plan = Fx_shard.Shard_plan
+module Portal_closure = Fx_shard.Portal_closure
 module Coordinator = Fx_shard.Coordinator
 
 let usage () =
@@ -40,8 +41,9 @@ let usage () =
     \                  [--deadline-ms F] [--docs N | --xml-dir DIR] [--seed N]\n\
     \                  [--index-dir DIR] [--pool-pages N]\n\
     \       flix_serve --build-shards N --index-dir DIR [--docs N | --xml-dir DIR]\n\
+    \                  [--no-closure]\n\
     \       flix_serve --coordinator --index-dir DIR --shard HOST:PORT [--shard ...]\n\
-    \                  [--coord-cache N] [--no-batch]";
+    \                  [--coord-cache N] [--no-batch] [--no-closure]";
   exit 1
 
 type source = Generate of int | Xml_dir of string
@@ -126,34 +128,56 @@ let serve ?(register = fun _ -> ()) cfg backend =
 let manifest_path dir = Filename.concat dir "manifest.shards"
 
 (* Build one disk deployment per shard — each a plain --index-dir
-   directory, DIR/shard<i>/index — plus the coordinator's manifest. *)
-let build_shards ~dir ~n_shards source seed =
+   directory, DIR/shard<i>/index — plus the coordinator's manifest,
+   which carries the portal closure unless --no-closure. The shard
+   HOPIs are still in memory when the closure needs its within-shard
+   portal distances, so the closure build adds no probe traffic. *)
+let build_shards ~dir ~n_shards ~with_closure source seed =
   let collection = load_collection source seed in
   Printf.printf "collection: %s\n%!" (C.stats collection);
   let plan = Shard_plan.plan ~n_shards collection in
   List.iter print_endline (Shard_plan.describe plan);
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  Shard_plan.save ~path:(manifest_path dir) plan;
   let docs = Shard_plan.shard_documents plan collection in
-  Array.iteri
-    (fun s doc_list ->
-      let sub = C.build doc_list in
-      let subdir = Filename.concat dir (Printf.sprintf "shard%d" s) in
-      (try Unix.mkdir subdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-      let prefix = Filename.concat subdir "index" in
-      let dg = { Path_index.graph = C.graph sub; tag = C.tag sub } in
-      let hopi, build_ns = Fx_util.Stopwatch.time_ns (fun () -> Hopi.build dg) in
-      Disk_hopi.save ~path:prefix dg hopi;
-      Catalog.save ~path:(catalog_path prefix) (Catalog.of_collection sub);
-      Printf.printf "shard %d: %s -> %s (indexed in %.2f s)\n%!" s (C.stats sub) subdir
-        (Int64.to_float build_ns /. 1e9))
-    docs;
+  let hopis =
+    Array.mapi
+      (fun s doc_list ->
+        let sub = C.build doc_list in
+        let subdir = Filename.concat dir (Printf.sprintf "shard%d" s) in
+        (try Unix.mkdir subdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let prefix = Filename.concat subdir "index" in
+        let dg = { Path_index.graph = C.graph sub; tag = C.tag sub } in
+        let hopi, build_ns = Fx_util.Stopwatch.time_ns (fun () -> Hopi.build dg) in
+        Disk_hopi.save ~path:prefix dg hopi;
+        Catalog.save ~path:(catalog_path prefix) (Catalog.of_collection sub);
+        Printf.printf "shard %d: %s -> %s (indexed in %.2f s)\n%!" s (C.stats sub)
+          subdir
+          (Int64.to_float build_ns /. 1e9);
+        hopi)
+      docs
+  in
+  let closure =
+    if not with_closure then begin
+      Printf.printf "portal closure skipped (--no-closure)\n%!";
+      None
+    end
+    else begin
+      Printf.printf "building portal closure...\n%!";
+      let c =
+        Portal_closure.build ~plan
+          ~local_dist:(fun ~shard ~a ~b -> Hopi.distance hopis.(shard) a b)
+      in
+      Printf.printf "%s\n%!" (Portal_closure.describe c);
+      Some c
+    end
+  in
+  Portal_closure.save_manifest ~path:(manifest_path dir) ~plan closure;
   Printf.printf "wrote %d shard deployments and %s\n%!" (Array.length docs)
     (manifest_path dir);
   Printf.printf "serve each shard with: flix_serve --index-dir %s/shard<i>\n%!" dir
 
-let serve_coordinator cfg ~dir ~shards ~coord_cache ~batching =
-  let plan = Shard_plan.load (manifest_path dir) in
+let serve_coordinator cfg ~dir ~shards ~coord_cache ~batching ~use_closure =
+  let plan, closure = Portal_closure.load_manifest (manifest_path dir) in
   List.iter print_endline (Shard_plan.describe plan);
   if List.length shards <> Shard_plan.n_shards plan then begin
     Printf.eprintf "flix_serve: plan wants %d shards, got %d --shard addresses\n"
@@ -164,7 +188,15 @@ let serve_coordinator cfg ~dir ~shards ~coord_cache ~batching =
   | Some n -> Printf.printf "coordinator EVALUATE cache: %d entries\n%!" n
   | None -> ());
   if not batching then Printf.printf "probe batching disabled (--no-batch)\n%!";
-  let coord = Coordinator.create ~batching ?query_cache:coord_cache ~plan ~shards () in
+  let closure = if use_closure then closure else None in
+  (match closure with
+  | Some c -> Printf.printf "%s\n%!" (Portal_closure.describe c)
+  | None ->
+      Printf.printf "portal closure: %s; portal distances will be probed\n%!"
+        (if use_closure then "none in manifest" else "disabled (--no-closure)"));
+  let coord =
+    Coordinator.create ~batching ?query_cache:coord_cache ?closure ~plan ~shards ()
+  in
   Fun.protect
     ~finally:(fun () -> Coordinator.close coord)
     (fun () ->
@@ -233,6 +265,7 @@ let () =
   let shard_addrs = ref [] in
   let coord_cache = ref None in
   let batching = ref true in
+  let use_closure = ref true in
   let rec parse = function
     | [] -> ()
     | "--build-shards" :: v :: rest ->
@@ -249,6 +282,9 @@ let () =
         parse rest
     | "--no-batch" :: rest ->
         batching := false;
+        parse rest
+    | "--no-closure" :: rest ->
+        use_closure := false;
         parse rest
     | "--port" :: v :: rest ->
         cfg := { !cfg with port = int_of_string v };
@@ -288,7 +324,7 @@ let () =
   | Some n, _, Some dir -> (
       (* Shard building: write the deployments and the manifest, then
          exit — each shard is served by its own flix_serve process. *)
-      try build_shards ~dir ~n_shards:n !source !seed with
+      try build_shards ~dir ~n_shards:n ~with_closure:!use_closure !source !seed with
       | Invalid_argument msg | Sys_error msg ->
           Printf.eprintf "flix_serve: cannot build shards under %s: %s\n" dir msg;
           exit 1
@@ -302,7 +338,7 @@ let () =
   | None, true, Some dir -> (
       match
         serve_coordinator !cfg ~dir ~shards:(List.rev !shard_addrs)
-          ~coord_cache:!coord_cache ~batching:!batching
+          ~coord_cache:!coord_cache ~batching:!batching ~use_closure:!use_closure
       with
       | () -> ()
       | exception Fx_util.Codec.Corrupt msg ->

@@ -130,6 +130,90 @@ let build ?order g =
   done;
   t
 
+(* Weighted variant: the same pruned landmark labeling with Dijkstra
+   in place of BFS, over an explicit (src, dst, weight >= 0) edge list.
+   The pruning rule is unchanged — an entry is redundant whenever an
+   earlier landmark already certifies a path no longer than the settled
+   distance — and its exactness argument never uses unit weights, so
+   the oracle stays exact. Label entries still land in ascending hop
+   rank (one landmark per outer iteration, at most one entry per node
+   per run), so [query_dist], [serialize] and [deserialize] are shared
+   verbatim with the unit-weight build. *)
+let build_weighted ?order ~n edges =
+  Array.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Two_hop.build_weighted: edge endpoint out of range";
+      if w < 0 then invalid_arg "Two_hop.build_weighted: negative edge weight")
+    edges;
+  let node_of =
+    match order with
+    | Some o -> Array.copy o
+    | None ->
+        (* The coverage estimator only needs who-reaches-whom, which
+           the weights do not change: rank on the unit topology. *)
+        default_order
+          (Digraph.of_edges_array ~n (Array.map (fun (u, v, _) -> (u, v)) edges))
+  in
+  if Array.length node_of <> n then
+    invalid_arg "Two_hop.build_weighted: order length mismatch";
+  let rank_of = Array.make n (-1) in
+  Array.iteri
+    (fun r v ->
+      if v < 0 || v >= n || rank_of.(v) <> -1 then
+        invalid_arg "Two_hop.build_weighted: order is not a permutation";
+      rank_of.(v) <- r)
+    node_of;
+  let fwd = Array.make n [] and bwd = Array.make n [] in
+  Array.iter
+    (fun (u, v, w) ->
+      fwd.(u) <- (v, w) :: fwd.(u);
+      bwd.(v) <- (u, w) :: bwd.(v))
+    edges;
+  let in_lab = Array.init n (fun _ -> Vec.create ()) in
+  let out_lab = Array.init n (fun _ -> Vec.create ()) in
+  let t = { n; rank_of; node_of; in_lab; out_lab } in
+  let module PQ = Fx_graph.Priority_queue in
+  let dist = Array.make n max_int in
+  let pq = PQ.create () in
+  let touched = ref [] in
+  let pruned_dijkstra root rank ~adj ~q ~labels =
+    PQ.clear pq;
+    dist.(root) <- 0;
+    touched := [ root ];
+    PQ.insert pq 0 root;
+    let rec drain () =
+      match PQ.extract_min pq with
+      | None -> ()
+      | Some (d, u) ->
+          (* Lazy deletion: every insert strictly lowers [dist.(u)], so
+             exactly one queue entry carries the settled distance and
+             the stale ones test strictly greater. *)
+          if d = dist.(u) then
+            if u = root || q u > d then begin
+              Vec.push labels.(u) rank d;
+              List.iter
+                (fun (v, w) ->
+                  let dv = d + w in
+                  if dv < dist.(v) then begin
+                    if dist.(v) = max_int then touched := v :: !touched;
+                    dist.(v) <- dv;
+                    PQ.insert pq dv v
+                  end)
+                adj.(u)
+            end;
+          drain ()
+    in
+    drain ();
+    List.iter (fun v -> dist.(v) <- max_int) !touched
+  in
+  for rank = 0 to n - 1 do
+    let lm = node_of.(rank) in
+    pruned_dijkstra lm rank ~adj:fwd ~q:(fun u -> query_dist t lm u) ~labels:in_lab;
+    pruned_dijkstra lm rank ~adj:bwd ~q:(fun u -> query_dist t u lm) ~labels:out_lab
+  done;
+  t
+
 let distance t x y =
   let d = query_dist t x y in
   if d = max_int then None else Some d

@@ -21,6 +21,18 @@ val build : ?order:int array -> Fx_graph.Digraph.t -> t
 (** [order] must be a permutation of the nodes; default: descending
     degree product, the classic heuristic. *)
 
+val build_weighted : ?order:int array -> n:int -> (int * int * int) array -> t
+(** Pruned landmark labeling over an explicit weighted edge list of
+    [(src, dst, weight)] triples with [weight >= 0]: Dijkstra replaces
+    BFS, everything else — the pruning rule, label shape, query and
+    (de)serialization — is shared with {!build}, and the oracle is
+    exact for any non-negative weights. The default order ranks by the
+    unit-weight topology of the edges. This is what the sharded
+    deployment's portal closure builds on: portal edges carry
+    within-shard shortest-path segments, so their weights exceed 1.
+    Raises [Invalid_argument] on out-of-range endpoints, negative
+    weights, or a bad [order]. *)
+
 val reachable : t -> int -> int -> bool
 val distance : t -> int -> int -> int option
 

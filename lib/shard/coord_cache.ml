@@ -9,12 +9,17 @@ let with_lock m f =
    before an [invalidate] but completed after it lands under the old
    epoch and can never be served again, so a slow in-flight merge
    cannot resurrect pre-invalidation answers. *)
+(* [closure_epoch] rides in the key for the same reason: the merged
+   answers depend on which portal closure (if any) the coordinator
+   joins against, so a rebuilt closure must orphan the old merges
+   without a restart. *)
 type key = {
   start_tag : string;
   target_tag : string;
   k : int;
   max_dist : int option;
   epoch : int;
+  closure_epoch : int;
 }
 
 type stats = { entries : int; hits : int; misses : int; epoch : int }
@@ -23,13 +28,17 @@ type t = {
   m : Mutex.t;
   lru : (key, P.item list) Lru.t;
   mutable epoch : int;
+  mutable closure_epoch : int;
 }
 
-let create ~capacity =
-  { m = Mutex.create (); lru = Lru.create ~capacity (); epoch = 0 }
+let create ?(closure_epoch = 0) ~capacity () =
+  { m = Mutex.create (); lru = Lru.create ~capacity (); epoch = 0; closure_epoch }
+
+let set_closure_epoch t e = with_lock t.m (fun () -> t.closure_epoch <- e)
 
 let key t ~start_tag ~target_tag ~k ~max_dist =
-  { start_tag; target_tag; k; max_dist; epoch = t.epoch }
+  { start_tag; target_tag; k; max_dist; epoch = t.epoch;
+    closure_epoch = t.closure_epoch }
 
 let find t ~start_tag ~target_tag ~k ~max_dist =
   with_lock t.m (fun () ->

@@ -17,9 +17,17 @@ type t
 
 type stats = { entries : int; hits : int; misses : int; epoch : int }
 
-val create : capacity:int -> t
+val create : ?closure_epoch:int -> capacity:int -> unit -> t
 (** LRU capacity in entries. Raises [Invalid_argument] when
-    [capacity < 1]. *)
+    [capacity < 1]. [closure_epoch] (default 0) identifies the portal
+    closure the coordinator merges with — it is folded into every key,
+    so answers merged under one closure are never replayed under
+    another. *)
+
+val set_closure_epoch : t -> int -> unit
+(** Change the closure epoch without a restart: entries stored under
+    the old epoch become unreachable (they age out of the LRU) and
+    in-flight stores land under the epoch they were computed with. *)
 
 val find :
   t ->

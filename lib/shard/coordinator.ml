@@ -26,6 +26,11 @@ let fanout_buckets_ms =
 (* Batch-size histogram: sub-requests per probe RPC, +Inf implicit. *)
 let batch_buckets = [| 1; 2; 4; 8; 16; 32; 64; 128; 256 |]
 
+(* A deduplicated portal, located once at create time. [tag] is the
+   node's tag name for entry portals (link targets emit themselves into
+   matching streams) and [""] for exit portals, which never do. *)
+type portal = { g : int; shard : int; local : int; tag : string }
+
 type t = {
   plan : Shard_plan.t;
   shards : Shard_client.t array;
@@ -38,10 +43,32 @@ type t = {
   cache_m : Mutex.t;
   conn_cache : (int * int * int, int option) Hashtbl.t;  (* shard, a, b (local) *)
   start_cache : (int * int * string, int option) Hashtbl.t;  (* shard, node, tag *)
+  (* Entry-portal streams for the closure fast path, cached raw — local
+     ids, no offset — so one fetch serves every start that reaches the
+     portal. Keyed by everything the shard sees (shard, local, tag, k,
+     remaining); only successful fetches are stored. *)
+  stream_cache : (int * int * string option * int * int option, P.item list) Hashtbl.t;
   cache_cap : int;
   (* [batching = false] sends every probe as its own round trip — the
      before/after lever for the bench and the equivalence tests. *)
   batching : bool;
+  (* The portal closure, when one was loaded AND its epoch matches the
+     plan. A mismatched closure is dropped at create ([closure_stale])
+     rather than risking inexact joins. *)
+  closure : Portal_closure.t option;
+  closure_stale : bool;
+  (* Every distinct link target / link source, located once. *)
+  entry_portals : portal array;
+  exit_portals : portal array;
+  entries_by_shard : portal array array;
+  exits_by_shard : portal array array;
+  (* Global ids the portal graph carries as sources (doc roots and
+     entry portals): closure labels from these nodes are exact, so a
+     query anchored here skips its exit-probe wave. Immutable after
+     create. *)
+  source_nodes : (int, unit) Hashtbl.t;
+  closure_lookups : int Atomic.t;
+  closure_fallbacks : int Atomic.t;
   query_cache : Coord_cache.t option;
   fanout_hist : int Atomic.t array;
   fanout_count : int Atomic.t;
@@ -51,7 +78,8 @@ type t = {
   batch_sum : int Atomic.t;
 }
 
-let create ?(cache_cap = 65536) ?(batching = true) ?query_cache ~plan ~shards () =
+let create ?(cache_cap = 65536) ?(batching = true) ?query_cache ?closure ~plan ~shards
+    () =
   let n = Shard_plan.n_shards plan in
   if List.length shards <> n then
     invalid_arg
@@ -75,6 +103,39 @@ let create ?(cache_cap = 65536) ?(batching = true) ?query_cache ~plan ~shards ()
     Array.iter (fun l -> buckets.(proj l) <- l :: buckets.(proj l)) links;
     buckets
   in
+  let closure_given = Option.is_some closure in
+  let closure =
+    match closure with
+    | Some c when Portal_closure.matches c plan -> Some c
+    | _ -> None
+  in
+  let dedup_portals proj tag =
+    let seen = Hashtbl.create 64 in
+    let acc = ref [] in
+    Array.iter
+      (fun l ->
+        let g, shard, local = proj l in
+        if not (Hashtbl.mem seen g) then begin
+          Hashtbl.replace seen g ();
+          acc := { g; shard; local; tag = tag l } :: !acc
+        end)
+      links;
+    Array.of_list (List.sort (fun p q -> Int.compare p.g q.g) !acc)
+  in
+  let entry_portals =
+    dedup_portals (fun l -> (l.dst, l.dst_shard, l.dst_local)) (fun l -> l.dst_tag)
+  in
+  let exit_portals =
+    dedup_portals (fun l -> (l.src, l.src_shard, l.src_local)) (fun _ -> "")
+  in
+  let portals_by_shard portals =
+    let buckets = Array.make n [] in
+    Array.iter (fun p -> buckets.(p.shard) <- p :: buckets.(p.shard)) portals;
+    Array.map (fun ps -> Array.of_list (List.rev ps)) buckets
+  in
+  let source_nodes = Hashtbl.create 256 in
+  Array.iter (fun g -> Hashtbl.replace source_nodes g ()) (Shard_plan.doc_roots plan);
+  Array.iter (fun (l : located_link) -> Hashtbl.replace source_nodes l.dst ()) links;
   {
     plan;
     shards = clients;
@@ -84,9 +145,26 @@ let create ?(cache_cap = 65536) ?(batching = true) ?query_cache ~plan ~shards ()
     cache_m = Mutex.create ();
     conn_cache = Hashtbl.create 256;
     start_cache = Hashtbl.create 256;
+    stream_cache = Hashtbl.create 256;
     cache_cap;
     batching;
-    query_cache = Option.map (fun capacity -> Coord_cache.create ~capacity) query_cache;
+    closure;
+    closure_stale = closure_given && Option.is_none closure;
+    entry_portals;
+    exit_portals;
+    entries_by_shard = portals_by_shard entry_portals;
+    exits_by_shard = portals_by_shard exit_portals;
+    source_nodes;
+    closure_lookups = Atomic.make 0;
+    closure_fallbacks = Atomic.make 0;
+    query_cache =
+      Option.map
+        (fun capacity ->
+          Coord_cache.create
+            ~closure_epoch:
+              (match closure with Some c -> Portal_closure.epoch c | None -> 0)
+            ~capacity ())
+        query_cache;
     fanout_hist = Array.init (Array.length fanout_buckets_ms + 1) (fun _ -> Atomic.make 0);
     fanout_count = Atomic.make 0;
     fanout_sum_ns = Atomic.make 0;
@@ -107,6 +185,9 @@ let probe_subs_total t =
   Array.fold_left (fun acc s -> acc + Shard_client.subs_total s) 0 t.shards
 
 let query_cache_stats t = Option.map Coord_cache.stats t.query_cache
+let has_closure t = Option.is_some t.closure
+let closure_lookups_total t = Atomic.get t.closure_lookups
+let closure_fallbacks_total t = Atomic.get t.closure_fallbacks
 
 (* --- per-request context --------------------------------------------- *)
 
@@ -325,6 +406,115 @@ let conn_dist t ~shard ~a ~b =
 let start_dist t ~shard ~node ~tag =
   match cache_find t t.start_cache (shard, node, tag) with Some v -> v | None -> None
 
+(* --- the portal closure ------------------------------------------------ *)
+
+(* The oracle to join against, or [None] to take the probed path. A
+   fallback is only counted when probing will actually send portal
+   probes — with no cross links both paths are identical. *)
+let closure_for t =
+  match t.closure with
+  | Some _ as c -> c
+  | None ->
+      if Array.length t.links > 0 then Atomic.incr t.closure_fallbacks;
+      None
+
+let closure_dist t cl a b =
+  Atomic.incr t.closure_lookups;
+  Portal_closure.distance cl a b
+
+let min_opt acc d = match acc with Some a when a <= d -> acc | _ -> Some d
+
+(* d(e) for every entry portal [e]: the exact cross-shard distance from
+   [g0], equal by construction to what the probed wave search settles
+   (see DESIGN.md). A start the portal graph carries as a source (doc
+   root or entry portal) joins labels directly and needs no probe at
+   all; any other start pays one batched conn wave to its own shard's
+   exits, then joins from there. *)
+let closure_entry_dists t ctx cl ~g0 ~shard0 ~local0 =
+  if Hashtbl.mem t.source_nodes g0 then
+    Array.to_list t.entry_portals
+    |> List.filter_map (fun (e : portal) ->
+           Option.map (fun d -> (e, d)) (closure_dist t cl g0 e.g))
+  else begin
+    let exits = t.exits_by_shard.(shard0) in
+    let plan = new_plan t in
+    Array.iter (fun (x : portal) -> plan_conn plan t ~shard:shard0 ~a:local0 ~b:x.local)
+      exits;
+    run_plan t ctx plan;
+    Array.to_list t.entry_portals
+    |> List.filter_map (fun (e : portal) ->
+           let best =
+             Array.fold_left
+               (fun acc (x : portal) ->
+                 match conn_dist t ~shard:shard0 ~a:local0 ~b:x.local with
+                 | None -> acc
+                 | Some dx -> (
+                     match closure_dist t cl x.g e.g with
+                     | None -> acc
+                     | Some dc -> min_opt acc (dx + dc)))
+               None exits
+           in
+           Option.map (fun d -> (e, d)) best)
+  end
+
+(* The merge's k-th candidate distance over the streams gathered so
+   far: the distance of the k-th item the merge would emit from this
+   pool (dedup and exclusion mirror {!merge_streams}), or [max_int]
+   when fewer than [k] distinct nodes exist yet. Adding streams can
+   only lower it, so it upper-bounds the final answer's k-th distance
+   at every point of the lazy fetch. *)
+let kth_candidate_dist ~k ~exclude streams =
+  if k <= 0 then -1
+  else begin
+    let sorted =
+      List.sort
+        (fun (a : P.item) (b : P.item) ->
+          if a.dist <> b.dist then Int.compare a.dist b.dist
+          else Int.compare a.node b.node)
+        (List.concat streams)
+    in
+    let seen = Hashtbl.create 64 in
+    let rec nth n = function
+      | [] -> max_int
+      | (it : P.item) :: rest ->
+          if it.node = exclude || Hashtbl.mem seen it.node then nth n rest
+          else begin
+            Hashtbl.replace seen it.node ();
+            if n = k then it.dist else nth (n + 1) rest
+          end
+    in
+    nth 1 sorted
+  end
+
+(* Fetch portal streams lazily, nearest offset first, one offset level
+   per batched wave. Stop once every unfetched stream starts strictly
+   past the current k-th candidate distance: each of its items would
+   sort after the k items the merge emits, so skipping it leaves the
+   answer byte-identical to fetching everything. [pending] pairs each
+   stream's offset with a closure that queues its probe; it must be
+   sorted ascending by offset. *)
+let fetch_streams_on_demand t ctx ~k ~exclude ~streams ~pending =
+  let pending = ref pending in
+  let rec loop () =
+    match !pending with
+    | [] -> ()
+    | (offset, _) :: _ ->
+        if offset > kth_candidate_dist ~k ~exclude !streams then ()
+        else begin
+          let plan = new_plan t in
+          let rec take = function
+            | (o, fetch) :: rest when o = offset ->
+                fetch plan;
+                take rest
+            | rest -> rest
+          in
+          pending := take !pending;
+          run_plan t ctx plan;
+          loop ()
+        end
+  in
+  loop ()
+
 (* --- portal search ---------------------------------------------------- *)
 
 (* Dijkstra over portal nodes, expanded a whole equal-distance wave at
@@ -415,16 +605,47 @@ let globalize t ~shard ~offset (it : P.item) =
   { P.node = Shard_plan.global_of t.plan ~shard ~local:it.node; dist = it.dist + offset;
     meta = shard }
 
+(* One entry portal's stream on the closure fast path: replayed from
+   the stream cache when a previous request already fetched it (the
+   probe is a pure read of the shard's index, so the replay is exactly
+   the bytes the probe would return), otherwise a pending fetch for
+   {!fetch_streams_on_demand}. A replayed stream joins the pool up
+   front, which can only lower the lazy fetch's cutoff — the merged
+   answer is unchanged either way. *)
+let entry_stream_pending t ~(e : portal) ~tag ~k ~max_dist ~d ~add =
+  let remaining = Option.map (fun m -> m - d) max_dist in
+  let key = (e.shard, e.local, tag, k, remaining) in
+  let admit items = add (List.map (globalize t ~shard:e.shard ~offset:d) items) in
+  match cache_find t t.stream_cache key with
+  | Some items ->
+      admit items;
+      None
+  | None ->
+      Some
+        ( d,
+          fun plan ->
+            plan_add plan e.shard
+              (P.Node_descendants { node = e.local; tag; k; max_dist = remaining })
+              (function
+                | Some (items, _) ->
+                    cache_store t t.stream_cache key items;
+                    admit items
+                | None -> ()) )
+
 (* k-way merge of per-shard streams (each ascending by distance) with
    the same priority queue the PEE uses, preserving the approximately-
    ascending contract end to end. Nodes reachable through several
    shards or portals are deduplicated on first — i.e. nearest —
-   occurrence. *)
-let merge_streams ~k ~exclude ~emit streams =
+   occurrence. Ties break on global node id — the key packs
+   (dist, node) into one integer — so the merged bytes are a function
+   of the stream multiset alone, not of which path (probed or closure)
+   produced the streams or in what order. *)
+let merge_streams t ~k ~exclude ~emit streams =
+  let total = Shard_plan.total_nodes t.plan in
   let pq = PQ.create () in
   let push = function
     | [] -> ()
-    | (it : P.item) :: rest -> PQ.insert pq it.dist (it, rest)
+    | (it : P.item) :: rest -> PQ.insert pq ((it.dist * total) + it.node) (it, rest)
   in
   List.iter push streams;
   let seen = Hashtbl.create 64 in
@@ -464,7 +685,7 @@ let in_range t v = v >= 0 && v < Shard_plan.total_nodes t.plan
    Wave 0 batches the start's own stream with its seed probes; each
    search wave batches the frontier's streams and segment probes — one
    round trip per shard per wave. *)
-let descendants_of_node t ctx ~start ~tag ~k ~max_dist ~emit =
+let descendants_probed t ctx ~start ~tag ~k ~max_dist ~emit =
   let shard0, local0 = Shard_plan.locate t.plan start in
   let streams = ref [] in
   let add s = if s <> [] then streams := s :: !streams in
@@ -507,10 +728,52 @@ let descendants_of_node t ctx ~start ~tag ~k ~max_dist ~emit =
              (fun (_, (shard, local)) -> forward_edges t ~shard ~local ~d)
              located)
       end);
-  merge_streams ~k ~exclude:start ~emit !streams;
+  merge_streams t ~k ~exclude:start ~emit !streams;
   items_response ctx
 
-let ancestors_of_node t ctx ~node ~tag ~k ~max_dist ~emit =
+(* The closure fast path: the same streams, same offsets, same merge —
+   but every portal distance is a label join instead of a probe wave,
+   and only streams that can still contribute to the top [k] are
+   fetched at all. *)
+let descendants_closure t ctx cl ~start ~tag ~k ~max_dist ~emit =
+  let shard0, local0 = Shard_plan.locate t.plan start in
+  let streams = ref [] in
+  let add s = if s <> [] then streams := s :: !streams in
+  let plan0 = new_plan t in
+  plan_add plan0 shard0
+    (P.Node_descendants { node = local0; tag; k; max_dist })
+    (function
+      | Some (items, _) -> add (List.map (globalize t ~shard:shard0 ~offset:0) items)
+      | None -> ());
+  run_plan t ctx plan0;
+  let entries =
+    closure_entry_dists t ctx cl ~g0:start ~shard0 ~local0
+    |> List.filter (fun (_, d) -> not (over_max max_dist d))
+  in
+  let tag_admits name = match tag with None -> true | Some w -> w = name in
+  (* Entry portals are results themselves when their tag matches, just
+     as the probed search emits each settled portal. *)
+  List.iter
+    (fun ((e : portal), d) ->
+      if tag_admits e.tag then add [ { P.node = e.g; dist = d; meta = e.shard } ])
+    entries;
+  let pending =
+    entries
+    |> List.sort (fun ((e1 : portal), d1) ((e2 : portal), d2) ->
+           if d1 <> d2 then Int.compare d1 d2 else Int.compare e1.g e2.g)
+    |> List.filter_map (fun ((e : portal), d) ->
+           entry_stream_pending t ~e ~tag ~k ~max_dist ~d ~add)
+  in
+  fetch_streams_on_demand t ctx ~k ~exclude:start ~streams ~pending;
+  merge_streams t ~k ~exclude:start ~emit !streams;
+  items_response ctx
+
+let descendants_of_node t ctx ~start ~tag ~k ~max_dist ~emit =
+  match closure_for t with
+  | Some cl -> descendants_closure t ctx cl ~start ~tag ~k ~max_dist ~emit
+  | None -> descendants_probed t ctx ~start ~tag ~k ~max_dist ~emit
+
+let ancestors_probed t ctx ~node ~tag ~k ~max_dist ~emit =
   let shard0, local0 = Shard_plan.locate t.plan node in
   let streams = ref [] in
   let add s = if s <> [] then streams := s :: !streams in
@@ -549,10 +812,75 @@ let ancestors_of_node t ctx ~node ~tag ~k ~max_dist ~emit =
              (fun (shard, local) -> reverse_edges t ~shard ~local ~d)
              located)
       end);
-  merge_streams ~k ~exclude:(-1) ~emit !streams;
+  merge_streams t ~k ~exclude:(-1) ~emit !streams;
   items_response ctx
 
-let evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit =
+(* Ancestors via the closure: rdist(x) — the probed reverse search's
+   distance from exit portal [x] down to [node] — decomposes as the
+   closure leg from [x] to some entry portal of [node]'s shard plus
+   that entry's within-shard distance down to [node]. Only the latter
+   probes, one conn batch on [node]'s own shard (the same probes the
+   probed path's wave 0 sends). Anchors cannot help here: the portal
+   graph has no edges into a doc root. *)
+let ancestors_closure t ctx cl ~node ~tag ~k ~max_dist ~emit =
+  let shard0, local0 = Shard_plan.locate t.plan node in
+  let streams = ref [] in
+  let add s = if s <> [] then streams := s :: !streams in
+  let plan0 = new_plan t in
+  plan_add plan0 shard0
+    (P.Ancestors { node = local0; tag; k; max_dist })
+    (function
+      | Some (items, _) -> add (List.map (globalize t ~shard:shard0 ~offset:0) items)
+      | None -> ());
+  Array.iter
+    (fun (e : portal) -> plan_conn plan0 t ~shard:shard0 ~a:e.local ~b:local0)
+    t.entries_by_shard.(shard0);
+  run_plan t ctx plan0;
+  let rdists =
+    Array.to_list t.exit_portals
+    |> List.filter_map (fun (x : portal) ->
+           let best =
+             Array.fold_left
+               (fun acc (e : portal) ->
+                 match conn_dist t ~shard:shard0 ~a:e.local ~b:local0 with
+                 | None -> acc
+                 | Some de -> (
+                     match closure_dist t cl x.g e.g with
+                     | None -> acc
+                     | Some dc -> min_opt acc (dc + de)))
+               None t.entries_by_shard.(shard0)
+           in
+           match best with
+           | Some d when not (over_max max_dist d) -> Some (x, d)
+           | _ -> None)
+  in
+  (* No separate portal emission: the ancestors-or-self stream from [x]
+     reports [x] itself at distance 0, exactly as the probed path. *)
+  let pending =
+    rdists
+    |> List.sort (fun ((x1 : portal), d1) ((x2 : portal), d2) ->
+           if d1 <> d2 then Int.compare d1 d2 else Int.compare x1.g x2.g)
+    |> List.map (fun ((x : portal), d) ->
+           let remaining = Option.map (fun m -> m - d) max_dist in
+           ( d,
+             fun plan ->
+               plan_add plan x.shard
+                 (P.Ancestors { node = x.local; tag; k; max_dist = remaining })
+                 (function
+                   | Some (items, _) ->
+                       add (List.map (globalize t ~shard:x.shard ~offset:d) items)
+                   | None -> ()) ))
+  in
+  fetch_streams_on_demand t ctx ~k ~exclude:(-1) ~streams ~pending;
+  merge_streams t ~k ~exclude:(-1) ~emit !streams;
+  items_response ctx
+
+let ancestors_of_node t ctx ~node ~tag ~k ~max_dist ~emit =
+  match closure_for t with
+  | Some cl -> ancestors_closure t ctx cl ~node ~tag ~k ~max_dist ~emit
+  | None -> ancestors_probed t ctx ~node ~tag ~k ~max_dist ~emit
+
+let evaluate_phase1 t ctx ~start_tag ~target_tag ~k ~max_dist ~add =
   (* Phase 1: every shard answers over its own sub-collection, in
      parallel. Per-shard top-k by shard distance covers the global
      top-k: any node ranked above a global winner within its shard is
@@ -568,14 +896,17 @@ let evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit =
           ())
   in
   List.iter Thread.join threads;
-  let streams = ref [] in
-  let add s = if s <> [] then streams := s :: !streams in
   Array.iteri
     (fun s result ->
       match result with
       | Some (items, _) -> add (List.map (globalize t ~shard:s ~offset:0) items)
       | None -> ())
-    phase1;
+    phase1
+
+let evaluate_probed t ctx ~start_tag ~target_tag ~k ~max_dist ~emit =
+  let streams = ref [] in
+  let add s = if s <> [] then streams := s :: !streams in
+  evaluate_phase1 t ctx ~start_tag ~target_tag ~k ~max_dist ~add;
   (* Phase 2: cross-shard reach. Seed every entry portal with the
      nearest start-tag node above its link source — all the seed probes
      go out as one wave, batched per source shard — then the search
@@ -621,10 +952,69 @@ let evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit =
              (fun (_, (shard, local)) -> forward_edges t ~shard ~local ~d)
              located)
       end);
-  merge_streams ~k ~exclude:(-1) ~emit !streams;
+  merge_streams t ~k ~exclude:(-1) ~emit !streams;
   items_response ctx
 
-let connected t ctx ~a ~b ~max_dist =
+(* EVALUATE via the closure: phase 1 and the seed probes (nearest
+   start-tag node above each link source, cached across requests) are
+   unchanged; the whole phase-2 wave search collapses into label joins
+   seed-entry-by-entry. *)
+let evaluate_closure t ctx cl ~start_tag ~target_tag ~k ~max_dist ~emit =
+  let streams = ref [] in
+  let add s = if s <> [] then streams := s :: !streams in
+  evaluate_phase1 t ctx ~start_tag ~target_tag ~k ~max_dist ~add;
+  let seed_plan = new_plan t in
+  Array.iter
+    (fun l -> plan_start seed_plan t ~shard:l.src_shard ~node:l.src_local ~tag:start_tag)
+    t.links;
+  run_plan t ctx seed_plan;
+  let seed_d = Hashtbl.create 32 in
+  Array.iter
+    (fun l ->
+      match start_dist t ~shard:l.src_shard ~node:l.src_local ~tag:start_tag with
+      | Some d0 -> (
+          let d = d0 + 1 in
+          match Hashtbl.find_opt seed_d l.dst with
+          | Some d' when d' <= d -> ()
+          | _ -> Hashtbl.replace seed_d l.dst d)
+      | None -> ())
+    t.links;
+  let entries =
+    Array.to_list t.entry_portals
+    |> List.filter_map (fun (e : portal) ->
+           let best =
+             Hashtbl.fold
+               (fun g d0 acc ->
+                 match closure_dist t cl g e.g with
+                 | None -> acc
+                 | Some dc -> min_opt acc (d0 + dc))
+               seed_d None
+           in
+           match best with
+           | Some d when not (over_max max_dist d) -> Some (e, d)
+           | _ -> None)
+  in
+  List.iter
+    (fun ((e : portal), d) ->
+      if e.tag = target_tag then add [ { P.node = e.g; dist = d; meta = e.shard } ])
+    entries;
+  let pending =
+    entries
+    |> List.sort (fun ((e1 : portal), d1) ((e2 : portal), d2) ->
+           if d1 <> d2 then Int.compare d1 d2 else Int.compare e1.g e2.g)
+    |> List.filter_map (fun ((e : portal), d) ->
+           entry_stream_pending t ~e ~tag:(Some target_tag) ~k ~max_dist ~d ~add)
+  in
+  fetch_streams_on_demand t ctx ~k ~exclude:(-1) ~streams ~pending;
+  merge_streams t ~k ~exclude:(-1) ~emit !streams;
+  items_response ctx
+
+let evaluate t ctx ~start_tag ~target_tag ~k ~max_dist ~emit =
+  match closure_for t with
+  | Some cl -> evaluate_closure t ctx cl ~start_tag ~target_tag ~k ~max_dist ~emit
+  | None -> evaluate_probed t ctx ~start_tag ~target_tag ~k ~max_dist ~emit
+
+let connected_probed t ctx ~a ~b ~max_dist =
   let shard_a, local_a = Shard_plan.locate t.plan a in
   let shard_b, local_b = Shard_plan.locate t.plan b in
   let best = ref None in
@@ -677,6 +1067,63 @@ let connected t ctx ~a ~b ~max_dist =
          asserting NODIST. *)
       if Atomic.get ctx.partial || Atomic.get ctx.timed_out then items_response ctx
       else P.Dist None
+
+(* CONNECTED via the closure: one conn batch (the same-shard direct
+   probe, [a]'s exit legs unless anchored, and the final legs from
+   [b]'s entry portals down to [b]), then label joins in between. *)
+let connected_closure t ctx cl ~a ~b ~max_dist =
+  let shard_a, local_a = Shard_plan.locate t.plan a in
+  let shard_b, local_b = Shard_plan.locate t.plan b in
+  let anchored = Hashtbl.mem t.source_nodes a in
+  let plan0 = new_plan t in
+  if shard_a = shard_b then plan_conn plan0 t ~shard:shard_a ~a:local_a ~b:local_b;
+  if not anchored then
+    Array.iter
+      (fun (x : portal) -> plan_conn plan0 t ~shard:shard_a ~a:local_a ~b:x.local)
+      t.exits_by_shard.(shard_a);
+  Array.iter
+    (fun (e : portal) -> plan_conn plan0 t ~shard:shard_b ~a:e.local ~b:local_b)
+    t.entries_by_shard.(shard_b);
+  run_plan t ctx plan0;
+  let best = ref None in
+  let consider = function
+    | None -> ()
+    | Some d -> ( match !best with Some d' when d' <= d -> () | _ -> best := Some d)
+  in
+  if shard_a = shard_b then consider (conn_dist t ~shard:shard_a ~a:local_a ~b:local_b);
+  let dist_to_entry (e : portal) =
+    if anchored then closure_dist t cl a e.g
+    else
+      Array.fold_left
+        (fun acc (x : portal) ->
+          match conn_dist t ~shard:shard_a ~a:local_a ~b:x.local with
+          | None -> acc
+          | Some dx -> (
+              match closure_dist t cl x.g e.g with
+              | None -> acc
+              | Some dc -> min_opt acc (dx + dc)))
+        None t.exits_by_shard.(shard_a)
+  in
+  Array.iter
+    (fun (e : portal) ->
+      match dist_to_entry e with
+      | None -> ()
+      | Some d -> (
+          match conn_dist t ~shard:shard_b ~a:e.local ~b:local_b with
+          | None -> ()
+          | Some de -> consider (Some (d + de))))
+    t.entries_by_shard.(shard_b);
+  match !best with
+  | Some d when not (over_max max_dist d) -> P.Dist (Some d)
+  | Some _ -> P.Dist None
+  | None ->
+      if Atomic.get ctx.partial || Atomic.get ctx.timed_out then items_response ctx
+      else P.Dist None
+
+let connected t ctx ~a ~b ~max_dist =
+  match closure_for t with
+  | Some cl -> connected_closure t ctx cl ~a ~b ~max_dist
+  | None -> connected_probed t ctx ~a ~b ~max_dist
 
 let resolve t ctx ~doc ~anchor =
   match Shard_plan.shard_of_doc t.plan doc with
@@ -762,14 +1209,28 @@ let stats_lines t =
              (Shard_client.address s) (Shard_client.errors_total s))
          t.shards)
   @ [
-      (let conn, start =
+      (let conn, start, stream =
          with_lock t.cache_m (fun () ->
-             (Hashtbl.length t.conn_cache, Hashtbl.length t.start_cache))
+             ( Hashtbl.length t.conn_cache,
+               Hashtbl.length t.start_cache,
+               Hashtbl.length t.stream_cache ))
        in
-       Printf.sprintf "probe cache: %d connected, %d nearest-start entries" conn start);
+       Printf.sprintf
+         "probe cache: %d connected, %d nearest-start, %d portal-stream entries" conn
+         start stream);
       Printf.sprintf "probe rpcs: %d round trips carrying %d sub-requests (batching %s)"
         (probe_rpcs_total t) (probe_subs_total t)
         (if t.batching then "on" else "off");
+      (match t.closure with
+      | Some c ->
+          Printf.sprintf "%s; %d lookups, %d fallbacks" (Portal_closure.describe c)
+            (Atomic.get t.closure_lookups)
+            (Atomic.get t.closure_fallbacks)
+      | None ->
+          Printf.sprintf "portal closure: %s; %d probed fallbacks"
+            (if t.closure_stale then "stale (plan digest mismatch), dropped"
+             else "absent")
+            (Atomic.get t.closure_fallbacks));
       (match query_cache_stats t with
       | None -> "query cache: disabled"
       | Some s ->
@@ -854,6 +1315,22 @@ let metric_lines t () =
     "# HELP flix_coord_cache_misses_total Coordinator EVALUATE cache misses.";
     "# TYPE flix_coord_cache_misses_total counter";
     Printf.sprintf "flix_coord_cache_misses_total %d" misses;
+    "# HELP flix_coord_closure_lookups_total Portal-closure label joins.";
+    "# TYPE flix_coord_closure_lookups_total counter";
+    Printf.sprintf "flix_coord_closure_lookups_total %d" (Atomic.get t.closure_lookups);
+    "# HELP flix_coord_closure_fallbacks_total Requests probed for portal \
+     distances because no usable closure was loaded.";
+    "# TYPE flix_coord_closure_fallbacks_total counter";
+    Printf.sprintf "flix_coord_closure_fallbacks_total %d"
+      (Atomic.get t.closure_fallbacks);
+    "# HELP flix_closure_build_seconds Build wall time of the loaded portal closure.";
+    "# TYPE flix_closure_build_seconds gauge";
+    Printf.sprintf "flix_closure_build_seconds %.6f"
+      (match t.closure with Some c -> Portal_closure.build_seconds c | None -> 0.);
+    "# HELP flix_closure_label_entries Label entries in the loaded portal closure.";
+    "# TYPE flix_closure_label_entries gauge";
+    Printf.sprintf "flix_closure_label_entries %d"
+      (match t.closure with Some c -> Portal_closure.label_entries c | None -> 0);
   ]
 
 let backend t =

@@ -33,6 +33,18 @@
     [flix_shard_probe_rpcs_total] / [flix_shard_probe_subs_total] /
     [flix_shard_probe_batch_size].
 
+    {b The portal closure.} When [create] is given a {!Portal_closure}
+    whose epoch matches the plan, every portal-to-portal distance the
+    wave search would have probed for becomes one in-memory label join
+    instead, and portal result streams are fetched lazily — nearest
+    first, stopping once the remaining streams start past the merge's
+    k-th candidate distance. Answers are byte-identical to the probed
+    path's (the merge breaks distance ties on global node id, so its
+    output is a function of the stream multiset; skipped streams cannot
+    contribute to the top [k]). A missing or stale closure falls back
+    to probing, counted in [flix_coord_closure_fallbacks_total]; label
+    joins are counted in [flix_coord_closure_lookups_total].
+
     All result streams are k-way-merged by distance with
     {!Fx_graph.Priority_queue}, deduplicating nodes on first (nearest)
     occurrence, so the merged stream keeps FliX's
@@ -54,6 +66,7 @@ val create :
   ?cache_cap:int ->
   ?batching:bool ->
   ?query_cache:int ->
+  ?closure:Portal_closure.t ->
   plan:Shard_plan.t ->
   shards:(string * int) list ->
   unit ->
@@ -72,7 +85,27 @@ val create :
     [query_cache] enables the coordinator-side {!Coord_cache} over
     merged [EVALUATE] results with the given LRU capacity; [None]
     (the default) disables it. Only clean (non-[TIMEOUT],
-    non-[PARTIAL]) merges are cached. *)
+    non-[PARTIAL]) merges are cached.
+
+    [closure] supplies the portal-closure oracle. It is used only when
+    {!Portal_closure.matches} holds for [plan]; a mismatched closure is
+    dropped (and reported stale in [stats_lines]) so answers can never
+    be joined against the wrong plan. The closure's epoch is folded
+    into the [query_cache] key. *)
+
+val has_closure : t -> bool
+(** Whether a matching portal closure is loaded (a stale one does not
+    count). *)
+
+val closure_lookups_total : t -> int
+(** Closure label joins performed — the number behind
+    [flix_coord_closure_lookups_total]. *)
+
+val closure_fallbacks_total : t -> int
+(** Requests that took the probed path because no usable closure was
+    loaded (only counted when the plan has cross links, i.e. when
+    probing actually costs something) — the number behind
+    [flix_coord_closure_fallbacks_total]. *)
 
 val backend : t -> Fx_server.Server.custom
 (** Serve with

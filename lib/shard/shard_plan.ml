@@ -179,12 +179,53 @@ let shard_documents t coll =
                       info.name)))
     t.by_shard
 
+let doc_roots t = Array.map (fun d -> d.global_base) t.docs
+
+(* Content digest (FNV-style, 63-bit) over everything the manifest
+   records: the portal closure stamps this value as its epoch, so a
+   closure built for one plan can never be joined against another. *)
+let digest t =
+  let h = ref 0x1c9d422584222325 in
+  let mix byte = h := (!h lxor byte) * 0x100000001b3 in
+  let mix_int v =
+    let v = ref v in
+    for _ = 0 to 7 do
+      mix (!v land 0xff);
+      v := !v asr 8
+    done
+  in
+  let mix_string s =
+    mix_int (String.length s);
+    String.iter (fun c -> mix (Char.code c)) s
+  in
+  mix_int t.n_shards;
+  mix_int t.total_nodes;
+  Array.iter
+    (fun d ->
+      mix_string d.name;
+      mix_int d.global_base;
+      mix_int d.n_nodes;
+      mix_int d.shard)
+    t.docs;
+  Array.iter
+    (fun l ->
+      mix_int l.src;
+      mix_int l.dst;
+      mix_string l.dst_tag)
+    t.cross;
+  (* 60 bits, not 62: the epoch is persisted through {!Codec.Writer.int},
+     whose zig-zag step can only round-trip magnitudes below 2^61 — a
+     wider digest would come back from disk with its top bits gone and
+     every saved closure would look stale. *)
+  !h land ((1 lsl 60) - 1)
+
 (* --- persistence ------------------------------------------------------ *)
 
 let magic = "FXSHARDMAN1"
 
-let save ~path t =
-  let w = Codec.Writer.create ~magic in
+(* The body codec is shared between the v1 manifest ([save]/[load]) and
+   the v2 container {!Portal_closure.save_manifest} wraps around it. *)
+let write_body w t =
   Codec.Writer.int w t.n_shards;
   Codec.Writer.int w t.total_nodes;
   Codec.Writer.int w (Array.length t.docs);
@@ -201,7 +242,11 @@ let save ~path t =
       Codec.Writer.int w l.src;
       Codec.Writer.int w l.dst;
       Codec.Writer.string w l.dst_tag)
-    t.cross;
+    t.cross
+
+let save ~path t =
+  let w = Codec.Writer.create ~magic in
+  write_body w t;
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -209,14 +254,7 @@ let save ~path t =
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Codec.Corrupt s)) fmt
 
-let load path =
-  let ic = open_in_bin path in
-  let body =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let r = Codec.Reader.create ~magic body in
+let read_body r =
   let n_shards = Codec.Reader.int r in
   let total_nodes = Codec.Reader.int r in
   if n_shards < 1 then corrupt "manifest: %d shards" n_shards;
@@ -252,8 +290,19 @@ let load path =
           corrupt "manifest: link %d -> %d outside %d nodes" src dst total_nodes;
         { src; dst; dst_tag })
   in
-  Codec.Reader.expect_end r;
   finish ~n_shards ~total_nodes ~docs ~cross
+
+let load path =
+  let ic = open_in_bin path in
+  let body =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let r = Codec.Reader.create ~magic body in
+  let t = read_body r in
+  Codec.Reader.expect_end r;
+  t
 
 let describe t =
   Printf.sprintf "shard plan: %d shards over %d documents, %d nodes, %d cross-shard links"

@@ -70,6 +70,16 @@ val global_of : t -> shard:int -> local:int -> int
 val shard_of_doc : t -> string -> int option
 (** The shard holding the named document. *)
 
+val doc_roots : t -> int array
+(** Global node id of every document root, ascending — the anchor set
+    the portal closure precomputes portal-entry distances for. *)
+
+val digest : t -> int
+(** Deterministic non-negative content digest over everything the
+    manifest records (shards, documents, cross links). The portal
+    closure stamps this as its epoch: a closure whose epoch does not
+    match the plan it is loaded with must not be joined against it. *)
+
 (** {1 Persistence} *)
 
 val save : path:string -> t -> unit
@@ -78,6 +88,14 @@ val save : path:string -> t -> unit
 val load : string -> t
 (** @raise Fx_util.Codec.Corrupt on a mangled manifest.
     @raise Sys_error if the file cannot be read. *)
+
+val write_body : Fx_util.Codec.Writer.t -> t -> unit
+val read_body : Fx_util.Codec.Reader.t -> t
+(** The manifest body without file framing, for container formats that
+    wrap a plan in a versioned envelope ({!Portal_closure}'s
+    [FXSHARDMAN2] manifest). [read_body] validates like {!load} but
+    does not require end-of-input.
+    @raise Fx_util.Codec.Corrupt on a mangled body. *)
 
 val describe : t -> string list
 (** Human-readable summary lines for STATS. *)

@@ -1,0 +1,7 @@
+(* Fixture: FL002 over the portal-closure subsystem — the closure is
+   shared read-only across the coordinator's fan-out threads, so any
+   module-toplevel mutable state here (say, a memo table for label
+   joins) would race. *)
+
+let join_memo = Hashtbl.create 64
+let distance a b = Hashtbl.find_opt join_memo (a, b)

@@ -1,0 +1,1 @@
+val distance : int -> int -> int option

@@ -209,6 +209,49 @@ let prop_two_hop_any_order =
         (fun (u, v) -> Two_hop.reachable labels u v = Traversal.reachable g u v)
         (H.all_pairs n))
 
+let prop_two_hop_weighted_exact =
+  H.qtest ~count:60 "weighted 2-hop ≡ relaxation fixpoint" (H.digraph_arb ~max_n:14 ())
+    (fun (n, edges) ->
+      (* Deterministic weights in [0, 3] derived from the endpoints, so
+         zero-weight and heavy edges both occur. *)
+      let wedges =
+        Array.of_list (List.map (fun (u, v) -> (u, v, (u + (3 * v)) mod 4)) edges)
+      in
+      let labels = Two_hop.build_weighted ~n wedges in
+      let truth src =
+        let dist = Array.make n max_int in
+        dist.(src) <- 0;
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          Array.iter
+            (fun (u, v, w) ->
+              if dist.(u) <> max_int && dist.(u) + w < dist.(v) then begin
+                dist.(v) <- dist.(u) + w;
+                changed := true
+              end)
+            wedges
+        done;
+        dist
+      in
+      List.for_all
+        (fun u ->
+          let d = truth u in
+          List.for_all
+            (fun v ->
+              Two_hop.distance labels u v
+              = (if d.(v) = max_int then None else Some d.(v)))
+            (List.init n Fun.id))
+        (List.init n Fun.id))
+
+let test_two_hop_weighted_validation () =
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Two_hop.build_weighted: negative edge weight") (fun () ->
+      ignore (Two_hop.build_weighted ~n:2 [| (0, 1, -1) |]));
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Two_hop.build_weighted: edge endpoint out of range") (fun () ->
+      ignore (Two_hop.build_weighted ~n:2 [| (0, 2, 1) |]))
+
 let test_two_hop_chain_compression () =
   (* A path graph: labels must stay near-linear, far below the O(n^2)
      transitive closure. *)
@@ -506,6 +549,8 @@ let () =
         [
           prop_two_hop_exact;
           prop_two_hop_any_order;
+          prop_two_hop_weighted_exact;
+          Alcotest.test_case "weighted validation" `Quick test_two_hop_weighted_validation;
           Alcotest.test_case "chain compression" `Quick test_two_hop_chain_compression;
           Alcotest.test_case "rejects bad order" `Quick test_two_hop_bad_order;
           Alcotest.test_case "cover witness" `Quick test_two_hop_labels_inspectable;

@@ -9,6 +9,8 @@ module P = Fx_server.Protocol
 module Server = Fx_server.Server
 module Client = Fx_server.Server_client
 module Plan = Fx_shard.Shard_plan
+module Closure = Fx_shard.Portal_closure
+module Coord_cache = Fx_shard.Coord_cache
 module Coordinator = Fx_shard.Coordinator
 module Flix = Fx_flix.Flix
 module Meta_builder = Fx_flix.Meta_builder
@@ -27,6 +29,19 @@ let shard_collections =
     |> Array.map C.build)
 
 let shard_flixes = lazy (Array.map Flix.build (Lazy.force shard_collections))
+
+let hopis_of colls =
+  Array.map
+    (fun sub ->
+      Fx_index.Hopi.build { Fx_index.Path_index.graph = C.graph sub; tag = C.tag sub })
+    colls
+
+let closure_of plan hopis =
+  Closure.build ~plan ~local_dist:(fun ~shard ~a ~b ->
+      Fx_index.Hopi.distance hopis.(shard) a b)
+
+let shared_closure =
+  lazy (closure_of (Lazy.force shared_plan) (hopis_of (Lazy.force shard_collections)))
 
 (* --- plan ----------------------------------------------------------- *)
 
@@ -105,6 +120,109 @@ let manifest_roundtrip () =
       match Plan.load path with
       | exception Fx_util.Codec.Corrupt _ -> ()
       | _ -> Alcotest.fail "truncated manifest must raise Corrupt")
+
+(* --- the portal closure and its manifest ------------------------------ *)
+
+let plans_agree what plan plan' =
+  Alcotest.(check int) (what ^ ": n_shards") (Plan.n_shards plan) (Plan.n_shards plan');
+  Alcotest.(check int)
+    (what ^ ": total_nodes")
+    (Plan.total_nodes plan) (Plan.total_nodes plan');
+  for g = 0 to Plan.total_nodes plan - 1 do
+    if Plan.locate plan g <> Plan.locate plan' g then
+      Alcotest.failf "%s: node %d placed differently after the load" what g
+  done
+
+let manifest_v2_roundtrip () =
+  let plan = Lazy.force shared_plan in
+  let closure = Lazy.force shared_closure in
+  let path = Filename.temp_file "fxman2" ".shards" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Closure.save_manifest ~path ~plan (Some closure);
+      let plan', closure' = Closure.load_manifest path in
+      plans_agree "v2" plan plan';
+      let c =
+        match closure' with
+        | Some c -> c
+        | None -> Alcotest.fail "v2 manifest should carry the closure"
+      in
+      Alcotest.(check int) "epoch survives" (Closure.epoch closure) (Closure.epoch c);
+      (* The epoch travels through Codec varints, which only round-trip
+         magnitudes below 2^61 — the digest must stay inside that. *)
+      Alcotest.(check bool) "epoch is codec-safe" true
+        (Closure.epoch closure >= 0 && Closure.epoch closure < 1 lsl 60);
+      Alcotest.(check bool) "matches the loaded plan" true (Closure.matches c plan');
+      Alcotest.(check int) "oracle nodes survive" (Closure.n_nodes closure)
+        (Closure.n_nodes c);
+      Alcotest.(check int) "label entries survive" (Closure.label_entries closure)
+        (Closure.label_entries c);
+      Alcotest.(check bool) "build time survives" true (Closure.build_seconds c > 0.0);
+      (* Portal-to-portal distances survive byte for byte. *)
+      let links = Plan.cross_links plan in
+      Array.iteri
+        (fun i (l : Plan.cross_link) ->
+          let l' = links.(((i * 7) + 1) mod Array.length links) in
+          if Closure.distance closure l.src l'.dst <> Closure.distance c l.src l'.dst
+          then
+            Alcotest.failf "distance %d -> %d changed across the roundtrip" l.src l'.dst)
+        links;
+      (* A closure-less v2 manifest round-trips too. *)
+      Closure.save_manifest ~path ~plan None;
+      let plan_only_len =
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        close_in ic;
+        n
+      in
+      (match Closure.load_manifest path with
+      | plan'', None -> plans_agree "v2 no closure" plan plan''
+      | _, Some _ -> Alcotest.fail "manifest saved without a closure grew one");
+      (* A v1 manifest still loads — with no closure to join. *)
+      Plan.save ~path plan;
+      (match Closure.load_manifest path with
+      | plan'', None -> plans_agree "v1 fallback" plan plan''
+      | _, Some _ -> Alcotest.fail "v1 manifest cannot carry a closure");
+      (* Truncating anywhere inside the closure section must surface as
+         Corrupt — never a crash or a silently shorter oracle. *)
+      Closure.save_manifest ~path ~plan (Some closure);
+      let ic = open_in_bin path in
+      let body = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      List.iter
+        (fun cut ->
+          let oc = open_out_bin path in
+          output_string oc (String.sub body 0 cut);
+          close_out oc;
+          match Closure.load_manifest path with
+          | exception Fx_util.Codec.Corrupt _ -> ()
+          | _ -> Alcotest.failf "truncation at %d bytes must raise Corrupt" cut)
+        [
+          String.length body / 2;
+          plan_only_len;
+          (* inside the closure header *)
+          plan_only_len + 3;
+          (* inside the serialized labels *)
+          String.length body - 1;
+        ])
+
+let coord_cache_closure_epoch () =
+  let cache = Coord_cache.create ~closure_epoch:7 ~capacity:4 () in
+  let items = [ { P.node = 1; dist = 2; meta = 0 } ] in
+  let find () =
+    Coord_cache.find cache ~start_tag:"a" ~target_tag:"b" ~k:5 ~max_dist:None
+  in
+  let store () =
+    Coord_cache.store cache ~start_tag:"a" ~target_tag:"b" ~k:5 ~max_dist:None items
+  in
+  Alcotest.(check bool) "empty cache misses" true (find () = None);
+  store ();
+  Alcotest.(check bool) "hit under the built closure" true (find () = Some items);
+  Coord_cache.set_closure_epoch cache 8;
+  Alcotest.(check bool) "rebuilt closure orphans the merge" true (find () = None);
+  store ();
+  Alcotest.(check bool) "fresh store lands under the new epoch" true (find () = Some items)
 
 (* --- live cluster ---------------------------------------------------- *)
 
@@ -482,6 +600,192 @@ let dead_shard_no_cache_poison () =
             conn_pairs healthy_conns;
           ignore coord))
 
+(* --- closure fast path vs probed baseline ----------------------------- *)
+
+(* Boot two coordinators over the same disk shards: one probing portal
+   distances over the wire, one joining closure labels. The closure path
+   is only correct if it renders byte-identical responses. *)
+let with_two_coordinators ~plan ?probed_plan ~closure colls f =
+  with_disk_servers (Array.to_list colls) (fun shard_servers ->
+      let shards = List.map (fun s -> ("127.0.0.1", Server.port s)) shard_servers in
+      let probed =
+        Coordinator.create ~plan:(Option.value probed_plan ~default:plan) ~shards ()
+      in
+      let fast = Coordinator.create ~closure ~plan ~shards () in
+      Fun.protect
+        ~finally:(fun () ->
+          Coordinator.close probed;
+          Coordinator.close fast)
+        (fun () ->
+          let fp = Server.start_backend (Server.Custom (Coordinator.backend probed)) in
+          let ff = Server.start_backend (Server.Custom (Coordinator.backend fast)) in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.stop fp;
+              Server.stop ff)
+            (fun () ->
+              let pc = Client.connect ~port:(Server.port fp) () in
+              let fc = Client.connect ~port:(Server.port ff) () in
+              Fun.protect
+                ~finally:(fun () ->
+                  Client.close pc;
+                  Client.close fc)
+                (fun () -> f ~probed ~fast ~pc ~fc))))
+
+let check_identical ~fc ~pc req =
+  let what = P.request_line req in
+  match (Client.request fc req, Client.request pc req) with
+  | Ok f, Ok p ->
+      Alcotest.(check (list string))
+        (what ^ ": closure path renders byte-identically")
+        (P.response_lines p) (P.response_lines f)
+  | _ -> Alcotest.failf "%s: transport failure" what
+
+let check_connected ~fc ~pc (a, b) =
+  match (Client.connected fc a b, Client.connected pc a b) with
+  | Ok (Client.Value f), Ok (Client.Value p) ->
+      Alcotest.(check (option int)) (Printf.sprintf "connected %d %d" a b) p f
+  | _ -> Alcotest.failf "connected %d %d failed" a b
+
+let closure_matches_probed () =
+  let plan = Lazy.force shared_plan in
+  let closure = Lazy.force shared_closure in
+  (* The probed baseline boots the way a pre-closure deployment would:
+     off a v1 manifest, which loads plan-only. *)
+  let v1 = Filename.temp_file "fxman1" ".shards" in
+  let plan_v1, no_closure =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove v1 with Sys_error _ -> ())
+      (fun () ->
+        Plan.save ~path:v1 plan;
+        Closure.load_manifest v1)
+  in
+  Alcotest.(check bool) "v1 manifest loads closure-less" true (no_closure = None);
+  with_two_coordinators ~plan ~probed_plan:plan_v1 ~closure
+    (Lazy.force shard_collections)
+    (fun ~probed ~fast ~pc ~fc ->
+      Alcotest.(check bool) "closure joined" true (Coordinator.has_closure fast);
+      Alcotest.(check bool) "baseline probes" false (Coordinator.has_closure probed);
+      let roots = Plan.doc_roots plan in
+      let links = Plan.cross_links plan in
+      let n = Plan.total_nodes plan in
+      (* Streams: anchored starts (document roots), interior starts that
+         need the one-wave fallback, both directions, tag filters, and
+         max_dist cutoffs that exercise the lazy stream fetch. *)
+      let streams =
+        [
+          P.Descendants
+            { doc = Dblp.doc_name 0; anchor = None; tag = None; k = 10_000; max_dist = None };
+          P.Descendants
+            {
+              doc = Dblp.doc_name 7;
+              anchor = None;
+              tag = Some "author";
+              k = 10_000;
+              max_dist = None;
+            };
+          P.Node_descendants
+            { node = roots.(Array.length roots / 2); tag = None; k = 10_000; max_dist = None };
+          P.Node_descendants { node = 40; tag = None; k = 10_000; max_dist = None };
+          P.Node_descendants { node = 1234 mod n; tag = Some "cite"; k = 50; max_dist = Some 6 };
+          P.Ancestors { node = 40; tag = None; k = 10_000; max_dist = None };
+          P.Ancestors { node = 100; tag = Some "article"; k = 10_000; max_dist = None };
+          P.Ancestors { node = (n - 1); tag = None; k = 10_000; max_dist = Some 4 };
+          P.Evaluate { start_tag = "article"; target_tag = "author"; k = 10_000; max_dist = None };
+          P.Evaluate
+            { start_tag = "inproceedings"; target_tag = "cite"; k = 10_000; max_dist = None };
+          P.Evaluate { start_tag = "article"; target_tag = "title"; k = 200; max_dist = Some 3 };
+          P.Resolve { doc = Dblp.doc_name 3; anchor = None };
+        ]
+      in
+      List.iter (check_identical ~fc ~pc) streams;
+      (* CONNECTED over portal endpoints (known cross-shard paths) and a
+         deterministic sweep of arbitrary pairs. *)
+      let pairs =
+        (Array.to_list links
+        |> List.filteri (fun i _ -> i mod 5 = 0)
+        |> List.concat_map (fun (l : Plan.cross_link) ->
+               [ (roots.(0), l.dst); (l.src, l.dst); (l.dst, l.src) ]))
+        @ List.init 25 (fun i -> ((i * 131) mod n, (i * 613) mod n))
+      in
+      List.iter (check_connected ~fc ~pc) pairs;
+      (* The counters tell the story: the fast path joined labels and
+         never fell back, the baseline fell back on every portal ask and
+         paid for it in probe sub-requests. *)
+      Alcotest.(check bool) "label joins happened" true
+        (Coordinator.closure_lookups_total fast > 0);
+      Alcotest.(check int) "no fallbacks with a joined closure" 0
+        (Coordinator.closure_fallbacks_total fast);
+      Alcotest.(check bool) "baseline counts fallbacks" true
+        (Coordinator.closure_fallbacks_total probed > 0);
+      Alcotest.(check bool) "closure cuts probe sub-requests" true
+        (Coordinator.probe_subs_total fast < Coordinator.probe_subs_total probed);
+      let metrics = String.concat "\n" (Coordinator.metric_lines fast ()) in
+      List.iter
+        (fun series ->
+          Alcotest.(check bool) (series ^ " exported") true
+            (Astring.String.is_infix ~affix:series metrics))
+        [
+          "flix_coord_closure_lookups_total";
+          "flix_coord_closure_fallbacks_total 0";
+          "flix_closure_build_seconds";
+          "flix_closure_label_entries";
+        ];
+      (* A closure built for one plan is dropped — not misapplied — when
+         joined against another. *)
+      let other = Dblp.collection { Dblp.default with n_docs = 40; seed = 99 } in
+      let other_plan = Plan.plan ~n_shards:2 other in
+      let stale =
+        Coordinator.create ~closure ~plan:other_plan
+          ~shards:[ ("127.0.0.1", 1); ("127.0.0.1", 2) ]
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Coordinator.close stale)
+        (fun () ->
+          Alcotest.(check bool) "stale closure dropped" false
+            (Coordinator.has_closure stale)))
+
+(* Same exactness contract on a fresh randomized 3-shard split, so the
+   2-shard topology is not a lucky special case. *)
+let closure_three_shards () =
+  let coll = Dblp.collection { Dblp.default with n_docs = 90; seed = 23 } in
+  let plan = Plan.plan ~n_shards:3 coll in
+  Alcotest.(check int) "three shards" 3 (Plan.n_shards plan);
+  Alcotest.(check bool) "plan has cross links" true
+    (Array.length (Plan.cross_links plan) > 0);
+  let colls = Plan.shard_documents plan coll |> Array.map C.build in
+  let closure = closure_of plan (hopis_of colls) in
+  with_two_coordinators ~plan ~closure colls (fun ~probed ~fast ~pc ~fc ->
+      let roots = Plan.doc_roots plan in
+      let links = Plan.cross_links plan in
+      let n = Plan.total_nodes plan in
+      let streams =
+        [
+          P.Descendants
+            { doc = Dblp.doc_name 1; anchor = None; tag = None; k = 10_000; max_dist = None };
+          P.Node_descendants { node = roots.(1); tag = None; k = 10_000; max_dist = None };
+          P.Node_descendants { node = 77 mod n; tag = None; k = 10_000; max_dist = None };
+          P.Ancestors { node = 55 mod n; tag = None; k = 10_000; max_dist = None };
+          P.Evaluate { start_tag = "article"; target_tag = "author"; k = 10_000; max_dist = None };
+          P.Evaluate
+            { start_tag = "inproceedings"; target_tag = "cite"; k = 10_000; max_dist = None };
+        ]
+      in
+      List.iter (check_identical ~fc ~pc) streams;
+      let pairs =
+        (Array.to_list links
+        |> List.filteri (fun i _ -> i mod 3 = 0)
+        |> List.concat_map (fun (l : Plan.cross_link) -> [ (l.src, l.dst); (l.dst, l.src) ]))
+        @ List.init 16 (fun i -> ((i * 239) mod n, (i * 467) mod n))
+      in
+      List.iter (check_connected ~fc ~pc) pairs;
+      Alcotest.(check bool) "label joins happened" true
+        (Coordinator.closure_lookups_total fast > 0);
+      Alcotest.(check int) "no fallbacks" 0 (Coordinator.closure_fallbacks_total fast);
+      Alcotest.(check bool) "closure cuts probe sub-requests" true
+        (Coordinator.probe_subs_total fast < Coordinator.probe_subs_total probed))
+
 (* --- protocol satellites --------------------------------------------- *)
 
 let deadline_override () =
@@ -588,6 +892,14 @@ let () =
         [
           Alcotest.test_case "plan invariants" `Quick plan_invariants;
           Alcotest.test_case "manifest round-trip" `Quick manifest_roundtrip;
+          Alcotest.test_case "manifest v2 round-trip" `Quick manifest_v2_roundtrip;
+          Alcotest.test_case "coord cache closure epoch" `Quick coord_cache_closure_epoch;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "closure matches probed coordinator" `Quick
+            closure_matches_probed;
+          Alcotest.test_case "closure exact on three shards" `Quick closure_three_shards;
         ] );
       ( "cluster",
         [
