@@ -166,6 +166,7 @@ let page_size t = t.page_size
 let n_pages t = with_lock t.lock (fun () -> t.n_pages)
 
 let append_page t =
+  (* flix-lint: allow FL008 — file extension must be atomic with n_pages under the single pager mutex; ROADMAP item 1 (striped buffer pool) deletes this *)
   with_lock t.lock (fun () ->
       check_open t;
       let page = t.n_pages in
@@ -180,6 +181,7 @@ let append_page t =
       page)
 
 let read t ~page ~offset ~len =
+  (* flix-lint: allow FL008 — miss I/O under the single pager mutex is the BENCH_6 bottleneck; ROADMAP item 1 (striped buffer pool) deletes this *)
   with_lock t.lock (fun () ->
       check_open t;
       if offset < 0 || len < 0 || offset + len > t.page_size then
@@ -188,6 +190,7 @@ let read t ~page ~offset ~len =
       Bytes.sub slot.data offset len)
 
 let write t ~page ~offset buf =
+  (* flix-lint: allow FL008 — miss I/O under the single pager mutex is the BENCH_6 bottleneck; ROADMAP item 1 (striped buffer pool) deletes this *)
   with_lock t.lock (fun () ->
       check_open t;
       if offset < 0 || offset + Bytes.length buf > t.page_size then
@@ -197,11 +200,13 @@ let write t ~page ~offset buf =
       slot.dirty <- true)
 
 let flush t =
+  (* flix-lint: allow FL008 — dirty write-back + fsync hold the pager mutex so no writer races the flush; ROADMAP item 1 (batched write-back) deletes this *)
   with_lock t.lock (fun () ->
       check_open t;
       flush_pool t)
 
 let close t =
+  (* flix-lint: allow FL008 — final write-back must exclude every API entry until the fd dies; ROADMAP item 1 (striped buffer pool) deletes this *)
   with_lock t.lock (fun () ->
       if not t.closed then begin
         flush_pool t;
@@ -224,6 +229,7 @@ let reset_stats t =
       t.physical_writes <- 0)
 
 let drop_pool t =
+  (* flix-lint: allow FL008 — write-back of every dirty slot under the pager mutex, test-only entry; ROADMAP item 1 (striped buffer pool) deletes this *)
   with_lock t.lock (fun () ->
       check_open t;
       Fx_util.Lru.iter t.pool (fun page slot -> write_back t page slot);

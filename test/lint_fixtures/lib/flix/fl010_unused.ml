@@ -1,0 +1,5 @@
+(* Fixture: FL010 — a stale suppression: the allow comment below
+   silences nothing, so flix_lint reports the comment itself. *)
+
+(* flix-lint: allow FL005 — stale: the print this once covered is gone *)
+let quiet () = ()

@@ -1,0 +1,3 @@
+(* Interface for the FL010 fixture; parse-checked only. *)
+
+val quiet : unit -> unit

@@ -1,0 +1,14 @@
+(* Fixture: FL007 — one half of an AB/BA lock-order cycle split across
+   two modules: this module holds [lock_a] and then acquires
+   [Fl007_b.lock_b] through the call graph. Never compiled; only
+   parsed by flix_lint in test_lint.ml. *)
+
+let lock_a = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let acquire_a f = with_lock lock_a f
+
+let a_then_b () = with_lock lock_a (fun () -> Fl007_b.acquire_b ignore)

@@ -1,0 +1,6 @@
+(* Interface for the FL007 fixture; parse-checked only. *)
+
+val lock_a : Mutex.t
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+val acquire_a : (unit -> 'a) -> 'a
+val a_then_b : unit -> unit

@@ -1,0 +1,13 @@
+(* Fixture: FL007 — the other half of the AB/BA cycle: this module
+   holds [lock_b] and then acquires [Fl007_a.lock_a]. Never compiled;
+   only parsed by flix_lint in test_lint.ml. *)
+
+let lock_b = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let acquire_b f = with_lock lock_b f
+
+let b_then_a () = with_lock lock_b (fun () -> Fl007_a.acquire_a ignore)

@@ -1,0 +1,6 @@
+(* Interface for the FL007 fixture; parse-checked only. *)
+
+val lock_b : Mutex.t
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+val acquire_b : (unit -> 'a) -> 'a
+val b_then_a : unit -> unit

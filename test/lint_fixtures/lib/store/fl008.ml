@@ -1,0 +1,13 @@
+(* Fixture: FL008 — [flush] performs Unix.write while holding the lock,
+   two calls deep: flush > write_back > Unix.write. Never compiled;
+   only parsed by flix_lint in test_lint.ml. *)
+
+type t = { fd : Unix.file_descr; lock : Mutex.t; dirty : bytes }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let write_back t = ignore (Unix.write t.fd t.dirty 0 (Bytes.length t.dirty))
+
+let flush t = with_lock t.lock (fun () -> write_back t)

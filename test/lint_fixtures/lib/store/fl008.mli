@@ -1,0 +1,7 @@
+(* Interface for the FL008 fixture; parse-checked only. *)
+
+type t = { fd : Unix.file_descr; lock : Mutex.t; dirty : bytes }
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+val write_back : t -> unit
+val flush : t -> unit

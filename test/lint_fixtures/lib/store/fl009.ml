@@ -1,0 +1,9 @@
+(* Fixture: FL009 — [first_byte] opens a file descriptor and returns
+   without closing it on any path. Never compiled; only parsed by
+   flix_lint in test_lint.ml. *)
+
+let first_byte path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let buf = Bytes.create 1 in
+  ignore (Unix.read fd buf 0 1);
+  Bytes.get buf 0

@@ -1,0 +1,3 @@
+(* Interface for the FL009 fixture; parse-checked only. *)
+
+val first_byte : string -> char

@@ -1,0 +1,25 @@
+(* Fixture: suppressed concurrency findings — one seeded FL007 cycle,
+   one FL008, one FL009, each silenced by an inline allow comment, so
+   flix_lint must report nothing here and count three suppressions. *)
+
+let p = Mutex.create ()
+let q = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let lock_p_then_q f =
+  (* flix-lint: allow FL007 — fixture: deliberate AB/BA cycle, suppressed *)
+  with_lock p (fun () -> with_lock q f)
+
+let lock_q_then_p f = with_lock q (fun () -> with_lock p f)
+
+let sleep_under_lock () =
+  (* flix-lint: allow FL008 — fixture: deliberate sleep under lock, suppressed *)
+  with_lock p (fun () -> Unix.sleepf 0.001)
+
+let leak_fd path =
+  (* flix-lint: allow FL009 — fixture: deliberate leak, suppressed *)
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  ignore fd

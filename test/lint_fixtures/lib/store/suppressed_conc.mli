@@ -1,0 +1,9 @@
+(* Interface for the suppressed concurrency fixture; parse-checked only. *)
+
+val p : Mutex.t
+val q : Mutex.t
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+val lock_p_then_q : (unit -> 'a) -> 'a
+val lock_q_then_p : (unit -> 'a) -> 'a
+val sleep_under_lock : unit -> unit
+val leak_fd : string -> unit

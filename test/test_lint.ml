@@ -33,6 +33,10 @@ let expected =
     ("FL004", "bin/fl004.ml", 4);
     ("FL005", "lib/flix/fl005.ml", 4);
     ("FL006", "lib/flix/fl006_no_mli.ml", 1);
+    ("FL007", "lib/server/fl007_a.ml", 14);
+    ("FL008", "lib/store/fl008.ml", 13);
+    ("FL009", "lib/store/fl009.ml", 6);
+    ("FL010", "lib/flix/fl010_unused.ml", 4);
   ]
 
 let test_fixture_findings () =
@@ -63,10 +67,35 @@ let test_suppression () =
   Alcotest.(check bool)
     "suppressed fixture produces no finding" false
     (contains out "suppressed.ml");
-  (* The human summary still accounts for what was silenced. *)
+  (* The whole-program rules honor the same allow comments: the seeded
+     FL007 cycle, FL008, and FL009 in suppressed_conc.ml are silenced. *)
+  Alcotest.(check bool)
+    "suppressed concurrency fixture produces no finding" false
+    (contains out "suppressed_conc.ml");
+  (* The human summary still accounts for what was silenced: one FL005
+     plus the three concurrency suppressions. *)
   let _, human = run [ "--root"; "lint_fixtures"; "lib"; "bin" ] in
-  Alcotest.(check bool) "summary counts the suppression" true
-    (contains human "(1 suppressed)")
+  Alcotest.(check bool) "summary counts the suppressions" true
+    (contains human "(4 suppressed)")
+
+(* FL007/FL008 findings must carry enough of a witness to act on: the
+   cycle with both acquisition paths, and the call chain down to the
+   blocking primitive. *)
+let test_witness_chains () =
+  let code, out = run [ "--json"; "--root"; "lint_fixtures"; "lib"; "bin" ] in
+  Alcotest.(check int) "exit" 1 code;
+  Alcotest.(check bool) "FL007 prints the cycle" true
+    (contains out "Fl007_a.lock_a -> Fl007_b.lock_b -> Fl007_a.lock_a");
+  Alcotest.(check bool) "FL007 prints the A-then-B witness path" true
+    (contains out "via Fl007_b.acquire_b");
+  Alcotest.(check bool) "FL007 prints the B-then-A witness path" true
+    (contains out "via Fl007_a.acquire_a");
+  Alcotest.(check bool) "FL008 names the held lock" true
+    (contains out "holding Fl008.lock");
+  Alcotest.(check bool) "FL008 prints the interprocedural chain" true
+    (contains out "Fl008.flush > Fl008.write_back reaches Unix.write");
+  Alcotest.(check bool) "FL009 names the leaked binding" true
+    (contains out "Unix.openfile [fd]")
 
 let test_human_format () =
   let code, out = run [ "--root"; "lint_fixtures"; "lib"; "bin" ] in
@@ -84,6 +113,161 @@ let test_list_rules () =
       Alcotest.(check bool) (rule ^ " documented") true (contains out rule))
     expected
 
+(* A minimal recursive-descent JSON well-formedness checker (no JSON
+   library in the test closure): accepts exactly one complete value. *)
+let json_well_formed s =
+  let n = String.length s in
+  let exception Bad in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c = if peek () = Some c then advance () else raise Bad in
+  let skip_ws () =
+    while
+      match peek () with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal word =
+    String.iter (fun c -> expect c) word
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> raise Bad
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> raise Bad
+              done
+          | _ -> raise Bad);
+          go ()
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let digits () =
+      let any = ref false in
+      while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+        any := true;
+        advance ()
+      done;
+      if not !any then raise Bad
+    in
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> raise Bad
+          in
+          members ()
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> raise Bad
+          in
+          elements ()
+        end
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise Bad);
+    skip_ws ()
+  in
+  match value () with
+  | () -> !pos = n
+  | exception Bad -> false
+
+let test_sarif () =
+  let path = Filename.temp_file "flix_lint_test" ".sarif" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let code, _ =
+        run [ "--sarif"; path; "--root"; "lint_fixtures"; "lib"; "bin" ]
+      in
+      Alcotest.(check int) "findings still make the exit code nonzero" 1 code;
+      let ic = open_in_bin path in
+      let sarif =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check bool) "well-formed JSON" true (json_well_formed sarif);
+      Alcotest.(check bool) "SARIF version" true
+        (contains sarif {|"version":"2.1.0"|});
+      Alcotest.(check bool) "SARIF schema" true (contains sarif "sarif-2.1.0");
+      Alcotest.(check bool) "tool driver name" true
+        (contains sarif {|"name":"flix_lint"|});
+      (* the rule catalogue rides along so annotations get titles *)
+      List.iter
+        (fun (rule, _, _) ->
+          Alcotest.(check bool)
+            (rule ^ " in rule catalogue")
+            true
+            (contains sarif (Printf.sprintf {|"id":"%s"|} rule)))
+        expected;
+      Alcotest.(check bool) "FL008 result present" true
+        (contains sarif {|"ruleId":"FL008"|});
+      Alcotest.(check bool) "regions are present and 1-based" true
+        (contains sarif {|"startLine":|});
+      Alcotest.(check bool) "FL010 downgrades to warning level" true
+        (contains sarif {|"level":"warning"|}))
+
 (* The shipped tree is lint-clean: run over the build copy of the real
    sources, the same files `dune build @lint` gates. *)
 let test_tree_is_clean () =
@@ -98,8 +282,10 @@ let () =
         [
           Alcotest.test_case "fixture findings" `Quick test_fixture_findings;
           Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "witness chains" `Quick test_witness_chains;
           Alcotest.test_case "human format" `Quick test_human_format;
           Alcotest.test_case "rule catalogue" `Quick test_list_rules;
+          Alcotest.test_case "sarif output" `Quick test_sarif;
           Alcotest.test_case "real tree lint-clean" `Quick test_tree_is_clean;
         ] );
     ]

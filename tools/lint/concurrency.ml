@@ -1,0 +1,765 @@
+(* Interprocedural concurrency analysis for flix_lint: FL007/FL008/FL009.
+
+   Phase 1 walks every parsed compilation unit and builds one summary
+   per top-level function: which named locks it acquires (through the
+   [with_lock]/[with_mutex]/[locked] wrappers and the inline
+   [Mutex.lock m; Fun.protect ~finally:... f] shape FL001 sanctions),
+   which potentially blocking primitives it calls, which functions it
+   calls while holding each lock, and which raw fds/channels it opens.
+
+   Phase 2 resolves a module-qualified call graph over the summaries —
+   [Pager.read] means "function [read] of unit pager.ml", a library
+   prefix like [Fx_store] or a [module P = ...] alias is stripped first
+   — and reports:
+
+     FL007 lock-order-cycle      a cycle in the global lock-acquisition-
+                                 order graph, with the witnessing
+                                 acquisition paths printed
+     FL008 blocking-under-lock   a transitively blocking operation
+                                 executed inside a critical section,
+                                 with the lock name and the call chain
+     FL009 resource-leak         an opened fd/channel with no close and
+                                 no escape (not stored, returned, or
+                                 passed on) anywhere in the function
+
+   Soundness limits (documented in the README): the call graph covers
+   direct, module-qualified first-order calls only. Functors,
+   first-class modules, function-valued record fields, and callbacks
+   (e.g. an [~on_evict] closure) are not resolved; unresolved calls are
+   assumed to neither block nor lock, so the pass under-approximates —
+   it never guesses a finding from a call it cannot see. Lock identity
+   is by declaration name ([Module.field]), so two instances of the
+   same type share a graph node: a cycle between instances of one lock
+   is reported (conservative), distinct mutexes reached through
+   aliased names are not. Every defined function counts as an entry
+   point, which over-approximates reachability but never hides a
+   cycle. *)
+
+open Parsetree
+
+type unit_src = { u_file : string; u_mod : string; u_str : structure }
+
+(* --- small path helpers ----------------------------------------------- *)
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let pos_of (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let wrapper_names = [ "with_lock"; "with_mutex"; "locked" ]
+
+let is_lib_prefix c =
+  String.length c > 3 && String.sub c 0 3 = "Fx_"
+
+(* [Stdlib.flush] and [Fx_store.Pager.read] normalize to [flush] and
+   [Pager.read]: unit modules are addressed by their own name. *)
+let strip_path path =
+  List.filter (fun c -> c <> "Stdlib" && not (is_lib_prefix c)) path
+
+let expand_alias aliases path =
+  match path with
+  | m :: rest -> (
+      match Hashtbl.find_opt aliases m with
+      | Some target -> target @ rest
+      | None -> path)
+  | [] -> path
+
+let flatten_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( try Some (Longident.flatten txt) with _ -> None)
+  | _ -> None
+
+let joined path = String.concat "." path
+
+(* --- operation tables -------------------------------------------------- *)
+
+(* Potentially blocking primitives: positioned/socket I/O, sleeps,
+   joins, condition waits, and buffered-channel I/O (the transport under
+   Server_client and Shard_client network calls resolves to these). *)
+let blocking_prims =
+  [
+    "Unix.read"; "Unix.write"; "Unix.single_write"; "Unix.write_substring";
+    "Unix.select"; "Unix.sleep"; "Unix.sleepf"; "Unix.connect"; "Unix.accept";
+    "Unix.fsync"; "Unix.recv"; "Unix.send"; "Unix.recvfrom"; "Unix.sendto";
+    "Unix.waitpid"; "Unix.system";
+    "Thread.delay"; "Thread.join"; "Domain.join";
+    "Condition.wait";
+    "input_line"; "input_char"; "input_byte"; "input"; "really_input";
+    "really_input_string"; "input_value";
+    "output_string"; "output_char"; "output_bytes"; "output_byte";
+    "output_substring"; "output_value"; "flush";
+    "In_channel.input_line"; "In_channel.input_char"; "In_channel.input_all";
+    "In_channel.really_input_string"; "Out_channel.output_string";
+    "Out_channel.flush";
+  ]
+
+(* Raw resource acquisitions FL009 tracks, with the human name used in
+   the finding. [Unix.accept] returns a pair, never a bare binding, so
+   it is out of scope here (documented false-negative class). *)
+let resource_prims =
+  [
+    ("Unix.openfile", "file descriptor from Unix.openfile");
+    ("Unix.socket", "socket from Unix.socket");
+    ("open_in", "input channel");
+    ("open_in_bin", "input channel");
+    ("open_in_gen", "input channel");
+    ("open_out", "output channel");
+    ("open_out_bin", "output channel");
+    ("open_out_gen", "output channel");
+  ]
+
+let close_fns =
+  [
+    "Unix.close"; "close_in"; "close_in_noerr"; "close_out"; "close_out_noerr";
+    "In_channel.close"; "Out_channel.close"; "Out_channel.close_noerr";
+  ]
+
+(* fd/channel operations that use a resource without taking ownership:
+   they neither close it nor let it escape. Everything not listed here
+   (an unknown call, a record field, a return) counts as an escape, so
+   a handed-off descriptor is never reported — the pass prefers a
+   false negative over flagging a transferred owner. *)
+let nonowning_fns =
+  [
+    "Unix.read"; "Unix.write"; "Unix.single_write"; "Unix.write_substring";
+    "Unix.lseek"; "Unix.fstat"; "Unix.ftruncate"; "Unix.fsync";
+    "Unix.set_nonblock"; "Unix.clear_nonblock"; "Unix.set_close_on_exec";
+    "Unix.setsockopt"; "Unix.setsockopt_float"; "Unix.setsockopt_int";
+    "Unix.getsockopt"; "Unix.getsockname"; "Unix.getpeername"; "Unix.bind";
+    "Unix.listen"; "Unix.connect"; "Unix.shutdown"; "Unix.accept";
+    "really_input_string"; "in_channel_length"; "out_channel_length";
+    "input_line"; "input_char"; "input_byte"; "input"; "really_input";
+    "seek_in"; "pos_in"; "input_value";
+    "output_string"; "output_char"; "output_bytes"; "output_byte";
+    "output_substring"; "output_value"; "seek_out"; "pos_out"; "flush";
+    "set_binary_mode_in"; "set_binary_mode_out"; "ignore";
+  ]
+
+let table names =
+  let t = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace t n ()) names;
+  t
+
+let blocking_tbl = table blocking_prims
+let close_tbl = table close_fns
+let nonowning_tbl = table nonowning_fns
+
+let resource_tbl =
+  let t = Hashtbl.create 16 in
+  List.iter (fun (n, k) -> Hashtbl.replace t n k) resource_prims;
+  t
+
+let is_blocking path = Hashtbl.mem blocking_tbl (joined path)
+
+(* --- summaries --------------------------------------------------------- *)
+
+type op = { op_path : string list; op_loc : Location.t }
+
+type section = {
+  sec_lock : string;
+  sec_loc : Location.t;
+  (* locks taken directly inside this critical section *)
+  mutable sec_nested : (string * Location.t) list;
+  (* every call/primitive executed while this lock is held; the flag
+     marks ops recorded while this section was innermost, which
+     sanctions the [Condition.wait]-on-own-lock idiom *)
+  mutable sec_ops : (op * bool) list;
+}
+
+type summary = {
+  sum_fn : string; (* "Module.func" *)
+  sum_mod : string;
+  sum_file : string;
+  mutable sum_sections : section list;
+  mutable sum_ops : op list;
+}
+
+(* --- phase 1: per-unit walk -------------------------------------------- *)
+
+let collect_aliases str =
+  let aliases = Hashtbl.create 8 in
+  let rec item si =
+    match si.pstr_desc with
+    | Pstr_module mb -> binding mb
+    | Pstr_recmodule mbs -> List.iter binding mbs
+    | _ -> ()
+  and binding mb =
+    match (mb.pmb_name.Location.txt, mb.pmb_expr.pmod_desc) with
+    | Some name, Pmod_ident { txt; _ } -> (
+        match Longident.flatten txt with
+        | path -> Hashtbl.replace aliases name (strip_path path)
+        | exception _ -> ())
+    | _ -> ()
+  in
+  List.iter item str;
+  aliases
+
+let positional args =
+  List.filter_map
+    (fun (label, a) -> match label with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+let apply_of e paths =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+      match flatten_ident f with
+      | Some p when List.mem (strip_path p) paths -> Some (positional args)
+      | _ -> None)
+  | _ -> None
+
+(* [with_lock m (fun () -> ...)] — a wrapper name applied to at least a
+   lock and a thunk opens a critical section over the whole application. *)
+let wrapper_lock_arg e =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+      match flatten_ident f with
+      | Some p -> (
+          match List.rev p with
+          | last :: _ when List.mem last wrapper_names -> (
+              match positional args with
+              | lock :: _ :: _ -> Some lock
+              | _ -> None)
+          | _ -> None)
+      | None -> None)
+  | _ -> None
+
+(* [Mutex.lock m; Fun.protect ~finally:... f] — the inline exception-safe
+   shape FL001 allows outside a wrapper. *)
+let inline_lock_arg e =
+  match e.pexp_desc with
+  | Pexp_sequence (e1, e2) -> (
+      match (apply_of e1 [ [ "Mutex"; "lock" ] ], apply_of e2 [ [ "Fun"; "protect" ] ]) with
+      | Some (lock :: _), Some _ -> Some lock
+      | _ -> None)
+  | _ -> None
+
+(* Lock identity: the declaration name of the mutex expression —
+   [t.lock] and [pager.lock] are the same node, [conns_lock] its own. *)
+let lock_tail e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( try Some (Longident.last txt) with _ -> None)
+  | Pexp_field (_, { txt; _ }) -> ( try Some (Longident.last txt) with _ -> None)
+  | _ -> None
+
+(* Does [var] escape or get closed in [cont]? See [nonowning_fns]. *)
+let scan_uses ~norm var cont =
+  let closed = ref false in
+  let escaped = ref false in
+  let is_var a =
+    match a.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident v; _ } -> v = var
+    | _ -> false
+  in
+  let expr it e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident v; _ } when v = var -> escaped := true
+    | Pexp_apply (f, args) ->
+        let var_args = List.exists (fun (_, a) -> is_var a) args in
+        (if var_args then
+           let cls =
+             match flatten_ident f with
+             | Some p ->
+                 let name = joined (norm p) in
+                 if Hashtbl.mem close_tbl name then `Close
+                 else if Hashtbl.mem nonowning_tbl name then `Nonowning
+                 else `Escape
+             | None -> `Escape
+           in
+           match cls with
+           | `Close -> closed := true
+           | `Nonowning -> ()
+           | `Escape -> escaped := true);
+        it.Ast_iterator.expr it f;
+        List.iter (fun (_, a) -> if not (is_var a) then it.Ast_iterator.expr it a) args
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it cont;
+  (!closed, !escaped)
+
+let rec binding_head e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> binding_head e
+  | _ -> e
+
+(* Walk one top-level binding, filling [sum] and reporting FL009 leaks
+   through [leak]. *)
+let walk_binding ~aliases sum expr0 ~leak =
+  let norm p = strip_path (expand_alias aliases p) in
+  let stack = ref [] in
+  let record_op path loc =
+    let o = { op_path = path; op_loc = loc } in
+    sum.sum_ops <- o :: sum.sum_ops;
+    List.iteri (fun i sec -> sec.sec_ops <- (o, i = 0) :: sec.sec_ops) !stack
+  in
+  let open_section lock loc =
+    let sec = { sec_lock = lock; sec_loc = loc; sec_nested = []; sec_ops = [] } in
+    List.iter (fun outer -> outer.sec_nested <- (lock, loc) :: outer.sec_nested) !stack;
+    sum.sum_sections <- sec :: sum.sum_sections;
+    stack := sec :: !stack
+  in
+  let close_section () = stack := List.tl !stack in
+  let expr it e =
+    let lock_arg =
+      match wrapper_lock_arg e with Some l -> Some l | None -> inline_lock_arg e
+    in
+    match lock_arg with
+    | Some lock_expr ->
+        let name =
+          match lock_tail lock_expr with
+          | Some t -> sum.sum_mod ^ "." ^ t
+          | None -> sum.sum_mod ^ ".<anonymous-lock>"
+        in
+        open_section name e.pexp_loc;
+        Fun.protect
+          ~finally:close_section
+          (fun () -> Ast_iterator.default_iterator.expr it e)
+    | None ->
+        (match e.pexp_desc with
+        | Pexp_apply (f, _) -> (
+            match flatten_ident f with
+            | Some p -> record_op (norm p) f.pexp_loc
+            | None -> ())
+        | Pexp_let (_, vbs, cont) ->
+            List.iter
+              (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt = var; _ } -> (
+                    let h = binding_head vb.pvb_expr in
+                    match h.pexp_desc with
+                    | Pexp_apply (f, _) -> (
+                        match flatten_ident f with
+                        | Some p -> (
+                            match Hashtbl.find_opt resource_tbl (joined (norm p)) with
+                            | Some kind ->
+                                let closed, escaped = scan_uses ~norm var cont in
+                                if (not closed) && not escaped then
+                                  leak ~kind ~var ~loc:h.pexp_loc
+                            | None -> ())
+                        | None -> ())
+                    | _ -> ())
+                | _ -> ())
+              vbs
+        | _ -> ());
+        Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it expr0
+
+let summarize_unit u ~add_summary ~leak =
+  let aliases = collect_aliases u.u_str in
+  let rec items str =
+    List.iter
+      (fun si ->
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt = name; _ } when not (List.mem name wrapper_names) ->
+                    let sum =
+                      {
+                        sum_fn = u.u_mod ^ "." ^ name;
+                        sum_mod = u.u_mod;
+                        sum_file = u.u_file;
+                        sum_sections = [];
+                        sum_ops = [];
+                      }
+                    in
+                    walk_binding ~aliases sum vb.pvb_expr ~leak:(leak ~fn:sum.sum_fn);
+                    add_summary sum
+                | Ppat_var _ -> () (* a with_lock wrapper definition *)
+                | _ ->
+                    (* [let () = ...] and friends still run code: scan
+                       them under a synthetic, uncallable name. *)
+                    let sum =
+                      {
+                        sum_fn = u.u_mod ^ ".<toplevel>";
+                        sum_mod = u.u_mod;
+                        sum_file = u.u_file;
+                        sum_sections = [];
+                        sum_ops = [];
+                      }
+                    in
+                    walk_binding ~aliases sum vb.pvb_expr ~leak:(leak ~fn:sum.sum_fn);
+                    add_summary sum)
+              vbs
+        | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure inner; _ }; _ } ->
+            (* Nested structs are scanned under the unit's name; their
+               calls resolve only when unambiguous (documented limit). *)
+            items inner
+        | _ -> ())
+      str
+  in
+  items u.u_str
+
+(* --- phase 2: propagation over the call graph -------------------------- *)
+
+type bwit = {
+  b_chain : string list; (* callee chain, outermost first *)
+  b_prim : string;
+  b_file : string;
+  b_loc : Location.t;
+}
+
+type acq = { a_chain : string list; a_file : string; a_loc : Location.t }
+
+type edge = {
+  e_src : string;
+  e_dst : string;
+  e_fn : string;
+  e_file : string;
+  e_outer : Location.t; (* where the outer lock is taken *)
+  e_chain : string list; (* calls from there to the inner acquisition *)
+  e_acq_file : string;
+  e_acq : Location.t; (* where the inner lock is taken *)
+}
+
+let find_map_first f l =
+  let rec go = function
+    | [] -> None
+    | x :: rest -> ( match f x with Some _ as r -> r | None -> go rest)
+  in
+  go l
+
+let analyze (units : unit_src list) : Diag.finding list =
+  let findings = ref [] in
+  let emit ~rule ~severity ~file ~loc ~message ~hint =
+    let line, col = pos_of loc in
+    findings :=
+      { Diag.rule; severity; file; line; col; message; hint } :: !findings
+  in
+  (* phase 1 *)
+  let fns : (string, summary) Hashtbl.t = Hashtbl.create 512 in
+  let order = ref [] in
+  let add_summary sum =
+    (* reverse the accumulators into source order *)
+    sum.sum_ops <- List.rev sum.sum_ops;
+    sum.sum_sections <- List.rev sum.sum_sections;
+    List.iter
+      (fun sec ->
+        sec.sec_ops <- List.rev sec.sec_ops;
+        sec.sec_nested <- List.rev sec.sec_nested)
+      sum.sum_sections;
+    if not (Hashtbl.mem fns sum.sum_fn) then order := sum :: !order;
+    Hashtbl.replace fns sum.sum_fn sum
+  in
+  List.iter
+    (fun u ->
+      summarize_unit u ~add_summary ~leak:(fun ~fn ~kind ~var ~loc ->
+          emit ~rule:"FL009" ~severity:Diag.Error ~file:u.u_file ~loc
+            ~message:
+              (Printf.sprintf
+                 "resource leak: %s [%s] is neither closed nor stored/returned \
+                  on any path through %s"
+                 kind var fn)
+            ~hint:
+              "close it with Fun.protect ~finally:(fun () -> close ...) or \
+               hand it to an owning structure"))
+    units;
+  let order = List.rev !order in
+  let resolve ~cur path =
+    match path with
+    | [ f ] ->
+        let k = cur ^ "." ^ f in
+        if Hashtbl.mem fns k then Some k else None
+    | _ -> (
+        match List.rev path with
+        | f :: m :: _ ->
+            let k = m ^ "." ^ f in
+            if Hashtbl.mem fns k then Some k else None
+        | _ -> None)
+  in
+  (* transitively-blocking witness per function *)
+  let bmemo : (string, [ `Busy | `Done of bwit option ]) Hashtbl.t =
+    Hashtbl.create 512
+  in
+  let rec blocks fn =
+    match Hashtbl.find_opt bmemo fn with
+    | Some `Busy -> None
+    | Some (`Done r) -> r
+    | None ->
+        Hashtbl.replace bmemo fn `Busy;
+        let sum = Hashtbl.find fns fn in
+        let r =
+          find_map_first
+            (fun o ->
+              if is_blocking o.op_path then
+                Some
+                  {
+                    b_chain = [];
+                    b_prim = joined o.op_path;
+                    b_file = sum.sum_file;
+                    b_loc = o.op_loc;
+                  }
+              else
+                match resolve ~cur:sum.sum_mod o.op_path with
+                | Some callee -> (
+                    match blocks callee with
+                    | Some w -> Some { w with b_chain = callee :: w.b_chain }
+                    | None -> None)
+                | None -> None)
+            sum.sum_ops
+        in
+        Hashtbl.replace bmemo fn (`Done r);
+        r
+  in
+  (* transitively-acquired locks (with a witness chain) per function *)
+  let amemo : (string, [ `Busy | `Done of (string * acq) list ]) Hashtbl.t =
+    Hashtbl.create 512
+  in
+  let rec acquires fn =
+    match Hashtbl.find_opt amemo fn with
+    | Some `Busy -> []
+    | Some (`Done r) -> r
+    | None ->
+        Hashtbl.replace amemo fn `Busy;
+        let sum = Hashtbl.find fns fn in
+        let acc = ref [] in
+        let add lock a = if not (List.mem_assoc lock !acc) then acc := (lock, a) :: !acc in
+        List.iter
+          (fun sec ->
+            add sec.sec_lock
+              { a_chain = []; a_file = sum.sum_file; a_loc = sec.sec_loc })
+          sum.sum_sections;
+        List.iter
+          (fun o ->
+            match resolve ~cur:sum.sum_mod o.op_path with
+            | Some callee ->
+                List.iter
+                  (fun (lock, a) -> add lock { a with a_chain = callee :: a.a_chain })
+                  (acquires callee)
+            | None -> ())
+          sum.sum_ops;
+        let r = List.rev !acc in
+        Hashtbl.replace amemo fn (`Done r);
+        r
+  in
+  (* FL008: a critical section that reaches a blocking primitive *)
+  let sanctioned_wait o innermost =
+    innermost && joined o.op_path = "Condition.wait"
+  in
+  List.iter
+    (fun sum ->
+      List.iter
+        (fun sec ->
+          let witness =
+            find_map_first
+              (fun (o, innermost) ->
+                if is_blocking o.op_path then
+                  if sanctioned_wait o innermost then None
+                  else
+                    Some
+                      {
+                        b_chain = [];
+                        b_prim = joined o.op_path;
+                        b_file = sum.sum_file;
+                        b_loc = o.op_loc;
+                      }
+                else
+                  match resolve ~cur:sum.sum_mod o.op_path with
+                  | Some callee -> (
+                      match blocks callee with
+                      | Some w -> Some { w with b_chain = callee :: w.b_chain }
+                      | None -> None)
+                  | None -> None)
+              sec.sec_ops
+          in
+          match witness with
+          | None -> ()
+          | Some w ->
+              let chain = String.concat " > " (sum.sum_fn :: w.b_chain) in
+              emit ~rule:"FL008" ~severity:Diag.Error ~file:sum.sum_file
+                ~loc:sec.sec_loc
+                ~message:
+                  (Printf.sprintf
+                     "blocking operation while holding %s: %s reaches %s \
+                      (%s:%d)"
+                     sec.sec_lock chain w.b_prim w.b_file (line_of w.b_loc))
+                ~hint:
+                  "move the blocking call outside the critical section, or \
+                   suppress with a written justification tied to a ROADMAP \
+                   item")
+        sum.sum_sections)
+    order;
+  (* FL007: cycles in the lock-acquisition-order graph *)
+  let edges : (string * string, edge) Hashtbl.t = Hashtbl.create 64 in
+  let edge_order = ref [] in
+  let add_edge e =
+    let k = (e.e_src, e.e_dst) in
+    if not (Hashtbl.mem edges k) then begin
+      Hashtbl.replace edges k e;
+      edge_order := k :: !edge_order
+    end
+  in
+  List.iter
+    (fun sum ->
+      List.iter
+        (fun sec ->
+          List.iter
+            (fun (lock, loc) ->
+              add_edge
+                {
+                  e_src = sec.sec_lock;
+                  e_dst = lock;
+                  e_fn = sum.sum_fn;
+                  e_file = sum.sum_file;
+                  e_outer = sec.sec_loc;
+                  e_chain = [];
+                  e_acq_file = sum.sum_file;
+                  e_acq = loc;
+                })
+            sec.sec_nested;
+          List.iter
+            (fun (o, _) ->
+              match resolve ~cur:sum.sum_mod o.op_path with
+              | Some callee ->
+                  List.iter
+                    (fun (lock, a) ->
+                      add_edge
+                        {
+                          e_src = sec.sec_lock;
+                          e_dst = lock;
+                          e_fn = sum.sum_fn;
+                          e_file = sum.sum_file;
+                          e_outer = sec.sec_loc;
+                          e_chain = callee :: a.a_chain;
+                          e_acq_file = a.a_file;
+                          e_acq = a.a_loc;
+                        })
+                    (acquires callee)
+              | None -> ())
+            sec.sec_ops)
+        sum.sum_sections)
+    order;
+  (* strongly connected components over the lock graph (Tarjan) *)
+  let nodes = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun (a, b) _ ->
+      Hashtbl.replace nodes a ();
+      Hashtbl.replace nodes b ())
+    edges;
+  let succ l =
+    Hashtbl.fold (fun (a, b) _ acc -> if a = l then b :: acc else acc) edges []
+    |> List.sort String.compare
+  in
+  let index = Hashtbl.create 32 in
+  let lowlink = Hashtbl.create 32 in
+  let on_stack = Hashtbl.create 32 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succ v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  let all_nodes =
+    Hashtbl.fold (fun n () acc -> n :: acc) nodes [] |> List.sort String.compare
+  in
+  List.iter (fun n -> if not (Hashtbl.mem index n) then strongconnect n) all_nodes;
+  let report_cycle members =
+    let members = List.sort String.compare members in
+    let in_scc l = List.mem l members in
+    let start = List.hd members in
+    (* shortest cycle start -> ... -> start inside the SCC *)
+    let parent = Hashtbl.create 8 in
+    let visited = Hashtbl.create 8 in
+    let rec bfs frontier =
+      match frontier with
+      | [] -> None
+      | _ ->
+          let next = ref [] in
+          let hit = ref None in
+          List.iter
+            (fun v ->
+              if !hit = None then
+                List.iter
+                  (fun w ->
+                    if !hit = None && in_scc w then
+                      if w = start then begin
+                        hit := Some v
+                      end
+                      else if not (Hashtbl.mem visited w) then begin
+                        Hashtbl.replace visited w ();
+                        Hashtbl.replace parent w v;
+                        next := w :: !next
+                      end)
+                  (succ v))
+            frontier;
+          (match !hit with
+          | Some v ->
+              let rec build v acc =
+                if v = start then start :: acc
+                else build (Hashtbl.find parent v) (v :: acc)
+              in
+              Some (build v [ start ])
+          | None -> bfs (List.rev !next))
+    in
+    Hashtbl.replace visited start ();
+    match bfs [ start ] with
+    | None -> () (* no cycle through [start]; SCC of size 1 without self-edge *)
+    | Some path ->
+        (* path = [start; ...; start] *)
+        let rec pairs = function
+          | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+          | _ -> []
+        in
+        let cycle_edges =
+          List.map (fun (a, b) -> Hashtbl.find edges (a, b)) (pairs path)
+        in
+        let render e =
+          let via =
+            match e.e_chain with
+            | [] -> ""
+            | chain -> " via " ^ String.concat " > " chain
+          in
+          Printf.sprintf "%s (%s:%d) holds %s then takes %s%s (%s:%d)" e.e_fn
+            e.e_file (line_of e.e_outer) e.e_src e.e_dst via e.e_acq_file
+            (line_of e.e_acq)
+        in
+        let first = List.hd cycle_edges in
+        emit ~rule:"FL007" ~severity:Diag.Error ~file:first.e_file
+          ~loc:first.e_outer
+          ~message:
+            (Printf.sprintf "lock-order cycle: %s — %s"
+               (String.concat " -> " path)
+               (String.concat "; " (List.map render cycle_edges)))
+          ~hint:
+            "acquire these locks in one project-wide order everywhere (see \
+             DESIGN.md \"Lock acquisition order\"), or release the outer lock \
+             before taking the inner one"
+  in
+  List.iter
+    (fun scc ->
+      match scc with
+      | [ l ] -> if Hashtbl.mem edges (l, l) then report_cycle scc
+      | _ :: _ :: _ -> report_cycle scc
+      | [] -> ())
+    (List.rev !sccs);
+  List.rev !findings

@@ -1,11 +1,16 @@
 (* flix_lint — repo-specific static analysis for the FliX tree.
 
    Parses every .ml/.mli under the given roots (default: lib bin bench)
-   with compiler-libs and runs the rule engine in Rules. Exits nonzero
-   when any unsuppressed finding remains, so `dune build @lint` gates
-   the tree.
+   with compiler-libs and runs two passes: the per-file syntactic rule
+   engine in Rules (FL001–FL006), then the whole-program concurrency
+   analysis in Concurrency (FL007 lock-order-cycle, FL008
+   blocking-under-lock, FL009 resource-leak) over the retained
+   parsetrees. Stale suppression comments are reported as FL010. Exits
+   nonzero when any unsuppressed finding remains, so `dune build @lint`
+   gates the tree.
 
-   Usage: flix_lint [--json] [--root DIR] [--list-rules] [DIR|FILE ...]
+   Usage: flix_lint [--json] [--sarif FILE] [--root DIR] [--list-rules]
+                    [DIR|FILE ...]
 
    Paths are reported relative to the scan root, which is also how the
    directory-scoped rules decide what applies where — run it from the
@@ -13,7 +18,7 @@
    bench/... *)
 
 let usage =
-  "flix_lint [--json] [--root DIR] [--list-rules] [paths...]\n\
+  "flix_lint [--json] [--sarif FILE] [--root DIR] [--list-rules] [paths...]\n\
    Static analysis for the FliX tree. Default paths: lib bin bench.\n\
    Suppress a finding with an inline comment on, or directly above, the\n\
    offending line:  (* flix-lint: allow FL003 -- reason *)"
@@ -79,16 +84,25 @@ let parse_error_finding file exn =
     hint = "fix the syntax error; flix_lint parses with the 5.x grammar";
   }
 
+let module_name_of file =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename file))
+
 (* --- main -------------------------------------------------------------- *)
 
 let () =
+  let t0 = Unix.gettimeofday () in
   let json = ref false in
+  let sarif_path = ref "" in
   let root = ref "" in
   let list_rules = ref false in
   let roots = ref [] in
   let spec =
     [
       ("--json", Arg.Set json, " emit findings as JSON, one object per line");
+      ( "--sarif",
+        Arg.Set_string sarif_path,
+        "FILE also write findings as SARIF 2.1.0 to FILE" );
       ("--root", Arg.Set_string root, "DIR chdir to DIR before scanning");
       ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
     ]
@@ -112,13 +126,17 @@ let () =
     |> List.map normalize
   in
   let findings = ref [] in
-  let suppressed = ref 0 in
   let scanned = ref 0 in
+  (* per-file suppression tables, kept so the whole-program pass and the
+     stale-suppression check can consult them after the file loop *)
+  let sups : (string, Suppress.t) Hashtbl.t = Hashtbl.create 64 in
+  let units = ref [] in
   List.iter
     (fun file ->
       incr scanned;
       let source = read_file file in
       let sup = Suppress.scan source in
+      Hashtbl.replace sups file sup;
       let keep (f : Diag.finding) =
         if Suppress.is_suppressed sup ~rule:f.rule ~line:f.line then ()
         else findings := f :: !findings
@@ -126,7 +144,11 @@ let () =
       let ctx = { Rules.file; report = keep } in
       if Filename.check_suffix file ".ml" then begin
         (match with_lexbuf file source Parse.implementation with
-        | str -> Rules.run_on_structure ctx str
+        | str ->
+            Rules.run_on_structure ctx str;
+            units :=
+              { Concurrency.u_file = file; u_mod = module_name_of file; u_str = str }
+              :: !units
         | exception exn -> keep (parse_error_finding file exn));
         (* FL006: implementation files in lib/ carry their contract in a
            sibling interface; an uncovered .ml leaks its whole namespace. *)
@@ -148,16 +170,52 @@ let () =
         match with_lexbuf file source Parse.interface with
         | (_ : Parsetree.signature) -> ()
         | exception exn -> keep (parse_error_finding file exn)
-      end;
-      suppressed := !suppressed + Suppress.hits sup)
+      end)
     files;
+  (* whole-program pass: FL007/FL008/FL009 over the retained parsetrees *)
+  List.iter
+    (fun (f : Diag.finding) ->
+      let silenced =
+        match Hashtbl.find_opt sups f.file with
+        | Some sup -> Suppress.is_suppressed sup ~rule:f.rule ~line:f.line
+        | None -> false
+      in
+      if not silenced then findings := f :: !findings)
+    (Concurrency.analyze (List.rev !units));
+  (* FL010: allow comments that silenced nothing are themselves findings,
+     so the suppressed baseline cannot rot. Runs last — every other rule
+     has had its chance to claim the entry. *)
+  Hashtbl.iter
+    (fun file sup ->
+      List.iter
+        (fun (rule, line) ->
+          let f =
+            {
+              Diag.rule = "FL010";
+              severity = Diag.Warning;
+              file;
+              line;
+              col = 0;
+              message =
+                Printf.sprintf
+                  "unused suppression: %s does not fire here anymore" rule;
+              hint = "delete the stale 'flix-lint: allow' comment";
+            }
+          in
+          if not (Suppress.is_suppressed sup ~rule:f.rule ~line:f.line) then
+            findings := f :: !findings)
+        (Suppress.unused sup))
+    sups;
+  let suppressed = Hashtbl.fold (fun _ sup n -> n + Suppress.hits sup) sups 0 in
   let findings = List.sort Diag.compare_findings !findings in
+  if !sarif_path <> "" then Sarif.write ~path:!sarif_path findings;
   if !json then List.iter (fun f -> print_endline (Diag.to_json f)) findings
   else begin
     List.iter (fun f -> print_endline (Diag.to_human f)) findings;
-    Printf.printf "flix_lint: %d finding%s (%d suppressed) in %d files\n"
+    Printf.printf "flix_lint: %d finding%s (%d suppressed) in %d files (%.2fs)\n"
       (List.length findings)
       (if List.length findings = 1 then "" else "s")
-      !suppressed !scanned
+      suppressed !scanned
+      (Unix.gettimeofday () -. t0)
   end;
   exit (if findings = [] then 0 else 1)

@@ -347,4 +347,17 @@ let descriptions =
        handle Out_of_memory/Stack_overflow (lib/, bin/, bench/)" );
     ("FL005", "stray-output: library code must log through Log, not stdout (lib/)");
     ("FL006", "mli-coverage: every lib/**/*.ml needs a sibling .mli (lib/)");
+    ( "FL007",
+      "lock-order-cycle: a cycle in the global lock-acquisition-order graph \
+       (whole-program; witnessing acquisition paths printed)" );
+    ( "FL008",
+      "blocking-under-lock: a transitively blocking operation (Unix I/O, \
+       sleeps, joins, channel I/O) inside a critical section (whole-program; \
+       call chain printed)" );
+    ( "FL009",
+      "resource-leak: an opened fd/channel neither closed nor \
+       stored/returned on any path through the function" );
+    ( "FL010",
+      "unused-suppression: a 'flix-lint: allow' comment that silenced \
+       nothing this run" );
   ]

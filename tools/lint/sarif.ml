@@ -1,0 +1,54 @@
+(* SARIF 2.1.0 output for flix_lint.
+
+   One run, one tool driver ("flix_lint"), the rule catalogue from
+   Rules.descriptions, and one result per finding. This is the format
+   GitHub code scanning ingests to render findings as PR annotations;
+   columns are 1-based in SARIF, so the 0-based Diag column shifts by
+   one. Written by hand (no JSON library in the lint tool's closure) on
+   top of Diag.json_escape. *)
+
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let level_of = function Diag.Error -> "error" | Diag.Warning -> "warning"
+
+let rule_index =
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i (id, _) -> Hashtbl.replace tbl id i) Rules.descriptions;
+  tbl
+
+let rule_json (id, doc) =
+  Printf.sprintf
+    {|{"id":"%s","shortDescription":{"text":"%s"},"helpUri":"https://github.com/flix/flix-index#static-analysis"}|}
+    (Diag.json_escape id) (Diag.json_escape doc)
+
+let result_json (f : Diag.finding) =
+  let rule_index_field =
+    match Hashtbl.find_opt rule_index f.rule with
+    | Some i -> Printf.sprintf {|"ruleIndex":%d,|} i
+    | None -> "" (* FL000 parse failures are not in the catalogue *)
+  in
+  Printf.sprintf
+    {|{"ruleId":"%s",%s"level":"%s","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+    (Diag.json_escape f.rule) rule_index_field
+    (level_of f.severity)
+    (Diag.json_escape (f.message ^ " (hint: " ^ f.hint ^ ")"))
+    (Diag.json_escape f.file) f.line (f.col + 1)
+
+let to_string findings =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"$schema":"%s","version":"2.1.0","runs":[{"tool":{"driver":{"name":"flix_lint","informationUri":"https://github.com/flix/flix-index","rules":[|}
+       schema);
+  Buffer.add_string buf
+    (String.concat "," (List.map rule_json Rules.descriptions));
+  Buffer.add_string buf {|]}},"results":[|};
+  Buffer.add_string buf (String.concat "," (List.map result_json findings));
+  Buffer.add_string buf {|]}]}|};
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write ~path findings =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string findings))

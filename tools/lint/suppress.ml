@@ -9,10 +9,22 @@
    offending line or on its own line above it. Several ids may appear in
    one comment ([allow FL001 FL004 — ...]); the reason text is free-form
    but encouraged. File-scope rules (FL006) report at line 1, so their
-   suppression goes on the first line of the file. *)
+   suppression goes on the first line of the file.
+
+   Every allow entry tracks whether it actually silenced a finding this
+   run. A stale entry — allowing a rule that no longer fires at that
+   site — is reported by the driver as FL010, so the suppressed baseline
+   cannot rot silently. *)
+
+type entry = {
+  rule : string;
+  comment_line : int; (* the line the allow comment sits on *)
+  mutable used : bool;
+}
 
 type t = {
-  entries : (string * int, unit) Hashtbl.t; (* (rule, line) -> () *)
+  entries : (string * int, entry) Hashtbl.t; (* (rule, covered line) *)
+  mutable all : entry list; (* one per (rule, comment), source order *)
   mutable hits : int; (* findings actually silenced, for the summary *)
 }
 
@@ -52,7 +64,7 @@ let rule_ids line from =
   List.rev !ids
 
 let scan source =
-  let t = { entries = Hashtbl.create 8; hits = 0 } in
+  let t = { entries = Hashtbl.create 8; all = []; hits = 0 } in
   let lines = String.split_on_char '\n' source in
   List.iteri
     (fun i line ->
@@ -63,17 +75,28 @@ let scan source =
           if find_substring line "allow" <> None then
             List.iter
               (fun rule ->
-                Hashtbl.replace t.entries (rule, lineno) ();
-                Hashtbl.replace t.entries (rule, lineno + 1) ())
+                let e = { rule; comment_line = lineno; used = false } in
+                t.all <- e :: t.all;
+                Hashtbl.replace t.entries (rule, lineno) e;
+                Hashtbl.replace t.entries (rule, lineno + 1) e)
               (rule_ids line (pos + String.length marker)))
     lines;
+  t.all <- List.rev t.all;
   t
 
 let is_suppressed t ~rule ~line =
-  if Hashtbl.mem t.entries (rule, line) then begin
-    t.hits <- t.hits + 1;
-    true
-  end
-  else false
+  match Hashtbl.find_opt t.entries (rule, line) with
+  | Some e ->
+      e.used <- true;
+      t.hits <- t.hits + 1;
+      true
+  | None -> false
 
 let hits t = t.hits
+
+(* Allow entries that silenced nothing this run, as (rule, comment line).
+   Call only after every finding has been through [is_suppressed]. *)
+let unused t =
+  List.filter_map
+    (fun e -> if e.used then None else Some (e.rule, e.comment_line))
+    t.all
