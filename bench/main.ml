@@ -707,14 +707,28 @@ let serve ctx =
         Fx_index.Disk_hopi.save ~path:prefix dg ctx.hopi_labels;
         Fx_index.Catalog.save ~path:(prefix ^ ".catalog")
           (Fx_index.Catalog.of_collection ctx.collection);
-        let d = Fx_index.Disk_hopi.open_ ~pool_pages:16_384 ~path:prefix () in
+        let d = Fx_index.Disk_hopi.open_ ~pool_pages:16_384 ~stripes:8 ~path:prefix () in
         let catalog = Fx_index.Catalog.load (prefix ^ ".catalog") in
+        (* Per-row stripe evidence: how many gate/io acquisitions had to
+           block across both files (cumulative over the shared handle —
+           the per-row delta is visible across consecutive rows). *)
+        let stripe_extra ~port:_ =
+          let ls, ts = Fx_index.Disk_hopi.stripe_stats d in
+          let sum f = List.fold_left (fun a st -> a + f st) 0 (ls @ ts) in
+          [
+            ("stripes", string_of_int (List.length ls));
+            ( "lock_acquisitions",
+              string_of_int (sum (fun (st : Fx_store.Pager.stripe_stats) -> st.lock_acquisitions)) );
+            ( "lock_contended",
+              string_of_int (sum (fun (st : Fx_store.Pager.stripe_stats) -> st.lock_contended)) );
+          ]
+        in
         Fun.protect
           ~finally:(fun () -> Fx_index.Disk_hopi.close d)
           (fun () ->
             List.map
               (fun w ->
-                run_one ~backend_name:"disk" ~workers:w
+                run_one ~backend_name:"disk" ~workers:w ~extra:stripe_extra
                   (Fx_server.Server.On_disk { hopi = d; catalog }))
               [ 1; 2; 4 ]))
   in

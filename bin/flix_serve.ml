@@ -39,7 +39,7 @@ let usage () =
   print_endline
     "usage: flix_serve [--port N] [--host A] [--workers N] [--queue N]\n\
     \                  [--deadline-ms F] [--docs N | --xml-dir DIR] [--seed N]\n\
-    \                  [--index-dir DIR] [--pool-pages N]\n\
+    \                  [--index-dir DIR] [--pool-pages N] [--pool-stripes N]\n\
     \       flix_serve --build-shards N --index-dir DIR [--docs N | --xml-dir DIR]\n\
     \                  [--no-closure]\n\
     \       flix_serve --coordinator --index-dir DIR --shard HOST:PORT [--shard ...]\n\
@@ -87,7 +87,7 @@ let catalog_path prefix = prefix ^ ".catalog"
 
 (* Build a global HOPI over the collection and persist it (plus the
    serving catalog) under [dir], then reopen it as the disk backend. *)
-let build_deployment ~dir ~prefix ~pool_pages source seed =
+let build_deployment ~dir ~prefix ~pool_pages ~pool_stripes source seed =
   let collection = load_collection source seed in
   Printf.printf "collection: %s\n%!" (C.stats collection);
   Printf.printf "building HOPI index...\n%!";
@@ -98,13 +98,13 @@ let build_deployment ~dir ~prefix ~pool_pages source seed =
   Catalog.save ~path:(catalog_path prefix) (Catalog.of_collection collection);
   Printf.printf "saved deployment to %s (indexed in %.2f s)\n%!" dir
     (Int64.to_float build_ns /. 1e9);
-  let disk = Disk_hopi.open_ ?pool_pages ~path:prefix () in
+  let disk = Disk_hopi.open_ ?pool_pages ?stripes:pool_stripes ~path:prefix () in
   (disk, Catalog.load (catalog_path prefix))
 
-let open_deployment ~prefix ~pool_pages () =
+let open_deployment ~prefix ~pool_pages ~pool_stripes () =
   Printf.printf "opening deployment %s...\n%!" prefix;
   let catalog = Catalog.load (catalog_path prefix) in
-  let disk = Disk_hopi.open_ ?pool_pages ~path:prefix () in
+  let disk = Disk_hopi.open_ ?pool_pages ?stripes:pool_stripes ~path:prefix () in
   (disk, catalog)
 
 let serve ?(register = fun _ -> ()) cfg backend =
@@ -206,7 +206,7 @@ let serve_coordinator cfg ~dir ~shards ~coord_cache ~batching ~use_closure =
           Fx_server.Metrics.register_collector (Server.metrics server)
             (Coordinator.metric_lines coord)))
 
-let serve_plain cfg source seed index_dir pool_pages =
+let serve_plain cfg source seed index_dir pool_pages pool_stripes =
   match index_dir with
   | Some dir -> (
       (* Persistent serving. A mangled or half-written store must come
@@ -214,8 +214,8 @@ let serve_plain cfg source seed index_dir pool_pages =
       let prefix = Filename.concat dir "index" in
       match
         if Sys.file_exists (catalog_path prefix) then
-          open_deployment ~prefix ~pool_pages ()
-        else build_deployment ~dir ~prefix ~pool_pages source seed
+          open_deployment ~prefix ~pool_pages ~pool_stripes ()
+        else build_deployment ~dir ~prefix ~pool_pages ~pool_stripes source seed
       with
       | exception Fx_util.Codec.Corrupt msg ->
           Printf.eprintf "flix_serve: corrupt index store under %s: %s\n" dir msg;
@@ -260,6 +260,7 @@ let () =
   let seed = ref 7 in
   let index_dir = ref None in
   let pool_pages = ref None in
+  let pool_stripes = ref None in
   let build_n = ref None in
   let coordinator = ref false in
   let shard_addrs = ref [] in
@@ -316,6 +317,9 @@ let () =
     | "--pool-pages" :: v :: rest ->
         pool_pages := Some (int_of_string v);
         parse rest
+    | "--pool-stripes" :: v :: rest ->
+        pool_stripes := Some (int_of_string v);
+        parse rest
     | _ -> usage ()
   in
   (try parse (List.tl (Array.to_list Sys.argv)) with
@@ -353,4 +357,4 @@ let () =
   | None, true, None ->
       Printf.eprintf "flix_serve: --coordinator needs --index-dir for the manifest\n";
       exit 1
-  | None, false, _ -> serve_plain !cfg !source !seed !index_dir !pool_pages
+  | None, false, _ -> serve_plain !cfg !source !seed !index_dir !pool_pages !pool_stripes

@@ -25,9 +25,9 @@ let save ?page_size ~path (dg : Path_index.data_graph) hopi =
     dg.tag;
   Pager.close pager
 
-let open_ ?pool_pages ?page_size ~path () =
-  let labels = Disk_labels.open_ ?pool_pages ?page_size (labels_path path) in
-  let tag_pager = Pager.create ?pool_pages ?page_size (tags_path path) in
+let open_ ?pool_pages ?page_size ?stripes ~path () =
+  let labels = Disk_labels.open_ ?pool_pages ?page_size ?stripes (labels_path path) in
+  let tag_pager = Pager.create ?pool_pages ?page_size ?stripes (tags_path path) in
   let tags = Btree.create tag_pager in
   { labels; tag_pager; tags; n = Disk_labels.n_nodes labels }
 
@@ -45,6 +45,10 @@ let descendants_by_tag t x want =
                 ~hi:(tag_key ~tag:w ~node:((1 lsl shift) - 1))
                 (fun _ node -> probe node)
   | None ->
+      (* Wildcard sweep: every label record gets touched in handle
+         (file) order — announce the scan so the pool fills with large
+         sequential reads instead of per-probe misses. *)
+      Disk_labels.prefetch_all t.labels;
       for node = 0 to t.n - 1 do
         probe node
       done);
@@ -60,6 +64,7 @@ let ancestors_by_tag t x want =
                 ~hi:(tag_key ~tag:w ~node:((1 lsl shift) - 1))
                 (fun _ node -> probe node)
   | None ->
+      Disk_labels.prefetch_all t.labels;
       for node = 0 to t.n - 1 do
         probe node
       done);
@@ -112,6 +117,8 @@ let instance ?pool_pages ?page_size ~path dg hopi =
   }
 
 let stats t = (Disk_labels.stats t.labels, Pager.stats t.tag_pager)
+
+let stripe_stats t = (Disk_labels.stripe_stats t.labels, Pager.stripe_stats t.tag_pager)
 
 let drop_pools t =
   Disk_labels.drop_pool t.labels;

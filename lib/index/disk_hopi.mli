@@ -11,8 +11,10 @@ type t
 
 val save : ?page_size:int -> path:string -> Path_index.data_graph -> Hopi.t -> unit
 
-val open_ : ?pool_pages:int -> ?page_size:int -> path:string -> unit -> t
-(** @raise Fx_util.Codec.Corrupt on mangled stores. *)
+val open_ : ?pool_pages:int -> ?page_size:int -> ?stripes:int -> path:string -> unit -> t
+(** [stripes] splits each file's buffer pool into independent lock
+    stripes — see {!Fx_store.Pager.create}.
+    @raise Fx_util.Codec.Corrupt on mangled stores. *)
 
 val n_nodes : t -> int
 val reachable : t -> int -> int -> bool
@@ -48,6 +50,9 @@ val instance :
 
 val stats : t -> Fx_store.Pager.stats * Fx_store.Pager.stats
 (** (label file, tag file) buffer-pool statistics. *)
+
+val stripe_stats : t -> Fx_store.Pager.stripe_stats list * Fx_store.Pager.stripe_stats list
+(** (label file, tag file) per-stripe occupancy/contention counters. *)
 
 val drop_pools : t -> unit
 val close : t -> unit

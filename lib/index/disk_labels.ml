@@ -66,8 +66,8 @@ let save ?page_size ~path labels =
   ignore (Heap.append heap (Codec.Writer.contents tw));
   Pager.close pager
 
-let open_ ?pool_pages ?page_size path =
-  let pager = Pager.create ?pool_pages ?page_size path in
+let open_ ?pool_pages ?page_size ?stripes path =
+  let pager = Pager.create ?pool_pages ?page_size ?stripes path in
   let heap = Heap.create pager in
   match Heap.last_handle heap with
   | None -> raise (Codec.Corrupt "Disk_labels: empty store")
@@ -118,7 +118,13 @@ let distance t x y =
 
 let reachable t x y = distance t x y <> None
 
+(* Full-sweep readahead: a caller about to probe every node walks the
+   label records in handle order, which is file order — pull the whole
+   file through the pool's free room with large sequential reads. *)
+let prefetch_all t = Pager.prefetch t.pager ~page:0 ~count:(Pager.n_pages t.pager)
+
 let stats t = Pager.stats t.pager
+let stripe_stats t = Pager.stripe_stats t.pager
 let reset_stats t = Pager.reset_stats t.pager
 let drop_pool t = Pager.drop_pool t.pager
 let close t = Pager.close t.pager

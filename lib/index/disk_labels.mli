@@ -16,15 +16,23 @@ type t
 val save : ?page_size:int -> path:string -> Two_hop.t -> unit
 (** Write a label store; overwrites an existing file. *)
 
-val open_ : ?pool_pages:int -> ?page_size:int -> string -> t
-(** [pool_pages] (default 256) bounds the buffer pool.
+val open_ : ?pool_pages:int -> ?page_size:int -> ?stripes:int -> string -> t
+(** [pool_pages] (default 256) bounds the buffer pool; [stripes]
+    (default 8) splits it — see {!Fx_store.Pager.create}.
     @raise Fx_util.Codec.Corrupt on a mangled store. *)
 
 val n_nodes : t -> int
 val reachable : t -> int -> int -> bool
 val distance : t -> int -> int -> int option
 
+val prefetch_all : t -> unit
+(** Readahead for a full label sweep: stream the store's pages into
+    the buffer pool's free room with large sequential reads. Advisory
+    and never evicting — cheap to call before probing every node. *)
+
 val stats : t -> Fx_store.Pager.stats
+
+val stripe_stats : t -> Fx_store.Pager.stripe_stats list
 val reset_stats : t -> unit
 val drop_pool : t -> unit
 (** Cold-cache switch: empty the buffer pool. *)

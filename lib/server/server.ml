@@ -230,16 +230,39 @@ let pool_metric_lines hopi () =
       Printf.sprintf "%s{file=\"tags\"} %d" name g;
     ]
   in
+  let lstripes, tstripes = Disk_hopi.stripe_stats hopi in
+  let stripe_series name help kind proj =
+    let fmt file ss =
+      List.map
+        (fun (s : P.stripe_stats) ->
+          Printf.sprintf "%s{file=%S,stripe=\"%d\"} %d" name file s.P.stripe_index (proj s))
+        ss
+    in
+    [ Printf.sprintf "# HELP %s %s" name help; Printf.sprintf "# TYPE %s %s" name kind ]
+    @ fmt "labels" lstripes @ fmt "tags" tstripes
+  in
   series "flix_pager_pool_hits_total"
     "Page reads served from the buffer pool, by index file."
-    (labels.P.logical_reads - labels.P.physical_reads)
-    (tags.P.logical_reads - tags.P.physical_reads)
+    (labels.P.logical_reads - labels.P.demand_misses)
+    (tags.P.logical_reads - tags.P.demand_misses)
   @ series "flix_pager_pool_misses_total"
-      "Page reads that went to disk, by index file." labels.P.physical_reads
-      tags.P.physical_reads
+      "Page reads that had to fetch from disk (prefetch fills excluded), by index file."
+      labels.P.demand_misses tags.P.demand_misses
   @ series "flix_pager_physical_writes_total"
       "Physical page writes (write-backs, extensions, header), by index file."
       labels.P.physical_writes tags.P.physical_writes
+  @ stripe_series "flix_pager_stripe_lock_acquisitions_total"
+      "Stripe mutex and I/O-turn acquisitions, by index file and pool stripe." "counter"
+      (fun s -> s.P.lock_acquisitions)
+  @ stripe_series "flix_pager_stripe_lock_contended_total"
+      "Stripe lock acquisitions that had to block on another domain." "counter"
+      (fun s -> s.P.lock_contended)
+  @ stripe_series "flix_pager_stripe_resident_pages"
+      "Pages currently held by each pool stripe." "gauge"
+      (fun s -> s.P.resident_pages)
+  @ stripe_series "flix_pager_stripe_capacity_pages"
+      "Pool segment bound of each stripe." "gauge"
+      (fun s -> s.P.capacity_pages)
 
 (* Unlike the PEE stream, a disk probe computes whole result blocks —
    there is no per-item deadline cut — so every pool verb answers the

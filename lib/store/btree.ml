@@ -238,6 +238,12 @@ let insert t ~key ~value =
 
 (* --- range scans --------------------------------------------------------- *)
 
+(* Leaves are appended in key order during a sequential build, so the
+   next-leaf chain tends to run through consecutive pages — worth a
+   readahead window when a range scan crosses leaves. Non-leaf pages
+   caught in the window cost pool room, nothing else. *)
+let scan_window = 8
+
 let iter_range t ~lo ~hi f =
   if lo <= hi then begin
     let _, first = find_leaf t t.root lo in
@@ -254,7 +260,11 @@ let iter_range t ~lo ~hi f =
           incr i
         end
       done;
-      if (not !stop) && next_leaf b >= 0 then walk (load t (next_leaf b)) 0
+      if (not !stop) && next_leaf b >= 0 then begin
+        let nl = next_leaf b in
+        Pager.prefetch t.pager ~page:nl ~count:scan_window;
+        walk (load t nl) 0
+      end
     in
     walk first (leaf_slot first lo)
   end

@@ -21,9 +21,18 @@ let off_of t pos = pos mod Pager.page_size t.pager
 
 let capacity t = Pager.n_pages t.pager * Pager.page_size t.pager
 
-(* Read [len] bytes starting at byte position [pos], crossing pages. *)
+(* Read [len] bytes starting at byte position [pos], crossing pages.
+   The bound is written as [len > capacity - pos] so a hostile length
+   from a mangled prefix cannot overflow [pos + len] to a negative and
+   slip past the check. *)
 let read_bytes t pos len =
-  if len < 0 || pos < 0 || pos + len > capacity t then corrupt "Heap_file: out of range";
+  if len < 0 || pos < 0 || pos > capacity t || len > capacity t - pos then
+    corrupt "Heap_file: out of range";
+  (* A record spanning several pages is one sequential block scan:
+     pull the span in with large reads instead of page-sized misses. *)
+  (if len > 0 then
+     let first = page_of t pos and last = page_of t (pos + len - 1) in
+     if last > first then Pager.prefetch t.pager ~page:first ~count:(last - first + 1));
   let out = Bytes.create len in
   let rec go pos written =
     if written < len then begin
@@ -63,14 +72,24 @@ let read_length t pos =
   Int32.to_int (String.get_int32_be s 0)
 
 (* Recover the write cursor by walking the record chain; a zero length
-   (zeroed fresh pages) terminates. *)
+   (zeroed fresh pages) terminates. The walk is strictly sequential, so
+   a sliding readahead window keeps it from paying one disk seek per
+   length prefix on a cold pool. *)
+let recover_window = 32
+
 let recover t =
   let cap = capacity t in
+  let prefetched = ref 0 in
   let rec go pos payload last =
     if pos + 4 > cap then (pos, payload, last)
     else begin
+      let pg = page_of t pos in
+      if pg >= !prefetched then begin
+        Pager.prefetch t.pager ~page:pg ~count:recover_window;
+        prefetched := pg + recover_window
+      end;
       let len = read_length t pos in
-      if len <= 0 || pos + 4 + len > cap then (pos, payload, last)
+      if len <= 0 || len > cap - pos - 4 then (pos, payload, last)
       else go (pos + 4 + len) (payload + len) (Some pos)
     end
   in
@@ -95,9 +114,9 @@ let append t s =
   handle
 
 let read t handle =
-  if handle < 0 || handle + 4 > capacity t then corrupt "Heap_file.read: bad handle";
+  if handle < 0 || handle > capacity t - 4 then corrupt "Heap_file.read: bad handle";
   let len = read_length t handle in
-  if len <= 0 || handle + 4 + len > capacity t then
+  if len <= 0 || len > capacity t - handle - 4 then
     corrupt "Heap_file.read: mangled length prefix";
   read_bytes t (handle + 4) len
 

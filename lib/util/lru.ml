@@ -87,6 +87,29 @@ let add t k v =
       done);
   ()
 
+(* Insert/replace without the eviction loop: segment users (the pager's
+   striped buffer pool) run their own eviction policy — write-backs must
+   happen outside the stripe lock, so an implicit synchronous eviction
+   here would be a correctness bug, not a convenience. *)
+let set t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      unlink t node;
+      push_front t node
+  | None ->
+      let node = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k node;
+      push_front t node
+
+let peek t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node -> Some node.value
+
+let peek_lru t =
+  match t.last with None -> None | Some node -> Some (node.key, node.value)
+
 let mem t k = Hashtbl.mem t.table k
 
 let remove t k =

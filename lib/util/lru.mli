@@ -20,6 +20,19 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
     capacity is exceeded (normally one, plus any backlog left by an
     earlier eviction whose [on_evict] raised). *)
 
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace {e without} evicting, leaving the map over
+    capacity if need be — for callers that run their own eviction policy
+    (the pager's stripe segments trim with {!peek_lru} + {!remove} so
+    write-backs can happen outside the stripe lock). A {!set} map drains
+    back to capacity on the next {!add}. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** {!find} without the recency refresh or the hit/miss accounting. *)
+
+val peek_lru : ('k, 'v) t -> ('k * 'v) option
+(** The least recently used entry, untouched. *)
+
 val mem : ('k, 'v) t -> 'k -> bool
 (** Does not refresh recency. *)
 

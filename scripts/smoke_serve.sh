@@ -237,4 +237,63 @@ PORT=$SAVE_PORT
 rm -rf "$EXTRA_DIR"
 EXTRA_DIR=
 
+echo "== striped pool: disk throughput must scale 1 -> 4 workers =="
+# Same fixed load (4 concurrent clients x 40 requests) against the same
+# disk deployment served with 1 worker and then 4, with a pool small
+# enough (8 pages) that every request does real page I/O. The striped
+# pool must let 4 workers overlap that I/O: the 4-worker wall time may
+# not exceed 1.5x the 1-worker time (the single-mutex pager, which
+# serialized every page access, fails this with time to spare).
+EXTRA_DIR=$(mktemp -d)
+"$BIN" --docs 40 --index-dir "$EXTRA_DIR" --port "$PORT" >"$EXTRA_DIR/build.log" 2>&1 &
+SRV_PID=$!
+wait_port || { cat "$EXTRA_DIR/build.log" >&2; fail "deployment builder did not come up"; }
+kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null
+SRV_PID=
+
+drive_clients() { # N_CLIENTS REQS_EACH
+  local pids= c p
+  for c in $(seq 1 "$1"); do
+    (
+      for i in $(seq 1 "$2"); do
+        exec 8<>"/dev/tcp/127.0.0.1/$PORT" || exit 1
+        printf 'DESCENDANTS dblp_%04d - author 10\n' $(( (c * 7 + i) % 40 )) >&8
+        while IFS= read -r -t 10 line <&8; do
+          case $line in DONE\ *|TIMEOUT\ *|PARTIAL\ *|ERR\ *) break ;; esac
+        done
+        exec 8<&- 8>&-
+      done
+    ) &
+    pids="$pids $!"
+  done
+  for p in $pids; do wait "$p" || fail "disk load client failed"; done
+}
+
+LAST_MS=
+measure_workers() { # N_WORKERS -> LAST_MS
+  "$BIN" --index-dir "$EXTRA_DIR" --workers "$1" --pool-pages 8 --pool-stripes 8 \
+    --port "$PORT" >"$EXTRA_DIR/w$1.log" 2>&1 &
+  SRV_PID=$!
+  wait_port || { cat "$EXTRA_DIR/w$1.log" >&2; fail "$1-worker server did not come up"; }
+  drive_clients 2 5 # warm-up: connection setup, pool fill
+  local t0 t1
+  t0=$(date +%s%N)
+  drive_clients 4 40
+  t1=$(date +%s%N)
+  LAST_MS=$(( (t1 - t0) / 1000000 ))
+  kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null
+  SRV_PID=
+}
+
+measure_workers 1
+MS_1W=$LAST_MS
+measure_workers 4
+MS_4W=$LAST_MS
+echo "disk load wall time: 1 worker=${MS_1W}ms 4 workers=${MS_4W}ms"
+[ "$MS_4W" -le $(( MS_1W * 3 / 2 )) ] \
+  || fail "4 workers did not keep up with 1 (1w=${MS_1W}ms 4w=${MS_4W}ms)"
+
+rm -rf "$EXTRA_DIR"
+EXTRA_DIR=
+
 echo "smoke_serve: OK"

@@ -265,7 +265,10 @@ let test_sarif () =
         (contains sarif {|"ruleId":"FL008"|});
       Alcotest.(check bool) "regions are present and 1-based" true
         (contains sarif {|"startLine":|});
-      Alcotest.(check bool) "FL010 downgrades to warning level" true
+      (* stale suppressions are real findings, not advisories *)
+      Alcotest.(check bool) "FL010 fires as an error" true
+        (contains sarif {|"ruleId":"FL010"|});
+      Alcotest.(check bool) "no warning-level results remain" false
         (contains sarif {|"level":"warning"|}))
 
 (* The shipped tree is lint-clean: run over the build copy of the real

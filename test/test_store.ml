@@ -44,9 +44,11 @@ let test_pager_persistence () =
 let test_pager_pool_eviction () =
   with_temp_file (fun path ->
       Sys.remove path;
-      (* Pool of 2 pages: touching 3 pages in rotation must evict and
-         write back dirty pages correctly. *)
-      let p = Pager.create ~pool_pages:2 ~page_size:128 path in
+      (* Pool of 2 pages in a single stripe: touching 3 pages in
+         rotation must evict and write back dirty pages correctly.
+         (One stripe so all three pages share one LRU segment —
+         otherwise each page gets its own stripe and nothing evicts.) *)
+      let p = Pager.create ~pool_pages:2 ~stripes:1 ~page_size:128 path in
       let pages = List.init 3 (fun _ -> Pager.append_page p) in
       List.iteri
         (fun i pg -> Pager.write p ~page:pg ~offset:0 (Bytes.of_string (Printf.sprintf "v%d" i)))
@@ -173,23 +175,24 @@ let test_pager_domain_stress () =
       verify p2;
       Pager.close p2)
 
-(* Regression for the dirty-evict error path: redirect the pager's fd
+(* Regression for the dirty-evict error path: redirect the stripe's fd
    at /dev/full (reads succeed as zeros, writes fail ENOSPC) so the
    write-back triggered by an eviction fails. The error must reach the
    caller, the dirty page must stay resident, and once the "device"
-   recovers a flush must persist it. *)
+   recovers a flush must persist it. One stripe so both pages share an
+   LRU segment (and a descriptor) and reading [b] really evicts [a]. *)
 let test_pager_dirty_evict_enospc () =
   if not (Sys.file_exists "/dev/full") then ()
   else
     with_temp_file (fun path ->
         Sys.remove path;
-        let p = Pager.create ~pool_pages:1 ~page_size:128 path in
+        let p = Pager.create ~pool_pages:1 ~stripes:1 ~page_size:128 path in
         let a = Pager.append_page p in
         let b = Pager.append_page p in
         Pager.write p ~page:a ~offset:0 (Bytes.of_string "precious");
-        let real = Unix.dup (Pager.unsafe_fd p) in
+        let real = Unix.dup (Pager.unsafe_page_fd p ~page:a) in
         let full = Unix.openfile "/dev/full" [ Unix.O_RDWR ] 0 in
-        Unix.dup2 full (Pager.unsafe_fd p);
+        Unix.dup2 full (Pager.unsafe_page_fd p ~page:a);
         Unix.close full;
         (* Reading [b] must evict dirty [a]; the write-back hits ENOSPC. *)
         let raised =
@@ -202,7 +205,7 @@ let test_pager_dirty_evict_enospc () =
         check_str "dirty page still resident" "precious"
           (Bytes.to_string (Pager.read p ~page:a ~offset:0 ~len:8));
         ignore (Pager.stats p);
-        Unix.dup2 real (Pager.unsafe_fd p);
+        Unix.dup2 real (Pager.unsafe_page_fd p ~page:a);
         Unix.close real;
         Pager.flush p;
         Pager.close p;
@@ -211,17 +214,18 @@ let test_pager_dirty_evict_enospc () =
           (Bytes.to_string (Pager.read p2 ~page:a ~offset:0 ~len:8));
         Pager.close p2)
 
-(* Same error path via EBADF: the descriptor vanishes under the pager
-   (closed behind its back), flush reports it, the page survives in the
-   pool, and a restored descriptor lets the retry succeed. *)
+(* Same error path via EBADF: the stripe descriptor vanishes under the
+   pager (closed behind its back), so the flush's write-back itself
+   fails. Flush reports it, the page survives in the pool, and a
+   restored descriptor lets the retry succeed. *)
 let test_pager_flush_after_fd_loss () =
   with_temp_file (fun path ->
       Sys.remove path;
       let p = Pager.create ~page_size:128 path in
       let a = Pager.append_page p in
       Pager.write p ~page:a ~offset:0 (Bytes.of_string "keep-me");
-      let real = Unix.dup (Pager.unsafe_fd p) in
-      Unix.close (Pager.unsafe_fd p);
+      let real = Unix.dup (Pager.unsafe_page_fd p ~page:a) in
+      Unix.close (Pager.unsafe_page_fd p ~page:a);
       let raised =
         try
           Pager.flush p;
@@ -232,7 +236,7 @@ let test_pager_flush_after_fd_loss () =
       check_str "page still resident" "keep-me"
         (Bytes.to_string (Pager.read p ~page:a ~offset:0 ~len:7));
       ignore (Pager.stats p);
-      Unix.dup2 real (Pager.unsafe_fd p);
+      Unix.dup2 real (Pager.unsafe_page_fd p ~page:a);
       Unix.close real;
       Pager.flush p;
       Pager.close p;
@@ -240,6 +244,158 @@ let test_pager_flush_after_fd_loss () =
       check_str "persisted after retry" "keep-me"
         (Bytes.to_string (Pager.read p2 ~page:a ~offset:0 ~len:7));
       Pager.close p2)
+
+(* Regression for the fd leak in [Pager.create]: opening a fresh file
+   whose header write fails (ENOSPC on /dev/full) must close every
+   descriptor it opened on the way out. *)
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_pager_create_fd_leak () =
+  if not (Sys.file_exists "/dev/full" && Sys.file_exists "/proc/self/fd") then ()
+  else begin
+    let before = count_fds () in
+    (match Pager.create ~page_size:128 "/dev/full" with
+    | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ()
+    | p ->
+        Pager.close p;
+        Alcotest.fail "header write to /dev/full succeeded");
+    check_int "no descriptor leaked" before (count_fds ())
+  end
+
+(* The pager must absorb EINTR: a 1 kHz interval timer peppers the
+   process with SIGALRM while pager I/O churns through a pool far
+   smaller than the working set, so page reads, eviction write-backs,
+   and fsyncs all run with signals landing mid-syscall. Without the
+   retry loops this surfaces as Unix_error (EINTR, _, _). *)
+let test_pager_eintr () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let previous = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+      let set_timer v =
+        ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = v; it_value = v })
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (* Stop the timer BEFORE restoring the disposition: a pending
+             alarm under the default action would kill the process. *)
+          set_timer 0.0;
+          Sys.set_signal Sys.sigalrm previous)
+        (fun () ->
+          set_timer 0.001;
+          let page_size = 512 in
+          let p = Pager.create ~pool_pages:2 ~stripes:1 ~page_size path in
+          let n = 8 in
+          let pages = Array.init n (fun _ -> Pager.append_page p) in
+          for r = 0 to 1999 do
+            let pg = pages.(r mod n) in
+            let c = Char.chr (33 + (r mod 94)) in
+            Pager.write p ~page:pg ~offset:0 (Bytes.make page_size c);
+            let b = Pager.read p ~page:pg ~offset:0 ~len:page_size in
+            if not (Bytes.for_all (fun c' -> c' = c) b) then
+              Alcotest.fail (Printf.sprintf "bad readback on round %d" r);
+            if r mod 25 = 0 then Pager.flush p
+          done;
+          Pager.close p))
+
+(* Hostile offsets and lengths must be rejected up front — including
+   the offset = page_size corner (a zero-length write at the page end
+   addresses no byte yet used to slip past the bound) and max_int /
+   min_int values that would wrap [offset + len]. *)
+let test_pager_hostile_bounds () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      let pg = Pager.append_page p in
+      let expect_invalid name f =
+        match f () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail (name ^ ": accepted")
+      in
+      expect_invalid "write at page_size" (fun () ->
+          Pager.write p ~page:pg ~offset:128 Bytes.empty);
+      expect_invalid "write past page_size" (fun () ->
+          Pager.write p ~page:pg ~offset:129 Bytes.empty);
+      expect_invalid "negative write offset" (fun () ->
+          Pager.write p ~page:pg ~offset:(-1) (Bytes.of_string "x"));
+      expect_invalid "write offset max_int" (fun () ->
+          Pager.write p ~page:pg ~offset:max_int (Bytes.of_string "x"));
+      expect_invalid "read offset max_int" (fun () ->
+          ignore (Pager.read p ~page:pg ~offset:max_int ~len:1));
+      expect_invalid "read len max_int" (fun () ->
+          ignore (Pager.read p ~page:pg ~offset:1 ~len:max_int));
+      expect_invalid "read min_int bounds" (fun () ->
+          ignore (Pager.read p ~page:pg ~offset:min_int ~len:min_int));
+      (* The legal degenerate case: a zero-length read at the page end. *)
+      check_int "empty read at page end" 0
+        (Bytes.length (Pager.read p ~page:pg ~offset:128 ~len:0));
+      (* Randomised sweep: every (offset, len) pair is either rejected
+         with Invalid_argument or lands fully inside the page. *)
+      let rng = Fx_util.Rng.create 42 in
+      let interesting = [| min_int; -1; 0; 1; 64; 127; 128; 129; 4096; max_int |] in
+      let pick () =
+        if Fx_util.Rng.int rng 2 = 0 then
+          interesting.(Fx_util.Rng.int rng (Array.length interesting))
+        else Fx_util.Rng.int rng 300 - 150
+      in
+      for _ = 1 to 500 do
+        let offset = pick () and len = pick () in
+        (match Pager.read p ~page:pg ~offset ~len with
+        | b ->
+            check "accepted read is in bounds" true
+              (offset >= 0 && len >= 0 && offset + len <= 128 && Bytes.length b = len)
+        | exception Invalid_argument _ -> ());
+        let wlen = pick () in
+        if wlen >= 0 && wlen <= 4096 then
+          match Pager.write p ~page:pg ~offset (Bytes.make wlen 'w') with
+          | () ->
+              check "accepted write is in bounds" true
+                (offset >= 0 && offset < 128 && offset + wlen <= 128)
+          | exception Invalid_argument _ -> ()
+      done;
+      Pager.close p)
+
+(* Striped-pool stress: 4 domains re-read a fixed working set through 8
+   stripes with prefetch mixed in, then the counters must cohere — the
+   aggregate equals the per-stripe sum, the logical count is exactly
+   one per [Pager.read] call, and no stripe ends over capacity. *)
+let test_pager_striped_stress () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let page_size = 128 and n_domains = 4 and n_pages = 64 and rounds = 50 in
+      let p = Pager.create ~pool_pages:16 ~stripes:8 ~page_size path in
+      for i = 0 to n_pages - 1 do
+        let pg = Pager.append_page p in
+        Pager.write p ~page:pg ~offset:0 (Bytes.make page_size (Char.chr (33 + (i mod 94))))
+      done;
+      Pager.reset_stats p;
+      let work d () =
+        let rng = Fx_util.Rng.create (77 + d) in
+        for r = 0 to rounds - 1 do
+          if r mod 10 = d then Pager.prefetch p ~page:(Fx_util.Rng.int rng n_pages) ~count:16;
+          for pg = 0 to n_pages - 1 do
+            let b = Pager.read p ~page:pg ~offset:0 ~len:page_size in
+            let expect = Char.chr (33 + (pg mod 94)) in
+            if not (Bytes.for_all (fun c -> c = expect) b) then
+              failwith (Printf.sprintf "bad bytes on page %d" pg)
+          done
+        done
+      in
+      let domains = List.init n_domains (fun d -> Domain.spawn (work d)) in
+      List.iter Domain.join domains;
+      let s = Pager.stats p in
+      check_int "logical reads are exact" (n_domains * rounds * n_pages) s.logical_reads;
+      let per_stripe = Pager.stripe_stats p in
+      check_int "eight stripes" 8 (List.length per_stripe);
+      check_int "stripe sum = aggregate" s.logical_reads
+        (List.fold_left
+           (fun acc (st : Pager.stripe_stats) -> acc + st.stripe_logical_reads)
+           0 per_stripe);
+      List.iter
+        (fun (st : Pager.stripe_stats) ->
+          check "stripe within capacity" true (st.resident_pages <= st.capacity_pages);
+          check "stripe counted its locking" true (st.lock_acquisitions > 0))
+        per_stripe;
+      Pager.close p)
 
 (* --- heap file -------------------------------------------------------------- *)
 
@@ -290,6 +446,30 @@ let test_heap_bad_handles () =
       (* Offset pointing into the middle of the payload: length prefix is
          garbage ("ata…" bytes) or overruns. *)
       expect_corrupt (fun () -> Heap.read h 5);
+      Pager.close p)
+
+(* A length prefix smashed to a huge (or negative) value must surface
+   as Corrupt from the overflow-safe bound, never wrap into a bogus
+   in-range read. *)
+let test_heap_smashed_prefix () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let p = Pager.create ~page_size:128 path in
+      let h = Heap.create p in
+      let hd = Heap.append h "victim" in
+      check_str "intact before smashing" "victim" (Heap.read h hd);
+      (* The record's 4-byte big-endian length lives at byte position
+         [hd]: page hd/128, offset hd mod 128. *)
+      let smash v =
+        let evil = Bytes.create 4 in
+        Bytes.set_int32_be evil 0 v;
+        Pager.write p ~page:(hd / 128) ~offset:(hd mod 128) evil;
+        match Heap.read h hd with
+        | exception Fx_util.Codec.Corrupt _ -> ()
+        | _ -> Alcotest.fail "mangled length prefix accepted"
+      in
+      smash Int32.max_int;
+      smash (-1l);
       Pager.close p)
 
 (* --- b+tree ------------------------------------------------------------------ *)
@@ -538,12 +718,17 @@ let () =
           Alcotest.test_case "4-domain stress" `Quick test_pager_domain_stress;
           Alcotest.test_case "dirty evict ENOSPC" `Quick test_pager_dirty_evict_enospc;
           Alcotest.test_case "flush after fd loss" `Quick test_pager_flush_after_fd_loss;
+          Alcotest.test_case "create fd leak" `Quick test_pager_create_fd_leak;
+          Alcotest.test_case "EINTR storm" `Quick test_pager_eintr;
+          Alcotest.test_case "hostile bounds" `Quick test_pager_hostile_bounds;
+          Alcotest.test_case "striped 4-domain stress" `Quick test_pager_striped_stress;
         ] );
       ( "heap_file",
         [
           Alcotest.test_case "roundtrip" `Quick test_heap_roundtrip;
           Alcotest.test_case "reopen" `Quick test_heap_reopen;
           Alcotest.test_case "bad handles" `Quick test_heap_bad_handles;
+          Alcotest.test_case "smashed length prefix" `Quick test_heap_smashed_prefix;
         ] );
       ( "btree",
         [

@@ -192,7 +192,7 @@ let () =
           let f =
             {
               Diag.rule = "FL010";
-              severity = Diag.Warning;
+              severity = Diag.Error;
               file;
               line;
               col = 0;
