@@ -635,6 +635,19 @@ let disk ctx =
 
 let serve ctx =
   header "serve: query-service throughput and latency (8 client threads)";
+  (* Worker scaling is the whole point of this bench; on a single-core
+     box every worker count runs the same serialized schedule and the
+     rows say nothing about scaling. Say so loudly, and stamp the core
+     count into the JSON so downstream comparisons can filter. *)
+  let cores = Domain.recommended_domain_count () in
+  if cores = 1 then begin
+    Printf.printf
+      "\n\
+       *** WARNING: only 1 CPU core available — worker counts cannot run in\n\
+       *** parallel, so the scaling rows below are meaningless. Re-run on a\n\
+       *** multi-core machine before comparing worker counts.\n\n\
+       %!"
+  end;
   let flix = Flix.build ~config:(MB.Unconnected_hopi { max_size = 5_000 }) ctx.collection in
   let n_docs = C.n_docs ctx.collection in
   let n_threads = 8 and per_thread = 200 in
@@ -865,7 +878,8 @@ let serve ctx =
                     ("", true, true) ])))
       [ 1; 2 ]
   in
-  Printf.printf "\nserve-json: {\"bench\":\"serve\",\"docs\":%d,\"rows\":[%s]}\n" n_docs
+  Printf.printf "\nserve-json: {\"bench\":\"serve\",\"docs\":%d,\"cores\":%d,\"rows\":[%s]}\n"
+    n_docs cores
     (String.concat "," (memory_rows @ disk_rows @ shard_rows));
   print_newline ();
   print_endline "expectation: req/s scales with worker domains until the acceptor or";

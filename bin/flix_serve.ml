@@ -35,6 +35,10 @@ module Shard_plan = Fx_shard.Shard_plan
 module Portal_closure = Fx_shard.Portal_closure
 module Coordinator = Fx_shard.Coordinator
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let usage () =
   print_endline
     "usage: flix_serve [--port N] [--host A] [--workers N] [--queue N]\n\
@@ -107,13 +111,16 @@ let open_deployment ~prefix ~pool_pages ~pool_stripes () =
   let disk = Disk_hopi.open_ ?pool_pages ?stripes:pool_stripes ~path:prefix () in
   (disk, catalog)
 
-let serve ?(register = fun _ -> ()) cfg backend =
-  let server = Server.start_backend ~config:cfg backend in
+let serve ?(register = fun _ -> ()) ?admin ?(shutdown = fun _ -> ()) cfg backend =
+  let server = Server.start_backend ~config:cfg ?admin backend in
   register server;
   Printf.printf "serving on %s:%d (%d workers, queue %d, deadline %.0f ms)\n%!"
     cfg.Server.host (Server.port server) cfg.Server.workers cfg.Server.queue_capacity
     cfg.Server.deadline_ms;
-  Printf.printf "verbs: PING | STATS | METRICS | DESCENDANTS | CONNECTED | EVALUATE\n%!";
+  Printf.printf
+    "verbs: PING | STATS | METRICS | DESCENDANTS | CONNECTED | EVALUATE | EPOCH | \
+     INGEST | EVICT | RELOAD\n\
+     %!";
   (* Serve until interrupted; the acceptor and workers do all the work.
      The main thread idles in short interruptible naps — a handler set
      on a thread parked in Condition.wait would never run. *)
@@ -123,7 +130,11 @@ let serve ?(register = fun _ -> ()) cfg backend =
     Thread.delay 0.2
   done;
   Printf.printf "\nshutting down...\n%!";
-  Server.stop server
+  Server.stop server;
+  (* Resource cleanup happens against whatever backend is serving {e
+     now} — after a RELOAD the one this process originally opened was
+     already retired and closed by the swap. *)
+  shutdown server
 
 let manifest_path dir = Filename.concat dir "manifest.shards"
 
@@ -197,14 +208,57 @@ let serve_coordinator cfg ~dir ~shards ~coord_cache ~batching ~use_closure =
   let coord =
     Coordinator.create ~batching ?query_cache:coord_cache ?closure ~plan ~shards ()
   in
+  let backend0 = Server.Custom (Coordinator.backend coord) in
+  (* RELOAD swaps the serving coordinator, so everything that outlives
+     one request — the metrics collector, the admin hooks, the exit
+     cleanup — reads through [current]. A replaced coordinator waits in
+     [retired] until the snapshot's retire callback reports its last
+     pinned request drained; that callback runs on whichever thread
+     drops the last pin, hence the lock and the physical-identity
+     lookup from the retired backend value to its coordinator. *)
+  let current = ref (backend0, coord) in
+  let retired_m = Mutex.create () in
+  let retired = ref [] in
+  let admin =
+    {
+      Server.admin_reload =
+        (fun () ->
+          match Portal_closure.load_manifest (manifest_path dir) with
+          | exception Fx_util.Codec.Corrupt msg ->
+              Error ("corrupt shard manifest: " ^ msg)
+          | exception Sys_error msg -> Error msg
+          | plan, manifest_closure -> (
+              let closure = if use_closure then manifest_closure else None in
+              match Coordinator.reload ?closure (snd !current) ~plan with
+              | Error msg -> Error msg
+              | Ok fresh ->
+                  let b = Server.Custom (Coordinator.backend fresh) in
+                  with_lock retired_m (fun () -> retired := !current :: !retired);
+                  current := (b, fresh);
+                  Ok b));
+      admin_retire =
+        (fun old ->
+          let found =
+            with_lock retired_m (fun () ->
+                match List.partition (fun (b, _) -> b == old) !retired with
+                | [ (_, c) ], rest ->
+                    retired := rest;
+                    Some c
+                | _ -> None)
+          in
+          match found with Some c -> Coordinator.close c | None -> ());
+    }
+  in
   Fun.protect
-    ~finally:(fun () -> Coordinator.close coord)
+    ~finally:(fun () ->
+      Coordinator.close (snd !current);
+      with_lock retired_m (fun () ->
+          List.iter (fun (_, c) -> Coordinator.close c) !retired))
     (fun () ->
-      serve cfg
-        (Server.Custom (Coordinator.backend coord))
+      serve cfg backend0 ~admin
         ~register:(fun server ->
-          Fx_server.Metrics.register_collector (Server.metrics server)
-            (Coordinator.metric_lines coord)))
+          Fx_server.Metrics.register_collector (Server.metrics server) (fun () ->
+              Coordinator.metric_lines (snd !current) ())))
 
 let serve_plain cfg source seed index_dir pool_pages pool_stripes =
   match index_dir with
@@ -233,9 +287,34 @@ let serve_plain cfg source seed index_dir pool_pages pool_stripes =
       | disk, catalog ->
           Printf.printf "deployment: %d nodes, %d documents, %d tag names\n%!"
             (Catalog.n_nodes catalog) (Catalog.n_docs catalog) (Catalog.n_tags catalog);
-          Fun.protect
-            ~finally:(fun () -> Disk_hopi.close disk)
-            (fun () -> serve cfg (Server.On_disk { hopi = disk; catalog })))
+          (* RELOAD reopens the deployment from disk; the retired pager
+             is closed only after its last pinned request drains. The
+             exit path closes whatever backend is serving at that point,
+             not the handle opened above (already gone after a swap). *)
+          let admin =
+            {
+              Server.admin_reload =
+                (fun () ->
+                  match open_deployment ~prefix ~pool_pages ~pool_stripes () with
+                  | exception Fx_util.Codec.Corrupt msg ->
+                      Error ("corrupt index store: " ^ msg)
+                  | exception Unix.Unix_error (err, fn, arg) ->
+                      Error
+                        (Printf.sprintf "%s (%s %s)" (Unix.error_message err) fn arg)
+                  | exception Sys_error msg -> Error msg
+                  | disk, catalog -> Ok (Server.On_disk { hopi = disk; catalog }));
+              admin_retire =
+                (function
+                | Server.On_disk { hopi; _ } -> Disk_hopi.close hopi
+                | Server.In_memory _ | Server.Custom _ -> ());
+            }
+          in
+          serve cfg ~admin
+            (Server.On_disk { hopi = disk; catalog })
+            ~shutdown:(fun server ->
+              match Server.current_backend server with
+              | Server.On_disk { hopi; _ } -> Disk_hopi.close hopi
+              | Server.In_memory _ | Server.Custom _ -> ()))
   | None ->
       let collection = load_collection source seed in
       Printf.printf "collection: %s\n%!" (C.stats collection);
@@ -244,7 +323,22 @@ let serve_plain cfg source seed index_dir pool_pages pool_stripes =
       Printf.printf "built in %.2f s (%.2f MB)\n%!"
         (Int64.to_float build_s /. 1e9)
         (float_of_int (Flix.index_size_bytes flix) /. 1048576.0);
-      serve cfg (Server.In_memory flix)
+      (* In-memory RELOAD rebuilds from the original source (useful when
+         --xml-dir contents changed); INGEST/EVICT mutate the collection
+         incrementally without it. *)
+      let admin =
+        {
+          Server.admin_reload =
+            (fun () ->
+              match Flix.build (load_collection source seed) with
+              | exception (Failure msg | Sys_error msg) -> Error msg
+              | exception Unix.Unix_error (err, fn, arg) ->
+                  Error (Printf.sprintf "%s (%s %s)" (Unix.error_message err) fn arg)
+              | flix -> Ok (Server.In_memory flix));
+          admin_retire = (fun _ -> ());
+        }
+      in
+      serve cfg ~admin (Server.In_memory flix)
 
 let parse_host_port s =
   match String.rindex_opt s ':' with

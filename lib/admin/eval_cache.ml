@@ -1,0 +1,69 @@
+(* Server-side cache over clean EVALUATE answers, with invalidation
+   scoped to the tag pairs touched by an ingest delta instead of a
+   whole-epoch flush. All state sits behind one mutex (never held across
+   anything blocking); hit/miss counters come from the LRU itself. *)
+
+module Lru = Fx_util.Lru
+
+type key = {
+  start_tag : string;
+  target_tag : string option;  (* None = wildcard target *)
+  k : int;
+  max_dist : int;
+}
+
+type 'v t = {
+  m : Mutex.t;
+  lru : (key, 'v) Lru.t;
+  mutable invalidated : int;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create ~capacity =
+  { m = Mutex.create (); lru = Lru.create ~capacity (); invalidated = 0 }
+
+let find t key = with_lock t.m (fun () -> Lru.find t.lru key)
+let store t key v = with_lock t.m (fun () -> Lru.add t.lru key v)
+
+(* A wildcard-target entry may contain nodes of any tag, so every delta
+   touches it. A concrete entry is touched only when its start or target
+   tag is in the delta's tag set. *)
+let touches tags key =
+  List.exists (String.equal key.start_tag) tags
+  ||
+  match key.target_tag with
+  | None -> true
+  | Some tg -> List.exists (String.equal tg) tags
+
+let invalidate_tags t tags =
+  with_lock t.m (fun () ->
+      let doomed = ref [] in
+      Lru.iter t.lru (fun key _ -> if touches tags key then doomed := key :: !doomed);
+      List.iter (Lru.remove t.lru) !doomed;
+      t.invalidated <- t.invalidated + List.length !doomed)
+
+let clear t =
+  with_lock t.m (fun () ->
+      t.invalidated <- t.invalidated + Lru.length t.lru;
+      (* [Lru.clear] also resets hit/miss counters, which must survive a
+         swap (they are the evidence that scoped invalidation kept
+         unaffected entries warm) — drop entries one by one instead. *)
+      let keys = ref [] in
+      Lru.iter t.lru (fun key _ -> keys := key :: !keys);
+      List.iter (Lru.remove t.lru) !keys)
+
+let map_values t f =
+  with_lock t.m (fun () ->
+      let pairs = ref [] in
+      Lru.iter t.lru (fun key v -> pairs := (key, v) :: !pairs);
+      (* [Lru.set] replaces in place without touching the hit/miss
+         counters (recency order is perturbed, which is harmless). *)
+      List.iter (fun (key, v) -> Lru.set t.lru key (f v)) !pairs)
+
+let hits t = with_lock t.m (fun () -> Lru.hits t.lru)
+let misses t = with_lock t.m (fun () -> Lru.misses t.lru)
+let length t = with_lock t.m (fun () -> Lru.length t.lru)
+let invalidated t = with_lock t.m (fun () -> t.invalidated)

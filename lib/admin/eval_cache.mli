@@ -1,0 +1,41 @@
+(** Cache over clean (complete, in-deadline) EVALUATE answers with
+    invalidation scoped to tag pairs.
+
+    When an ingest delta only adds nodes of tags [T], a cached answer
+    for [(start_tag, target_tag)] disjoint from [T] is still exact —
+    the new nodes can never appear in it — so it stays warm across the
+    snapshot swap. Wildcard-target entries are dropped on every delta.
+    Thread-safe. *)
+
+type key = {
+  start_tag : string;
+  target_tag : string option;  (** [None] = wildcard target *)
+  k : int;
+  max_dist : int;
+}
+
+type 'v t
+
+val create : capacity:int -> 'v t
+val find : 'v t -> key -> 'v option
+val store : 'v t -> key -> 'v -> unit
+
+val invalidate_tags : 'v t -> string list -> unit
+(** Drop entries whose start or target tag is in the list, plus all
+    wildcard-target entries. Everything else stays warm. *)
+
+val clear : 'v t -> unit
+(** Drop every entry but keep the hit/miss counters (unlike an LRU
+    reset) — used when a delta's scope cannot be bounded. *)
+
+val map_values : 'v t -> ('v -> 'v) -> unit
+(** Rewrite every cached value in place (hit/miss counters untouched) —
+    used to retag surviving entries to the new epoch during a snapshot
+    swap. *)
+
+val hits : 'v t -> int
+val misses : 'v t -> int
+val length : 'v t -> int
+
+val invalidated : 'v t -> int
+(** Total entries dropped by {!invalidate_tags} and {!clear}. *)

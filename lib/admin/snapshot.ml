@@ -1,0 +1,87 @@
+(* Epoch-numbered, refcounted snapshot of the serving state. Requests pin
+   the current entry for their whole lifetime; publishing installs a new
+   entry under the mutex in O(1) and the old one is retired as soon as
+   its last pin drains. The retire callback runs OUTSIDE the lock — it
+   may close file descriptors or flush buffers (blocking under the
+   snapshot mutex would stall every pin on the request path). *)
+
+type 'a entry = {
+  epoch : int;
+  state : 'a;
+  mutable pins : int;
+  mutable retired : bool;
+}
+
+type 'a t = {
+  m : Mutex.t;
+  retire : 'a -> unit;
+  mutable current : 'a entry;
+  mutable draining : 'a entry list;  (* retired, still pinned; newest first *)
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create ?(retire = fun _ -> ()) state =
+  {
+    m = Mutex.create ();
+    retire;
+    current = { epoch = 1; state; pins = 0; retired = false };
+    draining = [];
+  }
+
+let epoch t = with_lock t.m (fun () -> t.current.epoch)
+
+let current t = with_lock t.m (fun () -> t.current.state)
+
+let pin t =
+  with_lock t.m (fun () ->
+      let e = t.current in
+      e.pins <- e.pins + 1;
+      (e.epoch, e.state))
+
+let unpin t epoch =
+  let release =
+    with_lock t.m (fun () ->
+        let e =
+          if t.current.epoch = epoch then t.current
+          else
+            match List.find_opt (fun e -> e.epoch = epoch) t.draining with
+            | Some e -> e
+            | None -> invalid_arg "Snapshot.unpin: unknown epoch"
+        in
+        if e.pins <= 0 then invalid_arg "Snapshot.unpin: not pinned";
+        e.pins <- e.pins - 1;
+        if e.retired && e.pins = 0 then begin
+          t.draining <- List.filter (fun d -> d.epoch <> epoch) t.draining;
+          Some e.state
+        end
+        else None)
+  in
+  Option.iter t.retire release
+
+let publish t state =
+  let release, epoch =
+    with_lock t.m (fun () ->
+        let old = t.current in
+        old.retired <- true;
+        let e = { epoch = old.epoch + 1; state; pins = 0; retired = false } in
+        t.current <- e;
+        if old.pins = 0 then (Some old.state, e.epoch)
+        else begin
+          t.draining <- old :: t.draining;
+          (None, e.epoch)
+        end)
+  in
+  Option.iter t.retire release;
+  epoch
+
+let pinned t =
+  with_lock t.m (fun () ->
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        ((t.current.epoch, t.current.pins)
+        :: List.map (fun e -> (e.epoch, e.pins)) t.draining))
+
+let draining_count t = with_lock t.m (fun () -> List.length t.draining)

@@ -1,0 +1,48 @@
+(** Epoch-numbered, atomically-swappable snapshot of a serving state.
+
+    The snapshot manager owns one {e current} entry plus any retired
+    entries still referenced by in-flight requests. A request calls
+    {!pin} once, evaluates against the returned state for its whole
+    lifetime, and {!unpin}s when done — so a {!publish} in the middle of
+    a request never changes what that request sees, and no connection
+    has to be dropped across a swap. Retired states are released (the
+    [retire] callback fires) exactly once, when their last pin drains.
+
+    All operations are thread-safe; the internal mutex is held only for
+    O(pinned-epochs) bookkeeping and never across the [retire] callback,
+    so it may safely close files or free large structures. *)
+
+type 'a t
+
+val create : ?retire:('a -> unit) -> 'a -> 'a t
+(** [create ?retire state] starts at epoch 1. [retire] (default a no-op)
+    is called once per superseded state after its last pin is released —
+    outside the snapshot lock. *)
+
+val epoch : 'a t -> int
+(** The current (serving) epoch. *)
+
+val current : 'a t -> 'a
+(** The current state without pinning — for administrative peeks only;
+    request paths must use {!pin}. *)
+
+val pin : 'a t -> int * 'a
+(** Take a reference on the current entry. Pair the result with
+    {!unpin} via [Fun.protect]. *)
+
+val unpin : 'a t -> int -> unit
+(** Release one pin on the given epoch. Frees (and retires) the state if
+    it was superseded and this was the last pin.
+    @raise Invalid_argument on an epoch that is unknown or not pinned. *)
+
+val publish : 'a t -> 'a -> int
+(** Swap in a new state, returning its (new) epoch. The previous state
+    is retired immediately when unpinned, otherwise as soon as its last
+    pin drains. *)
+
+val pinned : 'a t -> (int * int) list
+(** [(epoch, pins)] for the current entry and every draining retired
+    entry, ascending by epoch — the [flix_snapshot_pinned] gauge. *)
+
+val draining_count : 'a t -> int
+(** How many retired states are still held alive by pins. *)

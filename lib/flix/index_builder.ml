@@ -1,10 +1,13 @@
 module Path_index = Fx_index.Path_index
 
+type impl = Ppo_tree of Fx_index.Ppo.t | Opaque
+
 type built = {
   meta : Meta_document.t;
   strategy : Strategy_selector.strategy;
   index : Path_index.instance;
   fallback : bool;
+  impl : impl;
 }
 
 type t = {
@@ -12,6 +15,7 @@ type t = {
   indexes : built array;
   build_ns : int64;
   reused : int;
+  extended : int;
 }
 
 (* Structural digest of a meta document: equal digests mean the local
@@ -59,11 +63,31 @@ let instantiate strategy (m : Meta_document.t) dg =
 let build_one policy (m : Meta_document.t) =
   let dg = Meta_document.data_graph m in
   let requested = Strategy_selector.select policy m in
-  match instantiate requested m dg with
-  | index -> { meta = m; strategy = requested; index; fallback = false }
-  | exception Fx_index.Ppo.Not_a_forest ->
-      let strategy = Strategy_selector.HOPI { partition_size = 5000 } in
-      { meta = m; strategy; index = instantiate strategy m dg; fallback = true }
+  match requested with
+  | Strategy_selector.PPO ->
+      (* Build the numbering directly so it can be handed to
+         [Ppo.extend] on a later incremental rebuild. *)
+      (match Fx_index.Ppo.build dg with
+      | ppo ->
+          {
+            meta = m;
+            strategy = requested;
+            index = Fx_index.Ppo.instance_of ppo;
+            fallback = false;
+            impl = Ppo_tree ppo;
+          }
+      | exception Fx_index.Ppo.Not_a_forest ->
+          let strategy = Strategy_selector.HOPI { partition_size = 5000 } in
+          {
+            meta = m;
+            strategy;
+            index = instantiate strategy m dg;
+            fallback = true;
+            impl = Opaque;
+          })
+  | _ ->
+      let index = instantiate requested m dg in
+      { meta = m; strategy = requested; index; fallback = false; impl = Opaque }
 
 let build ?(policy = Strategy_selector.default_auto) ?reuse ?(jobs = 1)
     (registry : Meta_document.registry) =
@@ -79,6 +103,51 @@ let build ?(policy = Strategy_selector.default_auto) ?reuse ?(jobs = 1)
           Hashtbl.replace pool d (b :: Option.value ~default:[] (Hashtbl.find_opt pool d)))
         old.indexes);
   let reused = Atomic.make 0 in
+  let extended = Atomic.make 0 in
+  (* Delta pool: old PPO numberings that may be extendable in place when
+     a meta document grew by appended subtrees (the single-meta-document
+     configurations: one big tree gaining new documents). *)
+  let ppo_pool =
+    match reuse with
+    | None -> []
+    | Some old ->
+        Array.to_list old.indexes
+        |> List.filter_map (fun (b : built) ->
+               match b.impl with Ppo_tree ppo -> Some (b.meta, ppo) | Opaque -> None)
+  in
+  let int_array_prefix a b =
+    Array.length a < Array.length b
+    &&
+    try
+      Array.iteri (fun i x -> if x <> b.(i) then raise Exit) a;
+      true
+    with Exit -> false
+  in
+  let try_extend (m : Meta_document.t) =
+    match Strategy_selector.select policy m with
+    | Strategy_selector.PPO ->
+        List.find_map
+          (fun ((om : Meta_document.t), ppo) ->
+            if
+              int_array_prefix om.Meta_document.nodes m.Meta_document.nodes
+              && int_array_prefix om.Meta_document.tag m.Meta_document.tag
+            then
+              match Fx_index.Ppo.extend ppo (Meta_document.data_graph m) with
+              | Some ppo' ->
+                  Atomic.incr extended;
+                  Some
+                    {
+                      meta = m;
+                      strategy = Strategy_selector.PPO;
+                      index = Fx_index.Ppo.instance_of ppo';
+                      fallback = false;
+                      impl = Ppo_tree ppo';
+                    }
+              | None -> None
+            else None)
+          ppo_pool
+    | _ -> None
+  in
   let build_or_reuse (m : Meta_document.t) =
     let candidates = Option.value ~default:[] (Hashtbl.find_opt pool (digest m)) in
     match List.find_opt (fun (b : built) -> equal_structure b.meta m) candidates with
@@ -87,7 +156,8 @@ let build ?(policy = Strategy_selector.default_auto) ?reuse ?(jobs = 1)
         (* The structure matches but the link sets and the id may have
            changed; rebind the instance to the new meta document. *)
         { b with meta = m }
-    | None -> build_one policy m
+    | None -> (
+        match try_extend m with Some b -> b | None -> build_one policy m)
   in
   (* Meta documents are independent, so building them is embarrassingly
      parallel; with [jobs > 1] a work-stealing counter hands them to
@@ -118,11 +188,12 @@ let build ?(policy = Strategy_selector.default_auto) ?reuse ?(jobs = 1)
       indexes;
       build_ns = Fx_util.Stopwatch.elapsed_ns watch;
       reused = Atomic.get reused;
+      extended = Atomic.get extended;
     }
   in
   Log.info (fun m ->
-      m "built %d meta-document indexes (%d reused) in %.1f ms"
-        (Array.length indexes) t.reused
+      m "built %d meta-document indexes (%d reused, %d extended in place) in %.1f ms"
+        (Array.length indexes) t.reused t.extended
         (Int64.to_float t.build_ns /. 1e6));
   Array.iter
     (fun (b : built) ->
@@ -141,6 +212,7 @@ let build ?(policy = Strategy_selector.default_auto) ?reuse ?(jobs = 1)
   t
 
 let reused_count t = t.reused
+let extended_count t = t.extended
 
 let total_size_bytes t =
   Array.fold_left (fun acc b -> acc + b.index.Path_index.stats.size_bytes) 0 t.indexes

@@ -8,11 +8,16 @@
     to build meta documents may rule out the usage of some index
     strategies". *)
 
+type impl = Ppo_tree of Fx_index.Ppo.t | Opaque
+(** The concrete structure behind [index], when the builder keeps it
+    around for incremental maintenance ({!Fx_index.Ppo.extend}). *)
+
 type built = {
   meta : Meta_document.t;
   strategy : Strategy_selector.strategy;  (** what was actually built *)
   index : Fx_index.Path_index.instance;
   fallback : bool;  (** true when the requested strategy was unusable *)
+  impl : impl;
 }
 
 type t = {
@@ -20,6 +25,7 @@ type t = {
   indexes : built array;  (** indexed by meta-document id *)
   build_ns : int64;       (** accumulated wall-clock build time *)
   reused : int;           (** indexes taken over from a previous build *)
+  extended : int;         (** indexes delta-extended in place *)
 }
 
 val build :
@@ -39,6 +45,14 @@ val build :
 
 val reused_count : t -> int
 (** How many meta-document indexes were taken over from [reuse]. *)
+
+val extended_count : t -> int
+(** How many meta-document indexes were produced by per-index delta
+    application ({!Fx_index.Ppo.extend}) instead of a full rebuild: the
+    meta document grew by appended subtrees and only the appended part
+    was traversed. Together with {!reused_count} this is the build
+    counter showing a meta-document-local delta did not rebuild
+    untouched indexes. *)
 
 val total_size_bytes : t -> int
 val total_entries : t -> int

@@ -37,6 +37,108 @@ let build (dg : Path_index.data_graph) =
     subtree;
   }
 
+(* Incremental maintenance for the append-only delta: [dg] is the old
+   data graph plus whole new trees on the appended node ids. DFS visits
+   in-degree-zero roots in ascending id order with global pre/post
+   counters, so the old numbering is byte-identical inside the new one —
+   we copy the old tables and traverse only the appended trees. Any
+   other shape of change (edges into or out of the old node range, a
+   non-forest suffix) returns [None] and the caller rebuilds. *)
+let extend t (dg : Path_index.data_graph) =
+  let old_n = Array.length t.pre in
+  let n = Digraph.n_nodes dg.graph in
+  let same_ints a b =
+    let a = Array.copy a and b = Array.copy b in
+    Array.sort Int.compare a;
+    Array.sort Int.compare b;
+    Array.length a = Array.length b
+    &&
+    try
+      Array.iteri (fun i x -> if x <> b.(i) then raise Exit) a;
+      true
+    with Exit -> false
+  in
+  let old_edges_intact =
+    (* Old nodes keep exactly their old successor sets, and nothing new
+       points back into them. *)
+    try
+      for v = 0 to old_n - 1 do
+        if not (same_ints (Digraph.succ t.dg.graph v) (Digraph.succ dg.graph v)) then
+          raise Exit
+      done;
+      for v = old_n to n - 1 do
+        Digraph.iter_succ dg.graph v (fun c -> if c < old_n then raise Exit)
+      done;
+      true
+    with Exit -> false
+  in
+  if n <= old_n || not old_edges_intact then None
+  else begin
+    let suffix_is_forest =
+      try
+        for v = old_n to n - 1 do
+          if Digraph.in_degree dg.graph v > 1 then raise Exit
+        done;
+        (* The suffix is acyclic iff DFS from its in-degree-zero roots
+           reaches every new node exactly once; checked below. *)
+        true
+      with Exit -> false
+    in
+    if not suffix_is_forest then None
+    else begin
+      let grow a = Array.append a (Array.make (n - old_n) (-1)) in
+      let pre = grow t.pre in
+      let post = grow t.post in
+      let depth = grow t.depth in
+      let parent = grow t.parent in
+      let order = grow t.order in
+      let subtree = Array.append t.subtree (Array.make (n - old_n) 1) in
+      let pre_counter = ref old_n and post_counter = ref old_n in
+      let visit root =
+        if pre.(root) = -1 then begin
+          let stack = Stack.create () in
+          pre.(root) <- !pre_counter;
+          order.(!pre_counter) <- root;
+          incr pre_counter;
+          depth.(root) <- 0;
+          Stack.push (root, ref 0, Digraph.succ dg.graph root) stack;
+          while not (Stack.is_empty stack) do
+            let u, next, adj = Stack.top stack in
+            if !next >= Array.length adj then begin
+              ignore (Stack.pop stack);
+              post.(u) <- !post_counter;
+              incr post_counter
+            end
+            else begin
+              let v = adj.(!next) in
+              incr next;
+              if pre.(v) = -1 then begin
+                pre.(v) <- !pre_counter;
+                order.(!pre_counter) <- v;
+                incr pre_counter;
+                depth.(v) <- depth.(u) + 1;
+                parent.(v) <- u;
+                Stack.push (v, ref 0, Digraph.succ dg.graph v) stack
+              end
+            end
+          done
+        end
+      in
+      for v = old_n to n - 1 do
+        if Digraph.in_degree dg.graph v = 0 then visit v
+      done;
+      if !pre_counter < n then None (* a cycle in the suffix left nodes unvisited *)
+      else begin
+        for r = n - 1 downto old_n do
+          let v = order.(r) in
+          let p = parent.(v) in
+          if p >= 0 then subtree.(p) <- subtree.(p) + subtree.(v)
+        done;
+        Some { dg; pre; post; depth; parent; order; subtree }
+      end
+    end
+  end
+
 let pre t v = t.pre.(v)
 let post t v = t.post.(v)
 let depth t v = t.depth.(v)
@@ -150,9 +252,8 @@ let deserialize (dg : Path_index.data_graph) data =
     order;
   { dg; pre; post; depth; parent; order; subtree }
 
-let instance dg =
-  let (t : t), build_ns = Fx_util.Stopwatch.time_ns (fun () -> build dg) in
-  let n = Digraph.n_nodes dg.graph in
+let wrap ~build_ns (t : t) =
+  let n = Array.length t.pre in
   {
     Path_index.name = "PPO";
     n_nodes = n;
@@ -164,3 +265,9 @@ let instance dg =
     restricted_ancestors = restricted_ancestors t;
     stats = { strategy = "PPO"; build_ns; entries = n; size_bytes = size_bytes t };
   }
+
+let instance_of t = wrap ~build_ns:0L t
+
+let instance dg =
+  let (t : t), build_ns = Fx_util.Stopwatch.time_ns (fun () -> build dg) in
+  wrap ~build_ns t

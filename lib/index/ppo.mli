@@ -21,6 +21,16 @@ exception Not_a_forest
 val build : Path_index.data_graph -> t
 val is_buildable : Path_index.data_graph -> bool
 
+val extend : t -> Path_index.data_graph -> t option
+(** Incremental maintenance for the append-only delta: when [dg] is the
+    graph the index was built on plus whole new trees on appended node
+    ids (no edge touches the old node range in either direction), the
+    old numbering is still valid inside the new one — the tables are
+    copied and only the appended trees are traversed, so the cost is
+    O(delta), not O(n). Returns [None] for any other shape of change
+    (the caller rebuilds from scratch). Answers are identical to a
+    fresh {!build} of [dg]. *)
+
 val pre : t -> int -> int
 val post : t -> int -> int
 val depth : t -> int -> int
@@ -55,3 +65,6 @@ val deserialize : Path_index.data_graph -> string -> t
 
 val instance : Path_index.data_graph -> Path_index.instance
 (** @raise Not_a_forest like {!build}. *)
+
+val instance_of : t -> Path_index.instance
+(** Wrap an already-built (e.g. {!extend}ed) numbering. *)

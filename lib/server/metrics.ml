@@ -1,7 +1,7 @@
 let verbs =
   [
     "ping"; "stats"; "metrics"; "sleep"; "descendants"; "ancestors"; "connected";
-    "evaluate"; "resolve"; "batch"; "other";
+    "evaluate"; "resolve"; "batch"; "ingest"; "evict"; "reload"; "epoch"; "other";
   ]
 
 let n_verbs = List.length verbs

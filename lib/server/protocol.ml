@@ -20,6 +20,9 @@ type request =
       max_dist : int option;
     }
   | Resolve of { doc : string; anchor : string option }
+  | Evict of string list
+  | Reload
+  | Epoch_query
 
 type item = { node : int; dist : int; meta : int }
 
@@ -31,6 +34,7 @@ type response =
   | Dist of int option
   | Items of { items : item list; timed_out : bool; partial : bool }
   | Lines of string list
+  | Epoch of int
 
 type envelope = { deadline_ms : int option; req : request }
 
@@ -44,9 +48,15 @@ let verb = function
   | Connected _ -> "connected"
   | Evaluate _ -> "evaluate"
   | Resolve _ -> "resolve"
+  | Evict _ -> "evict"
+  | Reload -> "reload"
+  | Epoch_query -> "epoch"
 
+(* The admin verbs run on the connection thread (serialized by the
+   server's admin lock), not through the worker pool: a reload may take
+   seconds and must not occupy a query worker. *)
 let pool_bound = function
-  | Ping | Metrics -> false
+  | Ping | Metrics | Evict _ | Reload | Epoch_query -> false
   | Stats | Sleep _ | Descendants _ | Node_descendants _ | Ancestors _ | Connected _
   | Evaluate _ | Resolve _ ->
       true
@@ -56,11 +66,15 @@ let pool_bound = function
    single requests. *)
 let batch_allowed = function
   | Connected _ | Node_descendants _ | Ancestors _ | Resolve _ | Sleep _ -> true
-  | Ping | Stats | Metrics | Descendants _ | Evaluate _ -> false
+  | Ping | Stats | Metrics | Descendants _ | Evaluate _ | Evict _ | Reload | Epoch_query
+    ->
+      false
 
 let streams_items = function
   | Descendants _ | Node_descendants _ | Ancestors _ | Evaluate _ -> true
-  | Ping | Stats | Metrics | Sleep _ | Connected _ | Resolve _ -> false
+  | Ping | Stats | Metrics | Sleep _ | Connected _ | Resolve _ | Evict _ | Reload
+  | Epoch_query ->
+      false
 
 (* --- requests ------------------------------------------------------- *)
 
@@ -142,8 +156,12 @@ let parse_tokens tokens =
           Ok (Evaluate { start_tag; target_tag; k; max_dist })
       | "RESOLVE", [ doc; anchor ] ->
           Ok (Resolve { doc; anchor = parse_opt_field anchor })
+      | "EVICT", (_ :: _ as docs) -> Ok (Evict docs)
+      | "RELOAD", [] -> Ok Reload
+      | "EPOCH", [] -> Ok Epoch_query
       | ( ( "PING" | "STATS" | "METRICS" | "SLEEP" | "DESCENDANTS" | "NDESCENDANTS"
-          | "ANCESTORS" | "CONNECTED" | "EVALUATE" | "RESOLVE" ),
+          | "ANCESTORS" | "CONNECTED" | "EVALUATE" | "RESOLVE" | "EVICT" | "RELOAD"
+          | "EPOCH" ),
           _ ) ->
           Error (Printf.sprintf "wrong number of arguments for %s" cmd)
       | _ -> Error (Printf.sprintf "unknown verb %S" cmd))
@@ -166,11 +184,16 @@ let parse_request line = Result.map (fun e -> e.req) (parse_envelope line)
 
 (* --- batches -------------------------------------------------------- *)
 
-type framed = Single of envelope | Batch of { deadline_ms : int option; n : int }
+type framed =
+  | Single of envelope
+  | Batch of { deadline_ms : int option; n : int }
+  | Ingest of { n : int }
 
-(* A request line is either a plain envelope or a BATCH header
-   announcing [n] sub-request lines to follow. The DEADLINE prefix
-   composes with both and covers the whole batch. *)
+(* A request line is either a plain envelope or a BATCH/INGEST header
+   announcing sub-lines to follow. The DEADLINE prefix composes with
+   plain requests and batches and covers the whole batch; an ingest is
+   an administrative operation that takes as long as the index build
+   takes. *)
 let parse_framed line =
   let batch deadline_ms n =
     let* n = int_of ~what:"batch size" n in
@@ -179,6 +202,10 @@ let parse_framed line =
   in
   match tokenize line with
   | [ cmd; n ] when String.uppercase_ascii cmd = "BATCH" -> batch None n
+  | [ cmd; n ] when String.uppercase_ascii cmd = "INGEST" ->
+      let* n = int_of ~what:"ingest count" n in
+      let* n = positive ~what:"ingest count" n in
+      Ok (Ingest { n })
   | [ cmd; ms; batch_kw; n ]
     when String.uppercase_ascii cmd = "DEADLINE"
          && String.uppercase_ascii batch_kw = "BATCH" ->
@@ -195,6 +222,22 @@ let batch_line ?deadline_ms n =
   | Some ms -> Printf.sprintf "DEADLINE %d BATCH %d" ms n
 
 let sub_line i = Printf.sprintf "SUB %d" i
+
+(* --- ingest document frames ---------------------------------------- *)
+
+let ingest_line n = Printf.sprintf "INGEST %d" n
+
+let doc_line ~name ~n_lines = Printf.sprintf "DOC %s %d" name n_lines
+
+(* Document names are single tokens, like everywhere else on this
+   protocol (DESCENDANTS <doc>, RESOLVE <doc>). *)
+let parse_doc_line line =
+  match tokenize line with
+  | [ cmd; name; n ] when String.uppercase_ascii cmd = "DOC" ->
+      let* n = int_of ~what:"document line count" n in
+      let* n = non_negative ~what:"document line count" n in
+      Ok (name, n)
+  | _ -> Error (Printf.sprintf "expected DOC <name> <lines> header, got %S" line)
 
 let request_line r =
   let md = function None -> "" | Some d -> " " ^ string_of_int d in
@@ -214,6 +257,9 @@ let request_line r =
   | Evaluate { start_tag; target_tag; k; max_dist } ->
       Printf.sprintf "EVALUATE %s %s %d%s" start_tag target_tag k (md max_dist)
   | Resolve { doc; anchor } -> Printf.sprintf "RESOLVE %s %s" doc (opt_field anchor)
+  | Evict docs -> "EVICT " ^ String.concat " " docs
+  | Reload -> "RELOAD"
+  | Epoch_query -> "EPOCH"
 
 let envelope_line ?deadline_ms r =
   match deadline_ms with
@@ -242,6 +288,7 @@ let response_lines = function
       @ [ items_trailer ~count:(List.length items) ~timed_out ~partial ]
   | Lines payload ->
       Printf.sprintf "LINES %d" (List.length payload) :: payload
+  | Epoch e -> [ Printf.sprintf "EPOCH %d" e ]
 
 type trailer = { count : int; timed_out : bool; partial : bool }
 
@@ -317,6 +364,10 @@ let read_response_gen read_line ~on_item ~items_value =
           match int_of_string_opt n with
           | Some n when n >= 0 -> raw_lines n []
           | _ -> Error (Printf.sprintf "malformed LINES header %S" line))
+      | [ "EPOCH"; e ] -> (
+          match int_of_string_opt e with
+          | Some e -> Ok (Epoch e)
+          | None -> Error (Printf.sprintf "malformed EPOCH line %S" line))
       | ("ITEM" | "DONE" | "TIMEOUT" | "PARTIAL") :: _ ->
           pending := Some line;
           items 0

@@ -16,6 +16,10 @@
     RESOLVE <doc> <anchor|->                         ITEM <node> 0 0, DONE 1 | DONE 0
     STATS                                            LINES <n> then n raw lines
     METRICS                                          LINES <n> then n raw lines
+    EPOCH                                            EPOCH <e>
+    EVICT <doc> [<doc> ...]                          EPOCH <e> | ERR <message>
+    RELOAD                                           EPOCH <e> | ERR <message>
+    INGEST <n> then n document frames                EPOCH <e> | ERR <message>
     (any, queue full)                                BUSY
     (malformed)                                      ERR <message>
     v}
@@ -59,7 +63,22 @@
     covers the whole batch: sub-requests still queued when it expires
     answer [TIMEOUT 0]. A queue-full server backpressures sub-request
     dispatch rather than rejecting any sub with [BUSY] — a batch may
-    legitimately be larger than the server's work queue. *)
+    legitimately be larger than the server's work queue.
+
+    {2 Administration}
+
+    The admin verbs drive hot reload (see {!Fx_admin.Snapshot}). [EPOCH]
+    reports the serving snapshot's epoch. [INGEST <n>] opens an ingest
+    envelope: the next lines are [n] document frames, each a
+    [DOC <name> <lines>] header followed by exactly [lines] raw XML
+    lines; the server parses and indexes them off the request path and
+    answers [EPOCH <e>] once the new snapshot is published (or a single
+    [ERR] line after consuming the whole envelope — framing stays
+    intact). [EVICT <doc>...] removes documents by name; [RELOAD]
+    re-reads the deployment the server was started from. Every
+    successful admin mutation answers the {e new} epoch. In-flight
+    requests finish on the epoch they started on; no connection is
+    dropped by a swap. *)
 
 type request =
   | Ping
@@ -83,6 +102,9 @@ type request =
       max_dist : int option;
     }
   | Resolve of { doc : string; anchor : string option }
+  | Evict of string list  (** document names, non-empty *)
+  | Reload
+  | Epoch_query
 
 type item = { node : int; dist : int; meta : int }
 
@@ -94,6 +116,7 @@ type response =
   | Dist of int option
   | Items of { items : item list; timed_out : bool; partial : bool }
   | Lines of string list                           (** [STATS] / [METRICS] payload *)
+  | Epoch of int                                   (** admin-plane answer *)
 
 type envelope = { deadline_ms : int option; req : request }
 (** A request with its optional per-request deadline override. *)
@@ -133,19 +156,33 @@ val request_line : request -> string
 val envelope_line : ?deadline_ms:int -> request -> string
 (** [request_line] with an optional [DEADLINE <ms>] prefix. *)
 
-type framed = Single of envelope | Batch of { deadline_ms : int option; n : int }
-(** A parsed request header line: a plain envelope, or a [BATCH]
-    header announcing [n] sub-request lines to follow. *)
+type framed =
+  | Single of envelope
+  | Batch of { deadline_ms : int option; n : int }
+  | Ingest of { n : int }
+(** A parsed request header line: a plain envelope, a [BATCH] header
+    announcing [n] sub-request lines, or an [INGEST] header announcing
+    [n] document frames. *)
 
 val parse_framed : string -> (framed, string) result
 (** Like {!parse_envelope}, but recognizes the [BATCH <n>] header
-    (with or without a [DEADLINE <ms>] prefix; [n] must be positive). *)
+    (with or without a [DEADLINE <ms>] prefix; [n] must be positive)
+    and the [INGEST <n>] header. *)
 
 val batch_line : ?deadline_ms:int -> int -> string
 (** The [BATCH <n>] header line, optionally deadline-prefixed. *)
 
 val sub_line : int -> string
 (** The [SUB <i>] line introducing sub-response [i]. *)
+
+val ingest_line : int -> string
+(** The [INGEST <n>] header line. *)
+
+val doc_line : name:string -> n_lines:int -> string
+(** The [DOC <name> <lines>] frame header of one ingested document. *)
+
+val parse_doc_line : string -> (string * int, string) result
+(** Parse a [DOC] frame header into [(name, n_lines)]. *)
 
 val item_line : item -> string
 (** One [ITEM <node> <dist> <meta>] wire line. *)

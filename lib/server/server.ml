@@ -2,9 +2,13 @@ module Flix = Fx_flix.Flix
 module Pee = Fx_flix.Pee
 module RS = Fx_flix.Result_stream
 module Collection = Fx_xml.Collection
+module Xml_parser = Fx_xml.Xml_parser
 module Stopwatch = Fx_util.Stopwatch
 module Disk_hopi = Fx_index.Disk_hopi
 module Catalog = Fx_index.Catalog
+module Snapshot = Fx_admin.Snapshot
+module Eval_cache = Fx_admin.Eval_cache
+module Delta = Fx_admin.Delta
 
 type config = {
   host : string;
@@ -16,6 +20,8 @@ type config = {
   max_line_bytes : int;
   max_connections : int;
   max_batch : int;
+  max_ingest_lines : int;
+  eval_cache_capacity : int;
 }
 
 let default_config =
@@ -29,6 +35,8 @@ let default_config =
     max_line_bytes = 8192;
     max_connections = 1024;
     max_batch = 1024;
+    max_ingest_lines = 65_536;
+    eval_cache_capacity = 256;
   }
 
 (* Every lock in this module is taken through this wrapper: the critical
@@ -76,9 +84,37 @@ type backend =
   | On_disk of { hopi : Disk_hopi.t; catalog : Catalog.t }
   | Custom of custom
 
+type admin = {
+  admin_reload : unit -> (backend, string) result;
+  admin_retire : backend -> unit;
+}
+
+(* An EVALUATE answer cached with the epoch it was computed on: a hit
+   replays only when the entry's epoch matches the requester's pinned
+   epoch, so an in-flight store racing a snapshot swap can never leak a
+   stale answer — the swap retags surviving entries to the new epoch
+   (under the admin lock) and anything stored late simply misses. *)
+type cached = { centry_epoch : int; citems : Protocol.item list }
+
+(* flix_reload_duration_seconds: swap latencies are seconds-scale and
+   rare, so a small mutex-guarded histogram (observed only by the
+   admin-serialized swap path) is enough. *)
+let reload_buckets_s = [| 0.001; 0.005; 0.025; 0.1; 0.5; 2.0; 10.0 |]
+
+type reload_hist = {
+  rh_m : Mutex.t;
+  rh_counts : int array; (* per bucket, non-cumulative; last slot = +Inf *)
+  mutable rh_sum : float;
+  mutable rh_count : int;
+}
+
 type t = {
   cfg : config;
-  backend : backend;
+  snapshot : backend Snapshot.t;
+  admin : admin option;
+  admin_m : Mutex.t; (* serializes INGEST/EVICT/RELOAD *)
+  eval_cache : cached Eval_cache.t;
+  reload_hist : reload_hist;
   listen_fd : Unix.file_descr;
   bound_port : int;
   metrics : Metrics.t;
@@ -126,7 +162,7 @@ let resolved_node = function
       Protocol.Items
         { items = [ { Protocol.node; dist = 0; meta = 0 } ]; timed_out = false; partial = false }
 
-let evaluate_memory t flix pee ~emit (job : job) : Protocol.response =
+let evaluate_memory t ~epoch flix pee ~emit (job : job) : Protocol.response =
   let coll = Flix.collection flix in
   let n_nodes = Collection.n_nodes coll in
   let k_cap k = min k t.cfg.max_results in
@@ -184,11 +220,59 @@ let evaluate_memory t flix pee ~emit (job : job) : Protocol.response =
         stream_out ~k:(k_cap k)
           (Pee.ancestors ?tag:(tag_arg coll tag) ?max_dist ~include_self:true pee
              ~start:node)
-  | Protocol.Evaluate { start_tag; target_tag; k; max_dist } ->
-      let starts = Collection.find_by_tag coll start_tag in
-      stream_out ~k:(k_cap k)
-        (Pee.descendants_multi ?tag:(tag_arg coll (Some target_tag)) ?max_dist pee ~starts)
+  | Protocol.Evaluate { start_tag; target_tag; k; max_dist } -> (
+      let key =
+        {
+          Eval_cache.start_tag;
+          target_tag = Some target_tag;
+          k = k_cap k;
+          max_dist = Option.value max_dist ~default:(-1);
+        }
+      in
+      match Eval_cache.find t.eval_cache key with
+      | Some { centry_epoch; citems } when centry_epoch = epoch ->
+          List.iter emit citems;
+          no_items ()
+      | _ ->
+          (* Buffer what goes out so a clean (complete, in-deadline)
+             answer can be replayed; the per-item [emit] still streams
+             incrementally. *)
+          let buf = ref [] in
+          let emit_buffered it =
+            buf := it :: !buf;
+            emit it
+          in
+          let starts = Collection.find_by_tag coll start_tag in
+          let resp =
+            let rec go n stream =
+              if n >= k_cap k then false
+              else
+                match RS.next stream with
+                | None -> false
+                | Some (it : Pee.item) ->
+                    emit_buffered
+                      { Protocol.node = it.node; dist = it.dist; meta = it.meta };
+                    if expired job.deadline_ns then true else go (n + 1) stream
+            in
+            let timed_out =
+              go 0
+                (Pee.descendants_multi
+                   ?tag:(tag_arg coll (Some target_tag))
+                   ?max_dist pee ~starts)
+            in
+            no_items ~timed_out ()
+          in
+          (match resp with
+          | Protocol.Items { timed_out = false; partial = false; _ } ->
+              Eval_cache.store t.eval_cache key
+                { centry_epoch = epoch; citems = List.rev !buf }
+          | _ -> ());
+          resp)
   | Protocol.Resolve { doc; anchor } -> resolved_node (Flix.node_of flix ~doc ~anchor)
+  | Protocol.Evict _ | Protocol.Reload | Protocol.Epoch_query ->
+      (* Admin verbs are answered inline on the connection thread; they
+         are never pool-bound (see Protocol.pool_bound). *)
+      Protocol.Err "admin verb on the worker path"
 
 (* --- disk-backed evaluation ----------------------------------------- *)
 
@@ -355,28 +439,43 @@ let evaluate_disk t hopi catalog ~emit (job : job) : Protocol.response =
           |> take (k_cap k)
           |> emit_pairs ~timed_out)
   | Protocol.Resolve { doc; anchor } -> resolved_node (Catalog.node_of catalog ~doc ~anchor)
+  | Protocol.Evict _ | Protocol.Reload | Protocol.Epoch_query ->
+      Protocol.Err "admin verb on the worker path"
 
 let worker_loop t () =
-  let eval =
-    match t.backend with
-    | In_memory flix ->
-        (* A private evaluator per domain: the underlying indexes are
-           shared and immutable; the PEE's own statistics counters are
-           not. *)
+  (* Every job pins the snapshot for its whole evaluation: a swap
+     published mid-request retires the old state only after this pin
+     (and every other) drains, so the request finishes on the epoch it
+     started on. The in-memory evaluator still gets a private PEE per
+     domain — cached per epoch, rebuilt (cheaply) when a swap lands. *)
+  let pees : (int, Pee.t) Hashtbl.t = Hashtbl.create 8 in
+  let pee_for epoch flix =
+    match Hashtbl.find_opt pees epoch with
+    | Some pee -> pee
+    | None ->
+        (* A domain only ever serves the current epoch plus briefly the
+           one being retired; drop stale evaluators wholesale. *)
+        if Hashtbl.length pees >= 8 then Hashtbl.reset pees;
         let pee = Pee.create (Flix.built flix) in
-        fun ~emit job -> evaluate_memory t flix pee ~emit job
+        Hashtbl.add pees epoch pee;
+        pee
+  in
+  let eval ~epoch ~backend ~emit job =
+    match backend with
+    | In_memory flix -> evaluate_memory t ~epoch flix (pee_for epoch flix) ~emit job
     | On_disk { hopi; catalog } ->
         (* The pager under [hopi] is domain-safe, so every worker shares
            the one deployment handle — and its buffer pool. *)
-        fun ~emit job -> evaluate_disk t hopi catalog ~emit job
+        evaluate_disk t hopi catalog ~emit job
     | Custom c -> (
-        fun ~emit job ->
-          match job.req with
-          | Protocol.Ping -> Protocol.Pong
-          | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
-          | Protocol.Stats -> Protocol.Lines (c.custom_stats ())
-          | Protocol.Sleep ms -> nap ~deadline_ns:job.deadline_ns ms
-          | req -> c.custom_eval ~emit ~deadline_ns:job.deadline_ns req)
+        match job.req with
+        | Protocol.Ping -> Protocol.Pong
+        | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
+        | Protocol.Stats -> Protocol.Lines (c.custom_stats ())
+        | Protocol.Sleep ms -> nap ~deadline_ns:job.deadline_ns ms
+        | Protocol.Evict _ | Protocol.Reload | Protocol.Epoch_query ->
+            Protocol.Err "admin verb on the worker path"
+        | req -> c.custom_eval ~emit ~deadline_ns:job.deadline_ns req)
   in
   let rec loop () =
     match Work_queue.pop t.queue with
@@ -388,13 +487,17 @@ let worker_loop t () =
               Condition.signal job.reply.c)
         in
         let resp =
-          try eval ~emit job with
-          | (Out_of_memory | Stack_overflow) as fatal ->
-              (* Fatal resource exhaustion must not be flattened into an
-                 ERR line (FL004); let it take the domain down so stop/
-                 join surfaces it. *)
-              raise fatal
-          | exn -> Protocol.Err ("internal: " ^ Printexc.to_string exn)
+          let epoch, backend = Snapshot.pin t.snapshot in
+          Fun.protect
+            ~finally:(fun () -> Snapshot.unpin t.snapshot epoch)
+            (fun () ->
+              try eval ~epoch ~backend ~emit job with
+              | (Out_of_memory | Stack_overflow) as fatal ->
+                  (* Fatal resource exhaustion must not be flattened into
+                     an ERR line (FL004); let it take the domain down so
+                     stop/join surfaces it. *)
+                  raise fatal
+              | exn -> Protocol.Err ("internal: " ^ Printexc.to_string exn))
         in
         with_lock job.reply.m (fun () ->
             job.reply.resp <- Some resp;
@@ -402,6 +505,176 @@ let worker_loop t () =
         loop ()
   in
   loop ()
+
+(* --- admin plane (connection-thread side) --------------------------- *)
+
+let observe_reload t seconds =
+  with_lock t.reload_hist.rh_m (fun () ->
+      let h = t.reload_hist in
+      let rec bucket i =
+        if i >= Array.length reload_buckets_s then i
+        else if seconds <= reload_buckets_s.(i) then i
+        else bucket (i + 1)
+      in
+      h.rh_counts.(bucket 0) <- h.rh_counts.(bucket 0) + 1;
+      h.rh_sum <- h.rh_sum +. seconds;
+      h.rh_count <- h.rh_count + 1)
+
+(* The hot-reload plane as Prometheus series: serving epoch, per-epoch
+   pin counts (draining epochs stay visible until their pins hit zero),
+   swap duration histogram, and the EVALUATE cache counters that witness
+   scoped invalidation keeping entries warm across swaps. *)
+let snapshot_metric_lines t () =
+  let gauge name help rows =
+    Printf.sprintf "# HELP %s %s" name help
+    :: Printf.sprintf "# TYPE %s gauge" name
+    :: rows
+  in
+  let counter name help v =
+    [
+      Printf.sprintf "# HELP %s %s" name help;
+      Printf.sprintf "# TYPE %s counter" name;
+      Printf.sprintf "%s %d" name v;
+    ]
+  in
+  let pinned_rows =
+    List.map
+      (fun (epoch, pins) ->
+        Printf.sprintf "flix_snapshot_pinned{epoch=\"%d\"} %d" epoch pins)
+      (Snapshot.pinned t.snapshot)
+  in
+  let h = t.reload_hist in
+  let counts, sum, count =
+    with_lock h.rh_m (fun () -> (Array.copy h.rh_counts, h.rh_sum, h.rh_count))
+  in
+  let hist =
+    let acc = ref 0 in
+    let rows =
+      Array.to_list
+        (Array.mapi
+           (fun i c ->
+             acc := !acc + c;
+             let le =
+               if i < Array.length reload_buckets_s then
+                 Printf.sprintf "%g" reload_buckets_s.(i)
+               else "+Inf"
+             in
+             Printf.sprintf "flix_reload_duration_seconds_bucket{le=\"%s\"} %d" le
+               !acc)
+           counts)
+    in
+    [
+      "# HELP flix_reload_duration_seconds Wall time of successful snapshot swaps \
+       (INGEST, EVICT, RELOAD).";
+      "# TYPE flix_reload_duration_seconds histogram";
+    ]
+    @ rows
+    @ [
+        Printf.sprintf "flix_reload_duration_seconds_sum %.6f" sum;
+        Printf.sprintf "flix_reload_duration_seconds_count %d" count;
+      ]
+  in
+  gauge "flix_snapshot_epoch" "Epoch of the serving snapshot."
+    [ Printf.sprintf "flix_snapshot_epoch %d" (Snapshot.epoch t.snapshot) ]
+  @ gauge "flix_snapshot_pinned"
+      "In-flight requests pinned to each live snapshot epoch." pinned_rows
+  @ hist
+  @ counter "flix_eval_cache_hits_total" "EVALUATE cache hits."
+      (Eval_cache.hits t.eval_cache)
+  @ counter "flix_eval_cache_misses_total" "EVALUATE cache misses."
+      (Eval_cache.misses t.eval_cache)
+  @ counter "flix_eval_cache_invalidated_total"
+      "EVALUATE cache entries dropped by swap invalidation."
+      (Eval_cache.invalidated t.eval_cache)
+  @ gauge "flix_eval_cache_entries" "Resident EVALUATE cache entries."
+      [ Printf.sprintf "flix_eval_cache_entries %d" (Eval_cache.length t.eval_cache) ]
+
+(* Publish [next] as the serving snapshot, applying the delta's cache
+   scope first: entries the delta cannot affect are retagged to the new
+   epoch and stay warm; everything else is dropped. Runs under the admin
+   lock, so the epoch arithmetic cannot race another swap — and a worker
+   storing a result concurrently stores it under its own (old) pinned
+   epoch, which the epoch check on the read side rejects. *)
+let publish_swap t ~scope next =
+  let next_epoch = Snapshot.epoch t.snapshot + 1 in
+  (match (scope : Delta.scope) with
+  | Delta.All -> Eval_cache.clear t.eval_cache
+  | Delta.Tags tags -> Eval_cache.invalidate_tags t.eval_cache tags);
+  Eval_cache.map_values t.eval_cache (fun c -> { c with centry_epoch = next_epoch });
+  Snapshot.publish t.snapshot next
+
+(* Run one admin mutation under the admin lock, timing successful swaps
+   into the reload histogram. *)
+let admin_op t f =
+  with_lock t.admin_m (fun () ->
+      let sw = Stopwatch.start () in
+      let resp =
+        try f () with
+        | (Out_of_memory | Stack_overflow) as fatal -> raise fatal
+        | exn -> Protocol.Err ("internal: " ^ Printexc.to_string exn)
+      in
+      (match resp with
+      | Protocol.Epoch _ -> observe_reload t (Stopwatch.elapsed_ms sw /. 1000.0)
+      | _ -> ());
+      resp)
+
+let apply_ingest t (docs : Fx_xml.Xml_types.document list) =
+  admin_op t (fun () ->
+      match Snapshot.current t.snapshot with
+      | On_disk _ | Custom _ ->
+          Protocol.Err "INGEST requires the in-memory backend (use RELOAD)"
+      | In_memory flix -> (
+          let coll = Flix.collection flix in
+          let seen = Hashtbl.create 8 in
+          let clash =
+            List.find_opt
+              (fun (d : Fx_xml.Xml_types.document) ->
+                let dup =
+                  Hashtbl.mem seen d.name
+                  || Option.is_some (Collection.doc_of_name coll d.name)
+                in
+                Hashtbl.replace seen d.name ();
+                dup)
+              docs
+          in
+          match clash with
+          | Some d ->
+              Protocol.Err
+                (Printf.sprintf "document %s already exists in the collection" d.name)
+          | None ->
+              let old_n = Collection.n_nodes coll in
+              let next = Flix.extend flix docs in
+              let scope =
+                Delta.extend_scope ~old_n_nodes:old_n (Flix.collection next)
+              in
+              Protocol.Epoch (publish_swap t ~scope (In_memory next))))
+
+let apply_evict t names =
+  admin_op t (fun () ->
+      match Snapshot.current t.snapshot with
+      | On_disk _ | Custom _ -> Protocol.Err "EVICT requires the in-memory backend"
+      | In_memory flix -> (
+          let coll = Flix.collection flix in
+          match
+            List.find_opt
+              (fun name -> Option.is_none (Collection.doc_of_name coll name))
+              names
+          with
+          | Some name -> Protocol.Err (Printf.sprintf "unknown document %s" name)
+          | None ->
+              let next = Flix.remove flix names in
+              (* Node ids shift after the first removed document, so no
+                 tag-scoped survival argument holds: flush everything. *)
+              Protocol.Epoch (publish_swap t ~scope:Delta.All (In_memory next))))
+
+let apply_reload t =
+  match t.admin with
+  | None -> Protocol.Err "RELOAD is not configured for this server"
+  | Some a ->
+      admin_op t (fun () ->
+          match a.admin_reload () with
+          | Error msg -> Protocol.Err ("reload failed: " ^ msg)
+          | Ok next -> Protocol.Epoch (publish_swap t ~scope:Delta.All next))
 
 (* --- connection handling (thread side) ------------------------------ *)
 
@@ -468,11 +741,22 @@ let handle_request t oc line =
       Metrics.incr_requests t.metrics ~verb;
       let sw = Stopwatch.start () in
       if not (Protocol.pool_bound req) then begin
-        (* Inline plane: PING and METRICS must work on a saturated server. *)
-        (match req with
-        | Protocol.Ping -> write_response oc Protocol.Pong
-        | Protocol.Metrics -> write_response oc (Protocol.Lines (Metrics.render t.metrics))
-        | _ -> assert false);
+        (* Inline plane: PING and METRICS must work on a saturated
+           server, and the admin verbs run on the connection thread
+           under the admin lock instead of occupying a worker. *)
+        let resp =
+          match req with
+          | Protocol.Ping -> Protocol.Pong
+          | Protocol.Metrics -> Protocol.Lines (Metrics.render t.metrics)
+          | Protocol.Epoch_query -> Protocol.Epoch (Snapshot.epoch t.snapshot)
+          | Protocol.Evict names -> apply_evict t names
+          | Protocol.Reload -> apply_reload t
+          | _ -> assert false
+        in
+        (match resp with
+        | Protocol.Err _ -> Metrics.incr_errors t.metrics
+        | _ -> ());
+        write_response oc resp;
         Metrics.observe_ms t.metrics ~verb (Stopwatch.elapsed_ms sw)
       end
       else begin
@@ -710,6 +994,110 @@ let conn_loop t fd =
     in
     go 0
   in
+  (* Pull the [n] document frames of an ingest envelope. A recoverable
+     failure (oversized document, bad XML caught later) still consumes
+     the whole envelope so a single ERR keeps the framing intact; a
+     malformed or oversized [DOC] header loses the framing — there is no
+     way to know how many lines follow — so the caller answers ERR and
+     closes. [keep = false] consumes without accumulating (over-cap
+     envelopes). *)
+  let read_ingest_frames ~keep n =
+    let fail = ref None in
+    let note msg = if Option.is_none !fail then fail := Some msg in
+    let rec read_body name j acc =
+      if j = 0 then Some (List.rev acc)
+      else
+        match read_request_line ic ~max_bytes:t.cfg.max_line_bytes with
+        | `Eof -> None
+        | `Overflow ->
+            note
+              (Printf.sprintf "document %s: line exceeds %d bytes" name
+                 t.cfg.max_line_bytes);
+            read_body name (j - 1) acc
+        | `Line l -> read_body name (j - 1) (if keep then l :: acc else acc)
+    in
+    let rec go i acc =
+      if i >= n then
+        match !fail with Some msg -> `Fail msg | None -> `Docs (List.rev acc)
+      else
+        match read_request_line ic ~max_bytes:t.cfg.max_line_bytes with
+        | `Eof -> `Eof
+        | `Overflow ->
+            `Abort
+              (Printf.sprintf "DOC header exceeds %d bytes" t.cfg.max_line_bytes)
+        | `Line l -> (
+            match Protocol.parse_doc_line l with
+            | Error msg -> `Abort msg
+            | Ok (name, n_lines) ->
+                if n_lines > t.cfg.max_ingest_lines then begin
+                  note
+                    (Printf.sprintf "document %s: %d lines exceeds cap %d" name
+                       n_lines t.cfg.max_ingest_lines);
+                  match read_body name n_lines [] with
+                  | None -> `Eof
+                  | Some _ -> go (i + 1) acc
+                end
+                else
+                  match read_body name n_lines [] with
+                  | None -> `Eof
+                  | Some lines ->
+                      go (i + 1) ((name, String.concat "\n" lines) :: acc))
+    in
+    go 0 []
+  in
+  (* Parse every framed document body; the first bad one fails the whole
+     envelope (the swap is all-or-nothing anyway). *)
+  let parse_ingest_docs raw =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, body) :: rest -> (
+          match Xml_parser.parse ~name body with
+          | Ok doc -> go (doc :: acc) rest
+          | Error e ->
+              Error
+                (Printf.sprintf "document %s: %s" name
+                   (Xml_parser.error_to_string e)))
+    in
+    go [] raw
+  in
+  let handle_ingest n loop =
+    Metrics.incr_requests t.metrics ~verb:"ingest";
+    let sw = Stopwatch.start () in
+    if n > t.cfg.max_batch then begin
+      Metrics.incr_errors t.metrics;
+      match read_ingest_frames ~keep:false n with
+      | `Eof -> ()
+      | `Abort msg -> write_response oc (Protocol.Err msg)
+      | `Fail _ | `Docs _ ->
+          write_response oc
+            (Protocol.Err (Printf.sprintf "ingest size exceeds %d" t.cfg.max_batch));
+          loop ()
+    end
+    else
+      match read_ingest_frames ~keep:true n with
+      | `Eof -> ()
+      | `Abort msg ->
+          Metrics.incr_errors t.metrics;
+          write_response oc (Protocol.Err msg)
+      | `Fail msg ->
+          Metrics.incr_errors t.metrics;
+          write_response oc (Protocol.Err msg);
+          loop ()
+      | `Docs raw -> (
+          match parse_ingest_docs raw with
+          | Error msg ->
+              Metrics.incr_errors t.metrics;
+              write_response oc (Protocol.Err msg);
+              loop ()
+          | Ok docs ->
+              let resp = apply_ingest t docs in
+              (match resp with
+              | Protocol.Err _ -> Metrics.incr_errors t.metrics
+              | _ -> ());
+              write_response oc resp;
+              Metrics.observe_ms t.metrics ~verb:"ingest" (Stopwatch.elapsed_ms sw);
+              loop ())
+  in
   let serve () =
     let rec loop () =
       match read_request_line ic ~max_bytes:t.cfg.max_line_bytes with
@@ -737,6 +1125,7 @@ let conn_loop t fd =
                      (Printf.sprintf "batch size exceeds %d" t.cfg.max_batch));
                 loop ()
               end
+          | Ok (Protocol.Ingest { n }) -> handle_ingest n loop
           | Ok (Protocol.Single _) | Error _ ->
               (* [handle_request] re-parses and owns the ERR answer for
                  malformed lines. *)
@@ -798,7 +1187,7 @@ let accept_loop t () =
 
 (* --- lifecycle ------------------------------------------------------ *)
 
-let start_backend ?(config = default_config) backend =
+let start_backend ?(config = default_config) ?admin backend =
   (* A client that closes before its response is fully written must
      surface as EPIPE on the write — the default SIGPIPE disposition
      would terminate the whole process. Invalid_argument covers
@@ -818,10 +1207,23 @@ let start_backend ?(config = default_config) backend =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> config.port
   in
+  let retire old =
+    match admin with Some a -> a.admin_retire old | None -> ()
+  in
   let t =
     {
       cfg = config;
-      backend;
+      snapshot = Snapshot.create ~retire backend;
+      admin;
+      admin_m = Mutex.create ();
+      eval_cache = Eval_cache.create ~capacity:config.eval_cache_capacity;
+      reload_hist =
+        {
+          rh_m = Mutex.create ();
+          rh_counts = Array.make (Array.length reload_buckets_s + 1) 0;
+          rh_sum = 0.0;
+          rh_count = 0;
+        };
       listen_fd;
       bound_port;
       metrics = Metrics.create ();
@@ -833,10 +1235,21 @@ let start_backend ?(config = default_config) backend =
       conns_lock = Mutex.create ();
     }
   in
+  (* The disk pool collector pins the snapshot per scrape: after a
+     RELOAD swaps the deployment out, the retire hook may close the old
+     handle, so the collector must read whichever handle is current. *)
   (match backend with
   | In_memory _ | Custom _ -> ()
-  | On_disk { hopi; _ } ->
-      Metrics.register_collector t.metrics (pool_metric_lines hopi));
+  | On_disk _ ->
+      Metrics.register_collector t.metrics (fun () ->
+          let epoch, b = Snapshot.pin t.snapshot in
+          Fun.protect
+            ~finally:(fun () -> Snapshot.unpin t.snapshot epoch)
+            (fun () ->
+              match b with
+              | On_disk { hopi; _ } -> pool_metric_lines hopi ()
+              | In_memory _ | Custom _ -> [])));
+  Metrics.register_collector t.metrics (snapshot_metric_lines t);
   t.workers <- List.init (max 1 config.workers) (fun _ -> Domain.spawn (worker_loop t));
   t.acceptor <- Some (Thread.create (accept_loop t) ());
   t
@@ -846,6 +1259,8 @@ let start ?config flix = start_backend ?config (In_memory flix)
 let port t = t.bound_port
 let metrics t = t.metrics
 let config t = t.cfg
+let current_backend t = Snapshot.current t.snapshot
+let epoch t = Snapshot.epoch t.snapshot
 
 let stop t =
   if Atomic.compare_and_set t.running true false then begin

@@ -46,7 +46,20 @@
     at most [max_connections] connections are live at once (excess
     connections are answered [BUSY] and closed by the acceptor).
     [start] ignores [SIGPIPE] process-wide so a disconnecting client
-    surfaces as a per-connection write error, not a fatal signal. *)
+    surfaces as a per-connection write error, not a fatal signal.
+
+    Hot reload: the serving backend lives in an {!Fx_admin.Snapshot}.
+    The admin verbs ([INGEST], [EVICT], [RELOAD]) build a replacement
+    backend on the connection thread — serialized by one admin lock,
+    off the worker path — and publish it with a single atomic swap.
+    Workers pin the snapshot per job, so in-flight requests finish on
+    the epoch they started on and no connection is ever dropped by a
+    swap; the old backend is retired (see {!admin}) once its last pin
+    drains. Clean [EVALUATE] answers are cached per epoch with
+    invalidation scoped to the tag pairs an ingest delta touched
+    (see {!Fx_admin.Delta}), so unaffected entries stay warm across
+    swaps. The epoch, per-epoch pin counts, swap-duration histogram,
+    and cache counters are exported on [METRICS]. *)
 
 type config = {
   host : string;            (** bind address, default ["127.0.0.1"] *)
@@ -58,6 +71,9 @@ type config = {
   max_line_bytes : int;     (** request-line buffer cap, default 8192 *)
   max_connections : int;    (** live-connection cap, default 1024 *)
   max_batch : int;          (** [BATCH] sub-request cap, default 1024 *)
+  max_ingest_lines : int;   (** per-document [INGEST] line cap, default 65_536 *)
+  eval_cache_capacity : int;
+      (** [EVALUATE] answer cache entries, default 256 *)
 }
 
 val default_config : config
@@ -98,14 +114,32 @@ type backend =
           here. [PING]/[METRICS] stay inline; [SLEEP] is served by the
           worker itself. *)
 
+type admin = {
+  admin_reload : unit -> (backend, string) result;
+      (** Build a fresh backend for [RELOAD] (typically by re-reading
+          the deployment the server was started from). Runs on the
+          connection thread under the admin lock; an [Error] answers
+          [ERR] and leaves the serving snapshot untouched. *)
+  admin_retire : backend -> unit;
+      (** Called exactly once per replaced backend, after its last
+          pinned request finishes — the place to close an [On_disk]
+          deployment handle. Never called while the backend can still
+          serve a request. *)
+}
+(** The reload hooks wired in by the process that owns the backend's
+    resources ({!Fx_bin} deployments, file handles). Without them
+    [RELOAD] answers [ERR]; [INGEST]/[EVICT] still work on the
+    in-memory backend (the old {!Fx_flix.Flix.t} needs no cleanup). *)
+
 type t
 
-val start_backend : ?config:config -> backend -> t
+val start_backend : ?config:config -> ?admin:admin -> backend -> t
 (** Binds, listens, and spawns the acceptor thread and worker domains.
     Returns once the server accepts connections. Raises [Unix_error]
-    when the port cannot be bound. The backend (and for [On_disk], the
-    deployment handle) must outlive the server; {!stop} does not close
-    it. *)
+    when the port cannot be bound. The {e initial} backend (and for
+    [On_disk], the deployment handle) must outlive the server until a
+    swap retires it; {!stop} does not close it — use
+    {!current_backend} to find what is live at shutdown. *)
 
 val start : ?config:config -> Fx_flix.Flix.t -> t
 (** [start flix] is [start_backend (In_memory flix)]. *)
@@ -115,6 +149,15 @@ val port : t -> int
 
 val metrics : t -> Metrics.t
 val config : t -> config
+
+val current_backend : t -> backend
+(** The serving backend right now — after reloads this is not the one
+    passed to {!start_backend}. The caller that owns backend resources
+    should close {e this} one at shutdown (retired ones were already
+    handed to [admin_retire]). *)
+
+val epoch : t -> int
+(** The serving snapshot's epoch (starts at 1, +1 per swap). *)
 
 val stop : t -> unit
 (** Stops accepting, drains queued jobs (every admitted request is

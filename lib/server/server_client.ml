@@ -121,3 +121,42 @@ let connected t ?max_dist a b =
 let lines_reply = function Protocol.Lines l -> Some l | _ -> None
 let stats t = typed t Protocol.Stats lines_reply
 let metrics t = typed t Protocol.Metrics lines_reply
+
+(* --- admin plane --------------------------------------------------- *)
+
+let epoch_reply = function Protocol.Epoch e -> Some e | _ -> None
+let epoch t = typed t Protocol.Epoch_query epoch_reply
+let evict t names = typed t (Protocol.Evict names) epoch_reply
+let reload t = typed t Protocol.Reload epoch_reply
+
+(* The INGEST envelope is the one client-side frame the [request] escape
+   hatch cannot express: header, then one DOC frame per document with
+   its body split into lines, all in a single buffered write. *)
+let ingest t docs =
+  match docs with
+  | [] -> Error "empty ingest"
+  | docs -> (
+      match
+        output_string t.oc (Protocol.ingest_line (List.length docs));
+        output_char t.oc '\n';
+        List.iter
+          (fun (name, body) ->
+            let lines = String.split_on_char '\n' body in
+            output_string t.oc (Protocol.doc_line ~name ~n_lines:(List.length lines));
+            output_char t.oc '\n';
+            List.iter
+              (fun l ->
+                output_string t.oc l;
+                output_char t.oc '\n')
+              lines)
+          docs;
+        flush t.oc
+      with
+      | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost on send"
+      | () -> (
+          match Protocol.read_response (read_line_of t) with
+          | Error _ as e -> e
+          | Ok Protocol.Busy -> Ok Busy
+          | Ok (Protocol.Err msg) -> Ok (Server_error msg)
+          | Ok (Protocol.Epoch e) -> Ok (Value e)
+          | Ok _ -> Error "unexpected response type"))

@@ -63,6 +63,21 @@ val connected :
 val stats : t -> (string list reply, string) result
 val metrics : t -> (string list reply, string) result
 
+val epoch : t -> (int reply, string) result
+(** The server's serving snapshot epoch ([EPOCH]). *)
+
+val evict : t -> string list -> (int reply, string) result
+(** Remove documents by name; [Value e] is the new epoch. *)
+
+val reload : t -> (int reply, string) result
+(** Ask the server to re-read its deployment; [Value e] is the new
+    epoch. *)
+
+val ingest : t -> (string * string) list -> (int reply, string) result
+(** [ingest t [(name, xml); ...]] sends one [INGEST] envelope (each
+    document body is split on newlines into its [DOC] frame) and reads
+    the answer; [Value e] is the new epoch after the swap. *)
+
 val request :
   ?deadline_ms:int -> t -> Protocol.request -> (Protocol.response, string) result
 (** Escape hatch: send any request (optionally with a [DEADLINE <ms>]

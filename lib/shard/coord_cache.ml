@@ -53,6 +53,20 @@ let invalidate t =
       t.epoch <- t.epoch + 1;
       Lru.clear t.lru)
 
+(* Scoped invalidation: only entries whose start or target tag the delta
+   touched can have changed, so only those are dropped — no epoch bump,
+   surviving keys stay reachable, and the hit/miss counters keep
+   counting (they are the evidence the warm entries kept serving). *)
+let invalidate_tags t tags =
+  with_lock t.m (fun () ->
+      let doomed = ref [] in
+      Lru.iter t.lru (fun key _ ->
+          if
+            List.exists (String.equal key.start_tag) tags
+            || List.exists (String.equal key.target_tag) tags
+          then doomed := key :: !doomed);
+      List.iter (Lru.remove t.lru) !doomed)
+
 let stats t =
   with_lock t.m (fun () ->
       {

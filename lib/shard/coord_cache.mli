@@ -53,4 +53,12 @@ val invalidate : t -> unit
     lands under the old epoch and is unreachable afterwards. Resets the
     hit/miss counters (they count since the last clear). *)
 
+val invalidate_tags : t -> string list -> unit
+(** Scoped invalidation for a tag-bounded delta: drop only entries
+    whose start {e or} target tag is in the list. No epoch bump — the
+    surviving entries stay reachable and warm, and the hit/miss
+    counters are untouched. Sound only when every document change is
+    confined to the given tags (see {!Fx_admin.Delta.extend_scope});
+    an unbounded change must use {!invalidate}. *)
+
 val stats : t -> stats

@@ -34,6 +34,7 @@ type portal = { g : int; shard : int; local : int; tag : string }
 type t = {
   plan : Shard_plan.t;
   shards : Shard_client.t array;
+  addrs : (string * int) list;  (* the addresses [shards] was built from *)
   links : located_link array;
   by_src_shard : located_link list array;  (* links leaving each shard *)
   by_dst_shard : located_link list array;  (* links entering each shard *)
@@ -139,6 +140,7 @@ let create ?(cache_cap = 65536) ?(batching = true) ?query_cache ?closure ~plan ~
   {
     plan;
     shards = clients;
+    addrs = shards;
     links;
     by_src_shard = bucket_by (fun l -> l.src_shard);
     by_dst_shard = bucket_by (fun l -> l.dst_shard);
@@ -1158,8 +1160,9 @@ let descendants_by_name t ctx ~doc ~anchor ~tag ~k ~max_dist ~emit =
 let eval t ~emit ~deadline_ns (req : P.request) =
   let ctx = make_ctx deadline_ns in
   match req with
-  | P.Ping | P.Stats | P.Metrics | P.Sleep _ ->
-      (* Handled by the server's Custom dispatch before reaching here. *)
+  | P.Ping | P.Stats | P.Metrics | P.Sleep _ | P.Evict _ | P.Reload | P.Epoch_query ->
+      (* Inline and admin verbs are handled by the server (Custom
+         dispatch, admin plane) before reaching here. *)
       P.Err "internal: verb not routed to the coordinator"
   | P.Connected { a; b; max_dist } ->
       if not (in_range t a && in_range t b) then node_range_err t
@@ -1336,3 +1339,82 @@ let metric_lines t () =
 let backend t =
   { Server.custom_eval = (fun ~emit ~deadline_ns req -> eval t ~emit ~deadline_ns req);
     custom_stats = (fun () -> stats_lines t) }
+
+(* --- hot reload -------------------------------------------------------- *)
+
+(* Shard-by-shard reload behind the coordinator's own snapshot swap.
+
+   Two phases, both all-or-nothing from the coordinator's point of view:
+   first every shard is probed ([EPOCH]) so a dead shard is discovered
+   before any shard is asked to mutate; then [RELOAD] fans out shard by
+   shard. Any failure returns [Error] and the caller keeps serving the
+   {e old} coordinator — plan, closure, caches, and connections are all
+   fields of one immutable [t], so there is no mixed state to roll back:
+   either the new [t] is published whole or the old one stays. Shards
+   that did reload before a later failure re-read the same deployment
+   directory, so their swap is idempotent with respect to the data the
+   old plan describes.
+
+   The new [t] reconnects from scratch (the old one still owns its
+   connection pools until it is retired) and re-judges the candidate
+   portal closure — the caller's re-read one, or by default the old
+   coordinator's — against the new plan: on a digest mismatch [create] drops it
+   as stale and every query takes the wave-Dijkstra probed path until a
+   closure is rebuilt offline. The merged-answer cache survives only
+   when the plan digest is unchanged — node ids and shard data are then
+   identical, so every cached merge is still byte-exact; otherwise it is
+   invalidated whole (scoped invalidation needs a tag-level delta, which
+   a reload does not have). *)
+let reload ?(probe_deadline_ms = 2_000) ?(reload_deadline_ms = 120_000) ?closure t
+    ~plan =
+  let n = Shard_plan.n_shards plan in
+  if n <> Array.length t.shards then
+    Error
+      (Printf.sprintf "new plan has %d shards, serving %d — re-deploy instead" n
+         (Array.length t.shards))
+  else begin
+    let fail_at i msg =
+      Error
+        (Printf.sprintf "shard %d at %s %s" i (Shard_client.address t.shards.(i)) msg)
+    in
+    let sweep verb ~deadline_ms req =
+      let rec go i =
+        if i >= n then Ok ()
+        else
+          match Shard_client.call ~deadline_ms t.shards.(i) req with
+          | Ok (_, P.Epoch _) -> go (i + 1)
+          | Ok (_, P.Err msg) -> fail_at i (Printf.sprintf "refused %s: %s" verb msg)
+          | Ok _ -> fail_at i (Printf.sprintf "answered %s with the wrong response" verb)
+          | Error msg -> fail_at i (Printf.sprintf "unreachable during %s: %s" verb msg)
+      in
+      go 0
+    in
+    match sweep "probe" ~deadline_ms:probe_deadline_ms P.Epoch_query with
+    | Error _ as e -> e
+    | Ok () -> (
+        match sweep "reload" ~deadline_ms:reload_deadline_ms P.Reload with
+        | Error _ as e -> e
+        | Ok () ->
+            let closure =
+              match closure with Some _ -> closure | None -> t.closure
+            in
+            let fresh =
+              create ~cache_cap:t.cache_cap ~batching:t.batching ?closure ~plan
+                ~shards:t.addrs ()
+            in
+            let query_cache =
+              match t.query_cache with
+              | None -> None
+              | Some qc ->
+                  if Shard_plan.digest plan = Shard_plan.digest t.plan then Some qc
+                  else begin
+                    Coord_cache.set_closure_epoch qc
+                      (match fresh.closure with
+                      | Some c -> Portal_closure.epoch c
+                      | None -> 0);
+                    Coord_cache.invalidate qc;
+                    Some qc
+                  end
+            in
+            Ok { fresh with query_cache })
+  end

@@ -135,5 +135,32 @@ val query_cache_stats : t -> Coord_cache.stats option
 (** Entries/hits/misses/epoch of the [EVALUATE] result cache, or
     [None] when [create] was not given [query_cache]. *)
 
+val reload :
+  ?probe_deadline_ms:int ->
+  ?reload_deadline_ms:int ->
+  ?closure:Portal_closure.t ->
+  t ->
+  plan:Shard_plan.t ->
+  (t, string) result
+(** Shard-by-shard hot reload: probe every shard ([EPOCH], bounded by
+    [probe_deadline_ms], default 2s), then fan [RELOAD] out to each
+    (bounded by [reload_deadline_ms], default 120s), then build a
+    replacement coordinator over [plan] (the re-read manifest's plan)
+    with fresh connections to the same addresses. Any failure — a dead
+    shard found by the probe, a shard lost or refusing mid-reload —
+    returns [Error] and leaves [t] untouched, so the caller keeps
+    serving the old epoch whole; there is no mixed state. On success
+    the caller publishes the returned coordinator (e.g. via the
+    server's snapshot swap) and eventually {!close}s the old one.
+
+    [closure] (default: the old coordinator's) is the candidate portal
+    closure for the new plan — pass the one from the re-read manifest.
+    Either way it is used only if it matches [plan]; a mismatch drops
+    it as stale and queries take the wave-Dijkstra probed path until a
+    new closure is planned. The
+    merged-answer cache survives only when the plan digest is
+    unchanged (node ids and shard contents identical); otherwise it is
+    invalidated whole. *)
+
 val close : t -> unit
 (** Close pooled shard connections. *)

@@ -3,10 +3,15 @@
 # flix_serve from it (twice — the second boot must reuse the files and
 # skip the index build), drive PING / DESCENDANTS / CONNECTED / METRICS
 # over the wire, and check that a mangled store dies with a one-line
-# error instead of a backtrace. Then the sharded path: build a 2-shard
+# error instead of a backtrace. Then hot reload: INGEST and RELOAD
+# against a live in-memory server under concurrent query load (zero
+# dropped connections, post-reload answers byte-identical to a fresh
+# server), with the snapshot epoch / pin / reload-duration metrics
+# asserted on METRICS. Then the sharded path: build a 2-shard
 # deployment, boot both shard servers plus a coordinator, query through
-# the coordinator, and verify that killing a shard degrades answers to
-# PARTIAL instead of failing them.
+# the coordinator (including a coordinator-wide RELOAD sweep), and
+# verify that killing a shard degrades answers to PARTIAL — and RELOAD
+# to a clean ERR — instead of failing them.
 #
 # Uses bash's /dev/tcp so it needs no netcat. Run from the repo root:
 #
@@ -94,6 +99,10 @@ grep -q "opening deployment" "$DIR/boot2.log" || fail "second boot rebuilt the i
 
 [ "$(ask PING)" = "PONG" ] || fail "PING after reuse"
 ask "DESCENDANTS dblp_0003 - author 5" | grep -q "^DONE " || fail "DESCENDANTS after reuse"
+# RELOAD re-opens the deployment and swaps it in; the retired pager is
+# closed once its last pinned request drains.
+[ "$(ask RELOAD)" = "EPOCH 2" ] || fail "RELOAD on the disk deployment"
+ask "DESCENDANTS dblp_0003 - author 5" | grep -q "^DONE " || fail "DESCENDANTS after disk reload"
 
 kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null
 SRV_PID=
@@ -106,6 +115,77 @@ status=$?
 echo "$out" | grep -q "corrupt index store" || fail "no diagnostic for mangled store"
 echo "$out" | grep -q "Raised at\|Fatal error" && fail "backtrace leaked for mangled store"
 
+rm -rf "$DIR"
+
+echo "== hot reload: INGEST and RELOAD under concurrent query load =="
+DIR=$(mktemp -d)
+"$BIN" --docs 40 --port "$PORT" >"$DIR/mem.log" 2>&1 &
+SRV_PID=$!
+wait_port || { cat "$DIR/mem.log" >&2; fail "in-memory server did not come up"; }
+
+[ "$(ask EPOCH)" = "EPOCH 1" ] || fail "EPOCH before any swap"
+m=$(ask METRICS)
+echo "$m" | grep -q "^flix_snapshot_epoch 1$" || fail "flix_snapshot_epoch gauge missing"
+echo "$m" | grep -q "^flix_snapshot_pinned{epoch=" || fail "flix_snapshot_pinned gauge missing"
+echo "$m" | grep -q "^flix_reload_duration_seconds_bucket" || fail "reload histogram missing"
+
+# Concurrent load: every request must complete with DONE while the
+# swaps happen — a dropped connection or degraded answer is a failure.
+LOAD_ERR="$DIR/load_err"
+query_load() { # N_REQUESTS
+  local i line done_
+  for i in $(seq 1 "$1"); do
+    exec 7<>"/dev/tcp/127.0.0.1/$PORT" \
+      || { echo "connect failed at request $i" >>"$LOAD_ERR"; continue; }
+    printf 'DESCENDANTS dblp_%04d - author 5\n' $(( i % 40 )) >&7
+    done_=
+    line=
+    while IFS= read -r -t 10 line <&7; do
+      case $line in
+        DONE\ *) done_=1; break ;;
+        TIMEOUT\ *|PARTIAL\ *|ERR\ *|BUSY) break ;;
+      esac
+    done
+    [ -n "$done_" ] || echo "request $i failed: ${line:-connection dropped}" >>"$LOAD_ERR"
+    exec 7<&- 7>&-
+  done
+}
+query_load 30 & LOAD1=$!
+query_load 30 & LOAD2=$!
+sleep 0.2
+
+# INGEST one framed document mid-load.
+exec 8<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect for INGEST"
+printf 'INGEST 1\nDOC smoke_doc 1\n<doc><sec><author>x</author></sec></doc>\n' >&8
+IFS= read -r -t 30 line <&8 || fail "no response to INGEST"
+exec 8<&- 8>&-
+[ "$line" = "EPOCH 2" ] || fail "INGEST answered '$line'"
+ask "DESCENDANTS smoke_doc - author 5" | grep -q "^DONE " || fail "ingested document not served"
+
+# RELOAD rebuilds from the original source, dropping the ingested doc.
+[ "$(ask RELOAD)" = "EPOCH 3" ] || fail "RELOAD on the in-memory server"
+wait "$LOAD1" "$LOAD2"
+[ ! -s "$LOAD_ERR" ] || { cat "$LOAD_ERR" >&2; fail "requests dropped during hot reload"; }
+m=$(ask METRICS)
+echo "$m" | grep -q "^flix_snapshot_epoch 3$" || fail "epoch gauge did not follow the swaps"
+count=$(echo "$m" | awk '/^flix_reload_duration_seconds_count / { print $2 }')
+[ "${count:-0}" -ge 2 ] || fail "reload histogram did not count the swaps (count=${count:-0})"
+
+# Post-reload answers are byte-identical to a freshly started server.
+FPORT=$((PORT + 3))
+"$BIN" --docs 40 --port "$FPORT" >"$DIR/fresh.log" 2>&1 &
+FRESH_PID=$!
+EXTRA_PIDS=$FRESH_PID
+PORT=$FPORT wait_port || { cat "$DIR/fresh.log" >&2; fail "fresh server did not come up"; }
+for q in "DESCENDANTS dblp_0003 - author 5" "EVALUATE article author 5" "CONNECTED 0 3"; do
+  [ "$(ask "$q")" = "$(PORT=$FPORT ask "$q")" ] \
+    || fail "post-reload answer diverges from a fresh server for: $q"
+done
+kill "$FRESH_PID" 2>/dev/null && wait "$FRESH_PID" 2>/dev/null
+EXTRA_PIDS=
+
+kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null
+SRV_PID=
 rm -rf "$DIR"
 
 echo "== sharded deployment: build 2 shards + manifest =="
@@ -165,6 +245,14 @@ lookups=$(ask METRICS | awk '/^flix_coord_closure_lookups_total / { print $2 }')
 [ "${lookups:-0}" -gt 0 ] || fail "closure never consulted (lookups=${lookups:-0})"
 ask METRICS | grep -q "^flix_closure_label_entries" || fail "closure label gauge missing"
 echo "closure lookups=$lookups"
+
+echo "== coordinator RELOAD: shard-by-shard sweep, single swap =="
+# After the probe/cache counters above: the swap replaces the
+# coordinator (fresh connections, counters reset), so it must not run
+# before they are asserted.
+[ "$(ask RELOAD)" = "EPOCH 2" ] || fail "coordinator RELOAD"
+ask "EVALUATE article author 5" | grep -q "^DONE " || fail "EVALUATE after coordinator reload"
+ask METRICS | grep -q "^flix_snapshot_epoch 2$" || fail "coordinator epoch gauge after reload"
 
 # The same fixed cross-shard load against this coordinator and then a
 # --no-closure one, measured at steady state: each gets an unmeasured
@@ -228,6 +316,15 @@ EXTRA_PIDS=$S0_PID
 ask "EVALUATE article author 5" | grep -q "^DONE " || fail "cached EVALUATE should survive the dead shard"
 ask "EVALUATE inproceedings cite 5" | grep -q "^PARTIAL " || fail "dead shard should answer PARTIAL"
 [ "$(ask PING)" = "PONG" ] || fail "coordinator PING after shard death"
+# RELOAD must refuse cleanly — ERR naming the dead shard, framing and
+# the serving epoch intact.
+reload_reply=$(ask RELOAD)
+case $reload_reply in
+  ERR*shard*) : ;;
+  *) fail "RELOAD with a dead shard answered '$reload_reply', want ERR" ;;
+esac
+[ "$(ask EPOCH)" = "EPOCH 1" ] || fail "failed reload must not swap the coordinator"
+[ "$(ask PING)" = "PONG" ] || fail "coordinator PING after refused RELOAD"
 
 kill "$SRV_PID" "$S0_PID" 2>/dev/null
 wait "$SRV_PID" "$S0_PID" 2>/dev/null

@@ -1,0 +1,7 @@
+(* Fixture: FL002 covers lib/admin/ — snapshot pins are taken and
+   dropped on every worker domain and admin swaps run on connection
+   threads, so module-toplevel mutable state here is shared across all
+   of them at once. *)
+
+let pin_counts = ref []
+let record epoch = pin_counts := epoch :: !pin_counts

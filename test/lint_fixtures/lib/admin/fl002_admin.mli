@@ -1,0 +1,1 @@
+val record : int -> unit

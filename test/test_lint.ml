@@ -29,6 +29,7 @@ let expected =
     ("FL002", "lib/util/fl002_util.ml", 4);
     ("FL002", "lib/shard/fl002_shard.ml", 5);
     ("FL002", "lib/shard/fl002_portal_closure.ml", 6);
+    ("FL002", "lib/admin/fl002_admin.ml", 6);
     ("FL003", "lib/graph/fl003.ml", 4);
     ("FL004", "bin/fl004.ml", 4);
     ("FL005", "lib/flix/fl005.ml", 4);
